@@ -1,0 +1,225 @@
+//! Amplification wrappers: parallel copies over a single pass.
+//!
+//! * [`BestOfK`] — run `k` independent copies of a randomized solver on
+//!   the same stream and keep the smallest cover. The remark after
+//!   Theorem 2 uses exactly this with `k = O(log m)` to boost success
+//!   probability from `3/4` to `1 − 1/(4m)`.
+//! * [`NGuessing`] — Algorithm 1 assumes the stream length `N` is known;
+//!   §4.1 argues this is w.l.o.g. because `m/√n ≤ N ≤ m·n`, so
+//!   `O(log(n^{1.5})) = O(log n)` parallel runs with guesses
+//!   `N̂ᵢ = 2ⁱ·m/√n` cover the range and the run whose guess is closest
+//!   to `N` produces a valid (and good) solution. The wrapper reports the
+//!   smallest cover over all guesses.
+//!
+//! Both wrappers' space reports *sum* the copies' peaks: parallel copies
+//! genuinely multiply memory, which is why the paper keeps their count
+//! logarithmic.
+
+use setcover_core::{Cover, Edge, SpaceReport, StreamingSetCover};
+
+use crate::random_order::{RandomOrderConfig, RandomOrderSolver};
+
+/// Run `k` copies of a solver, keep the smallest final cover.
+#[derive(Debug)]
+pub struct BestOfK<A: StreamingSetCover> {
+    copies: Vec<A>,
+}
+
+impl<A: StreamingSetCover> BestOfK<A> {
+    /// Build from a factory called with copy indices `0..k`.
+    pub fn new<F: FnMut(usize) -> A>(k: usize, mut factory: F) -> Self {
+        assert!(k >= 1);
+        BestOfK { copies: (0..k).map(&mut factory).collect() }
+    }
+
+    /// Number of copies.
+    pub fn k(&self) -> usize {
+        self.copies.len()
+    }
+}
+
+impl<A: StreamingSetCover> StreamingSetCover for BestOfK<A> {
+    fn name(&self) -> &'static str {
+        "best-of-k"
+    }
+
+    fn process_edge(&mut self, e: Edge) {
+        for c in &mut self.copies {
+            c.process_edge(e);
+        }
+    }
+
+    fn finalize(&mut self) -> Cover {
+        self.copies
+            .iter_mut()
+            .map(|c| c.finalize())
+            .min_by_key(Cover::size)
+            .expect("k >= 1")
+    }
+
+    fn space(&self) -> SpaceReport {
+        let mut peak = 0usize;
+        let mut by: std::collections::BTreeMap<_, usize> = Default::default();
+        for c in &self.copies {
+            let r = c.space();
+            peak += r.peak_words;
+            for (comp, w) in r.peak_by_component {
+                *by.entry(comp).or_default() += w;
+            }
+        }
+        SpaceReport { peak_words: peak, peak_by_component: by.into_iter().collect() }
+    }
+}
+
+/// Algorithm 1 with parallel stream-length guesses (§4.1).
+#[derive(Debug)]
+pub struct NGuessing {
+    runs: Vec<RandomOrderSolver>,
+    guesses: Vec<usize>,
+}
+
+impl NGuessing {
+    /// Build runs with guesses `N̂ᵢ = 2ⁱ·m/√n` for `i = 0, 1, ...` until
+    /// the guess exceeds `m·n` (each set has at most `n` elements).
+    pub fn new(m: usize, n: usize, config: RandomOrderConfig, seed: u64) -> Self {
+        let base = (m / setcover_core::math::isqrt(n).max(1)).max(1);
+        let cap = m.saturating_mul(n);
+        let mut guesses = Vec::new();
+        let mut guess = base;
+        loop {
+            guesses.push(guess);
+            if guess >= cap {
+                break;
+            }
+            guess = guess.saturating_mul(2);
+        }
+        let runs = guesses
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| {
+                RandomOrderSolver::new(
+                    m,
+                    n,
+                    g,
+                    config,
+                    setcover_core::rng::derive_seed(seed, i as u64),
+                )
+            })
+            .collect();
+        NGuessing { runs, guesses }
+    }
+
+    /// The stream-length guesses, ascending.
+    pub fn guesses(&self) -> &[usize] {
+        &self.guesses
+    }
+
+    /// Number of parallel runs.
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+impl StreamingSetCover for NGuessing {
+    fn name(&self) -> &'static str {
+        "random-order+n-guessing"
+    }
+
+    fn process_edge(&mut self, e: Edge) {
+        for r in &mut self.runs {
+            r.process_edge(e);
+        }
+    }
+
+    fn finalize(&mut self) -> Cover {
+        self.runs
+            .iter_mut()
+            .map(|r| r.finalize())
+            .min_by_key(Cover::size)
+            .expect("at least one guess")
+    }
+
+    fn space(&self) -> SpaceReport {
+        let mut peak = 0usize;
+        let mut by: std::collections::BTreeMap<_, usize> = Default::default();
+        for r in &self.runs {
+            let rep = r.space();
+            peak += rep.peak_words;
+            for (comp, w) in rep.peak_by_component {
+                *by.entry(comp).or_default() += w;
+            }
+        }
+        SpaceReport { peak_words: peak, peak_by_component: by.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kk::KkSolver;
+    use setcover_core::solver::run_streaming;
+    use setcover_core::stream::{stream_of, StreamOrder};
+    use setcover_gen::planted::{planted, PlantedConfig};
+
+    #[test]
+    fn best_of_k_never_worse_than_single_copy() {
+        let p = planted(&PlantedConfig::exact(100, 1000, 10), 1);
+        let inst = &p.workload.instance;
+        let edges = setcover_core::stream::order_edges(inst, StreamOrder::Interleaved);
+
+        let singles: Vec<usize> = (0..4)
+            .map(|i| {
+                setcover_core::solver::run_on_edges(
+                    KkSolver::new(inst.m(), inst.n(), 100 + i),
+                    &edges,
+                )
+                .cover
+                .size()
+            })
+            .collect();
+        let best = run_streaming(
+            BestOfK::new(4, |i| KkSolver::new(inst.m(), inst.n(), 100 + i as u64)),
+            setcover_core::stream::VecStream::new(edges.clone()),
+        );
+        best.cover.verify(inst).unwrap();
+        assert_eq!(best.cover.size(), *singles.iter().min().unwrap());
+    }
+
+    #[test]
+    fn best_of_k_space_sums_copies() {
+        let p = planted(&PlantedConfig::exact(64, 256, 8), 2);
+        let inst = &p.workload.instance;
+        let out = run_streaming(
+            BestOfK::new(3, |i| KkSolver::new(inst.m(), inst.n(), i as u64)),
+            stream_of(inst, StreamOrder::Uniform(3)),
+        );
+        // 3 copies of m counters each.
+        assert!(out.space.peak_words >= 3 * inst.m());
+    }
+
+    #[test]
+    fn n_guessing_covers_the_range() {
+        let g = NGuessing::new(10_000, 100, RandomOrderConfig::practical(), 5);
+        let guesses = g.guesses();
+        assert_eq!(guesses[0], 1000); // m/√n
+        assert!(*guesses.last().unwrap() >= 10_000 * 100);
+        for w in guesses.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+        // O(log(n^1.5)) runs: log2(n^1.5) = 10 doublings here.
+        assert_eq!(g.num_runs(), 11);
+    }
+
+    #[test]
+    fn n_guessing_produces_valid_cover() {
+        let p = planted(&PlantedConfig::exact(100, 5000, 10), 3);
+        let inst = &p.workload.instance;
+        let out = run_streaming(
+            NGuessing::new(inst.m(), inst.n(), RandomOrderConfig::practical(), 7),
+            stream_of(inst, StreamOrder::Uniform(8)),
+        );
+        out.cover.verify(inst).unwrap();
+        // The per-run |Sol| <= n cap bounds every guess's cover by n.
+        assert!(out.cover.size() <= inst.n());
+    }
+}

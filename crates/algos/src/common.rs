@@ -1,0 +1,294 @@
+//! Shared building blocks for the streaming solvers.
+//!
+//! Every algorithm in the paper keeps (at least) three per-element
+//! structures the model grants within `Õ(n)` space:
+//!
+//! * the *marked-as-covered* element set (`O(n)` bits — Algorithm 1 line 3,
+//!   Algorithm 2's `U`);
+//! * the *first-set* map `R(u)` remembering, for each element, the first
+//!   set it was seen in, used for post-processing patching (Algorithm 1
+//!   line 4, Algorithm 2 lines 9–10);
+//! * the solution under construction with its certificate.
+//!
+//! These are factored here so each solver charges them to the
+//! [`SpaceMeter`] identically.
+
+use setcover_core::space::{bitset_words, SpaceComponent, SpaceMeter};
+use setcover_core::{Cover, ElemId, SetId};
+
+/// A dense marked-element bitset with a count, charged as `n/64` words.
+#[derive(Debug, Clone)]
+pub struct MarkSet {
+    bits: Vec<u64>,
+    marked: usize,
+    n: usize,
+}
+
+impl MarkSet {
+    /// An empty mark set over `n` elements; charges the meter once.
+    pub fn new(n: usize, meter: &mut SpaceMeter) -> Self {
+        meter.charge(SpaceComponent::Marks, bitset_words(n));
+        MarkSet { bits: vec![0; bitset_words(n)], marked: 0, n }
+    }
+
+    /// Mark element `u`; returns `true` if it was previously unmarked.
+    #[inline]
+    pub fn mark(&mut self, u: ElemId) -> bool {
+        let (w, b) = (u.index() / 64, u.index() % 64);
+        let mask = 1u64 << b;
+        if self.bits[w] & mask == 0 {
+            self.bits[w] |= mask;
+            self.marked += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `u` is marked.
+    #[inline]
+    pub fn is_marked(&self, u: ElemId) -> bool {
+        let (w, b) = (u.index() / 64, u.index() % 64);
+        self.bits[w] & (1u64 << b) != 0
+    }
+
+    /// Number of marked elements.
+    pub fn count(&self) -> usize {
+        self.marked
+    }
+
+    /// Universe size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether every element is marked.
+    pub fn all_marked(&self) -> bool {
+        self.marked == self.n
+    }
+}
+
+/// The first-set map `R : U → S ∪ {⊥}` (Algorithm 1 line 4 / Algorithm 2
+/// lines 9–10): remembers the first set each element was seen in, for the
+/// patching phase. Charged as `n` words.
+#[derive(Debug, Clone)]
+pub struct FirstSetMap {
+    first: Vec<Option<SetId>>,
+}
+
+impl FirstSetMap {
+    /// An empty map over `n` elements; charges the meter once.
+    pub fn new(n: usize, meter: &mut SpaceMeter) -> Self {
+        meter.charge(SpaceComponent::FirstSet, n);
+        FirstSetMap { first: vec![None; n] }
+    }
+
+    /// Record `R(u) ← s` if `R(u) = ⊥`.
+    #[inline]
+    pub fn observe(&mut self, u: ElemId, s: SetId) {
+        let slot = &mut self.first[u.index()];
+        if slot.is_none() {
+            *slot = Some(s);
+        }
+    }
+
+    /// `R(u)`, if any edge incident to `u` has arrived.
+    #[inline]
+    pub fn get(&self, u: ElemId) -> Option<SetId> {
+        self.first[u.index()]
+    }
+}
+
+/// The solution `Sol` under construction: a membership set over `S` with
+/// insertion order, plus the growing certificate. Each added set charges
+/// one word; each certified element charges one word.
+#[derive(Debug, Clone)]
+pub struct SolutionBuilder {
+    members: Vec<SetId>,
+    in_sol: Vec<bool>,
+    certificate: Vec<Option<SetId>>,
+    certified: usize,
+}
+
+impl SolutionBuilder {
+    /// An empty solution for an instance with `m` sets and `n` elements.
+    ///
+    /// The `m`-bit membership vector is an *implementation* convenience for
+    /// O(1) queries; it is charged as `m/64` words under
+    /// [`SpaceComponent::Solution`] only for solvers that ask for it via
+    /// this constructor — the paper's algorithms keep `|Sol| ≤ n`, and a
+    /// hash-set implementation would cost `O(|Sol|)` words instead. The
+    /// meter charge uses the hash-set accounting (`0` upfront, 1 word per
+    /// member) to reflect the algorithm, not the convenience.
+    pub fn new(m: usize, n: usize) -> Self {
+        SolutionBuilder {
+            members: Vec::new(),
+            in_sol: vec![false; m],
+            certificate: vec![None; n],
+            certified: 0,
+        }
+    }
+
+    /// Add set `s` to the solution. Returns `true` if newly added; charges
+    /// one word for the member.
+    pub fn add(&mut self, s: SetId, meter: &mut SpaceMeter) -> bool {
+        if self.in_sol[s.index()] {
+            false
+        } else {
+            self.in_sol[s.index()] = true;
+            self.members.push(s);
+            meter.charge(SpaceComponent::Solution, 1);
+            true
+        }
+    }
+
+    /// Whether `s ∈ Sol`.
+    #[inline]
+    pub fn contains(&self, s: SetId) -> bool {
+        self.in_sol[s.index()]
+    }
+
+    /// Number of sets in the solution so far.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the solution is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Certify that `s` covers `u` (first witness wins); charges one word
+    /// when a new certificate is recorded.
+    pub fn certify(&mut self, u: ElemId, s: SetId, meter: &mut SpaceMeter) -> bool {
+        let slot = &mut self.certificate[u.index()];
+        if slot.is_none() {
+            *slot = Some(s);
+            self.certified += 1;
+            meter.charge(SpaceComponent::Solution, 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `u` has a covering witness.
+    #[inline]
+    pub fn has_witness(&self, u: ElemId) -> bool {
+        self.certificate[u.index()].is_some()
+    }
+
+    /// The covering witness recorded for `u`, if any.
+    #[inline]
+    pub fn witness_of(&self, u: ElemId) -> Option<SetId> {
+        self.certificate[u.index()]
+    }
+
+    /// Number of certified elements.
+    pub fn certified(&self) -> usize {
+        self.certified
+    }
+
+    /// The members added so far (insertion order).
+    pub fn members(&self) -> &[SetId] {
+        &self.members
+    }
+
+    /// Finish: patch every element without a witness using `patch`
+    /// (typically [`FirstSetMap::get`]), adding the patch sets to the
+    /// cover. Panics if `patch` fails for an unpatched element — on a
+    /// feasible instance whose full stream was consumed, `R(u)` is total.
+    pub fn finish_with<F: FnMut(ElemId) -> Option<SetId>>(mut self, mut patch: F) -> Cover {
+        let n = self.certificate.len();
+        let mut cert = Vec::with_capacity(n);
+        for u in 0..n {
+            let uid = ElemId(u as u32);
+            let s = match self.certificate[u] {
+                Some(s) => s,
+                None => {
+                    let s = patch(uid).expect("patch must cover all uncertified elements");
+                    if !self.in_sol[s.index()] {
+                        self.in_sol[s.index()] = true;
+                        self.members.push(s);
+                    }
+                    s
+                }
+            };
+            cert.push(s);
+        }
+        Cover::new(self.members, cert)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcover_core::space::SpaceComponent;
+
+    #[test]
+    fn mark_set_counts_and_charges() {
+        let mut meter = SpaceMeter::new();
+        let mut ms = MarkSet::new(130, &mut meter);
+        assert_eq!(meter.current_of(SpaceComponent::Marks), 3); // ceil(130/64)
+        assert!(!ms.is_marked(ElemId(5)));
+        assert!(ms.mark(ElemId(5)));
+        assert!(!ms.mark(ElemId(5)));
+        assert!(ms.is_marked(ElemId(5)));
+        assert_eq!(ms.count(), 1);
+        assert!(ms.mark(ElemId(129)));
+        assert_eq!(ms.count(), 2);
+        assert!(!ms.all_marked());
+        assert_eq!(ms.len(), 130);
+    }
+
+    #[test]
+    fn first_set_map_keeps_first() {
+        let mut meter = SpaceMeter::new();
+        let mut r = FirstSetMap::new(4, &mut meter);
+        assert_eq!(meter.current_of(SpaceComponent::FirstSet), 4);
+        assert_eq!(r.get(ElemId(0)), None);
+        r.observe(ElemId(0), SetId(3));
+        r.observe(ElemId(0), SetId(9));
+        assert_eq!(r.get(ElemId(0)), Some(SetId(3)));
+    }
+
+    #[test]
+    fn solution_builder_dedups_and_certifies() {
+        let mut meter = SpaceMeter::new();
+        let mut sol = SolutionBuilder::new(5, 3);
+        assert!(sol.add(SetId(2), &mut meter));
+        assert!(!sol.add(SetId(2), &mut meter));
+        assert!(sol.contains(SetId(2)));
+        assert!(!sol.contains(SetId(1)));
+        assert_eq!(sol.len(), 1);
+        assert!(sol.certify(ElemId(0), SetId(2), &mut meter));
+        assert!(!sol.certify(ElemId(0), SetId(4), &mut meter));
+        assert!(sol.has_witness(ElemId(0)));
+        assert_eq!(sol.certified(), 1);
+        assert_eq!(meter.current_of(SpaceComponent::Solution), 2);
+    }
+
+    #[test]
+    fn finish_patches_missing_witnesses() {
+        let mut meter = SpaceMeter::new();
+        let mut sol = SolutionBuilder::new(5, 3);
+        sol.add(SetId(1), &mut meter);
+        sol.certify(ElemId(1), SetId(1), &mut meter);
+        let cover = sol.finish_with(|u| Some(SetId(u.0 + 2)));
+        // u0 -> S2 (patch), u1 -> S1 (witness), u2 -> S4 (patch)
+        assert_eq!(cover.certificate(), &[SetId(2), SetId(1), SetId(4)]);
+        assert_eq!(cover.sets(), &[SetId(1), SetId(2), SetId(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "patch must cover")]
+    fn finish_requires_total_patch() {
+        let sol = SolutionBuilder::new(1, 1);
+        let _ = sol.finish_with(|_| None);
+    }
+}

@@ -1,0 +1,313 @@
+//! Element-sampling solver — the Õ(mn/α) space regime (Table 1, row 1).
+//!
+//! For α = o(√n), Assadi, Khanna and Li showed Θ̃(mn/α) space is necessary
+//! and sufficient in the set-arrival model, and the paper notes their
+//! algorithm also runs under edge arrivals (appendix of [19]). This module
+//! implements a concrete one-pass edge-arrival representative of that
+//! regime built from the classic *element sampling* technique:
+//!
+//! 1. sample a sub-universe `U'`, each element independently with
+//!    probability `ρ` (config; `ρ ≈ c·log(m)/α` matches the Õ(mn/α) space
+//!    envelope since the expected number of stored edges is `ρ·N ≤ ρ·mn`);
+//! 2. store every arriving edge incident to `U'` — the *projections* of
+//!    all sets onto the sample;
+//! 3. in parallel, run a threshold rule: a set whose stored projection
+//!    gains `τ = ρ·n/α` yet-uncovered sampled elements is added to the
+//!    cover immediately (so its elements arriving later are certified
+//!    during the pass);
+//! 4. at the end, greedily cover the still-uncovered *sampled* elements
+//!    from the stored projections, then patch every element without a
+//!    witness via `R(u)`.
+//!
+//! **Guarantee honesty** (see DESIGN.md §3, substitutions): this hybrid
+//! achieves `O(α + n/α)`-approximation in expectation — it matches the
+//! AKL regime at the α = Θ(√n) boundary this paper lives at, but does not
+//! reproduce AKL's `O(α)` guarantee for α ≪ √n, which needs their full
+//! multi-layer construction. Space is measured, not assumed: the meter
+//! counts stored projection edges.
+
+use rand::rngs::SmallRng;
+
+use setcover_core::rng::{coin, seeded_rng};
+use setcover_core::space::{bitset_words, SpaceComponent, SpaceMeter};
+use setcover_core::{Cover, Edge, ElemId, SetId, SpaceReport, StreamingSetCover};
+
+use crate::common::{FirstSetMap, MarkSet, SolutionBuilder};
+
+/// Tuning for [`ElementSamplingSolver`].
+#[derive(Debug, Clone, Copy)]
+pub struct ElementSamplingConfig {
+    /// Element sampling probability `ρ`.
+    pub rho: f64,
+    /// Target approximation factor `α` (sets the pick threshold
+    /// `τ = max(1, ρ·n/α)`).
+    pub alpha: f64,
+}
+
+impl ElementSamplingConfig {
+    /// The canonical parameterization for factor `α`: `ρ = c·log₂(m)/α`
+    /// (clamped to 1), threshold `τ = ρ·n/α`.
+    pub fn for_alpha(alpha: f64, m: usize, c: f64) -> Self {
+        assert!(alpha >= 1.0);
+        let rho = (c * setcover_core::math::log2f(m).max(1.0) / alpha).min(1.0);
+        ElementSamplingConfig { rho, alpha }
+    }
+}
+
+/// The element-sampling solver. See the [module docs](self).
+#[derive(Debug)]
+pub struct ElementSamplingSolver {
+    m: usize,
+    n: usize,
+    threshold: u32,
+    /// `U'` membership.
+    sampled: Vec<bool>,
+    /// Stored projections: per set, its sampled elements seen so far.
+    /// Lazily allocated; the meter counts stored edges.
+    projections: Vec<Vec<ElemId>>,
+    /// Uncovered-sampled counter per set (only of *currently uncovered*
+    /// sampled elements observed; monotone approximation — elements
+    /// covered later are not decremented, which only makes picking more
+    /// eager and is absorbed in the α budget).
+    uncovered_gain: Vec<u32>,
+    marked: MarkSet,
+    first: FirstSetMap,
+    sol: SolutionBuilder,
+    meter: SpaceMeter,
+}
+
+impl ElementSamplingSolver {
+    /// Create a solver for an instance with `m` sets and `n` elements.
+    pub fn new(m: usize, n: usize, config: ElementSamplingConfig, seed: u64) -> Self {
+        let mut meter = SpaceMeter::new();
+        let marked = MarkSet::new(n, &mut meter);
+        let first = FirstSetMap::new(n, &mut meter);
+        let mut rng: SmallRng = seeded_rng(seed);
+
+        let mut sampled = vec![false; n];
+        let mut sample_count = 0usize;
+        for s in sampled.iter_mut() {
+            if coin(&mut rng, config.rho) {
+                *s = true;
+                sample_count += 1;
+            }
+        }
+        // The sample membership bitset is n bits of state.
+        meter.charge(SpaceComponent::Other, bitset_words(n));
+
+        let tau = (config.rho * n as f64 / config.alpha).ceil().max(1.0) as u32;
+        let _ = sample_count;
+
+        ElementSamplingSolver {
+            m,
+            n,
+            threshold: tau,
+            sampled,
+            projections: vec![Vec::new(); m],
+            uncovered_gain: vec![0; m],
+            marked,
+            first,
+            sol: SolutionBuilder::new(m, n),
+            meter,
+        }
+    }
+
+    /// The pick threshold `τ`.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Total stored projection edges (the measured Õ(mn·ρ) space).
+    pub fn stored_edges(&self) -> usize {
+        self.projections.iter().map(Vec::len).sum()
+    }
+}
+
+impl StreamingSetCover for ElementSamplingSolver {
+    fn name(&self) -> &'static str {
+        "element-sampling"
+    }
+
+    fn process_edge(&mut self, e: Edge) {
+        self.first.observe(e.elem, e.set);
+
+        if self.sol.contains(e.set) {
+            // Picked sets certify their elements as they arrive.
+            self.marked.mark(e.elem);
+            self.sol.certify(e.elem, e.set, &mut self.meter);
+            return;
+        }
+        if !self.sampled[e.elem.index()] {
+            return;
+        }
+        // Store the projection edge.
+        self.projections[e.set.index()].push(e.elem);
+        self.meter.charge(SpaceComponent::StoredEdges, 1);
+
+        if !self.marked.is_marked(e.elem) {
+            let g = &mut self.uncovered_gain[e.set.index()];
+            *g += 1;
+            if *g >= self.threshold {
+                self.sol.add(e.set, &mut self.meter);
+                self.marked.mark(e.elem);
+                self.sol.certify(e.elem, e.set, &mut self.meter);
+            }
+        }
+    }
+
+    fn finalize(&mut self) -> Cover {
+        // Greedy over stored projections for still-uncovered sampled
+        // elements: certificates are valid because each stored edge was
+        // observed in the stream.
+        let mut uncovered: Vec<bool> = (0..self.n)
+            .map(|u| self.sampled[u] && !self.sol.has_witness(ElemId(u as u32)))
+            .collect();
+        let mut remaining = uncovered.iter().filter(|&&b| b).count();
+        while remaining > 0 {
+            // Pick the set covering the most uncovered sampled elements.
+            let mut best: Option<(usize, u32)> = None;
+            for s in 0..self.m {
+                let gain = self.projections[s].iter().filter(|u| uncovered[u.index()]).count();
+                if gain > 0 && best.is_none_or(|(bg, _)| gain > bg) {
+                    best = Some((gain, s as u32));
+                }
+            }
+            let Some((_, s)) = best else { break };
+            let sid = SetId(s);
+            self.sol.add(sid, &mut self.meter);
+            // Certify and retire its uncovered sampled elements.
+            let proj = std::mem::take(&mut self.projections[s as usize]);
+            for &u in &proj {
+                if uncovered[u.index()] {
+                    uncovered[u.index()] = false;
+                    remaining -= 1;
+                    self.marked.mark(u);
+                    self.sol.certify(u, sid, &mut self.meter);
+                }
+            }
+            self.projections[s as usize] = proj;
+        }
+
+        let sol = std::mem::replace(&mut self.sol, SolutionBuilder::new(0, 0));
+        let first = &self.first;
+        sol.finish_with(|u| first.get(u))
+    }
+
+    fn space(&self) -> SpaceReport {
+        self.meter.report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcover_core::solver::run_streaming;
+    use setcover_core::stream::{stream_of, StreamOrder};
+    use setcover_gen::planted::{planted, PlantedConfig};
+
+    #[test]
+    fn produces_valid_cover() {
+        let p = planted(&PlantedConfig::exact(200, 800, 10), 1);
+        let inst = &p.workload.instance;
+        for order in [StreamOrder::Uniform(2), StreamOrder::Interleaved, StreamOrder::SetArrival]
+        {
+            let out = run_streaming(
+                ElementSamplingSolver::new(
+                    inst.m(),
+                    inst.n(),
+                    ElementSamplingConfig::for_alpha(14.0, inst.m(), 1.0),
+                    3,
+                ),
+                stream_of(inst, order),
+            );
+            out.cover.verify(inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn stored_edges_scale_with_rho() {
+        let p = planted(&PlantedConfig::exact(400, 2000, 20), 2);
+        let inst = &p.workload.instance;
+        let run = |rho: f64| {
+            let mut s = ElementSamplingSolver::new(
+                inst.m(),
+                inst.n(),
+                ElementSamplingConfig { rho, alpha: 20.0 },
+                7,
+            );
+            for e in setcover_core::stream::order_edges(inst, StreamOrder::Uniform(8)) {
+                s.process_edge(e);
+            }
+            s.stored_edges()
+        };
+        let lo = run(0.05);
+        let hi = run(0.5);
+        assert!(lo < hi, "stored edges must grow with rho: {lo} !< {hi}");
+        // Roughly proportional (generous envelope 3x-30x for 10x rho).
+        assert!(hi >= 3 * lo && hi <= 30 * lo.max(1), "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn rho_one_recovers_near_greedy_quality() {
+        let p = planted(&PlantedConfig::exact(150, 600, 10), 3);
+        let inst = &p.workload.instance;
+        let out = run_streaming(
+            ElementSamplingSolver::new(
+                inst.m(),
+                inst.n(),
+                // rho = 1 stores everything; alpha = sqrt(n) sets the pick
+                // threshold to n/alpha = sqrt(n).
+                ElementSamplingConfig { rho: 1.0, alpha: (inst.n() as f64).sqrt() },
+                4,
+            ),
+            stream_of(inst, StreamOrder::Uniform(5)),
+        );
+        out.cover.verify(inst).unwrap();
+        // Everything is stored; the streaming threshold rule pays its
+        // O(alpha) = O(sqrt(n)) factor for eager picks, and the
+        // finalize-greedy covers leftovers — the ratio stays within the
+        // sqrt(n) envelope and far below patch-everything (n/OPT = 15).
+        let ratio = out.cover.size() as f64 / 10.0;
+        let sqrt_n = (inst.n() as f64).sqrt();
+        assert!(ratio <= 1.5 * sqrt_n, "ratio {ratio} above 1.5*sqrt(n) = {}", 1.5 * sqrt_n);
+        assert!(out.cover.size() < inst.n() / 2, "cover {} not sublinear", out.cover.size());
+    }
+
+    #[test]
+    fn threshold_formula() {
+        let s = ElementSamplingSolver::new(
+            1000,
+            400,
+            ElementSamplingConfig { rho: 0.5, alpha: 20.0 },
+            0,
+        );
+        assert_eq!(s.threshold(), 10); // 0.5*400/20
+    }
+
+    #[test]
+    fn for_alpha_clamps_rho() {
+        let c = ElementSamplingConfig::for_alpha(1.0, 1024, 1.0);
+        assert_eq!(c.rho, 1.0);
+        let c2 = ElementSamplingConfig::for_alpha(100.0, 1024, 1.0);
+        assert!((c2.rho - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = planted(&PlantedConfig::exact(60, 240, 6), 4);
+        let inst = &p.workload.instance;
+        let run = |seed| {
+            run_streaming(
+                ElementSamplingSolver::new(
+                    inst.m(),
+                    inst.n(),
+                    ElementSamplingConfig::for_alpha(8.0, inst.m(), 1.0),
+                    seed,
+                ),
+                stream_of(inst, StreamOrder::Uniform(9)),
+            )
+            .cover
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

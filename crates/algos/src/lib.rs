@@ -1,0 +1,102 @@
+//! # setcover-algos
+//!
+//! Streaming and offline Set Cover algorithms reproducing
+//! *"Set Cover in the One-pass Edge-arrival Streaming Model"*
+//! (Khanna–Konrad–Alexandru, PODS 2023).
+//!
+//! ## The paper's algorithms
+//!
+//! * [`kk::KkSolver`] — the **KK-algorithm** (Theorem 1, from
+//!   [Khanna–Konrad, ITCS'22]): Õ(√n)-approximation with Õ(m) space in
+//!   adversarial order. Uncovered-degree counters with geometric inclusion
+//!   probabilities.
+//! * [`adversarial::AdversarialSolver`] — **Algorithm 2** (Theorem 4):
+//!   α-approximation with Õ(mn/α²) space for α = Ω̃(√n), adversarial
+//!   order. Replaces degree counters with probabilistic level promotion so
+//!   only promoted sets occupy memory.
+//! * [`random_order::RandomOrderSolver`] — **Algorithm 1** (Theorem 3, the
+//!   paper's main result): Õ(√n)-approximation with Õ(m/√n) space when the
+//!   stream is uniformly random. Batches, epochs, subepochs, special sets,
+//!   tracked subsamples and optimistic marking, faithfully following the
+//!   listing.
+//!
+//! ## Baselines and context algorithms
+//!
+//! * [`multipass::MultiPassSieve`] — the p-pass threshold sieve
+//!   representing the pass/approximation trade-off of the paper's related
+//!   work ([Bateni et al.]; `O(log n)`-quality at `Θ(log n)` passes).
+//! * [`greedy::GreedySolver`] — the offline greedy `(ln n + 1)`-approx,
+//!   the near-OPT reference for workloads without a planted optimum.
+//! * [`packing::greedy_packing`] — element packings: certified `OPT ≥ k`
+//!   lower bounds, the honest denominator for unknown-OPT workloads.
+//! * [`set_arrival::SetArrivalThresholdSolver`] — the classic one-pass
+//!   √n-approximation with Õ(n) space in the *set-arrival* model
+//!   (Emek–Rosén style), to exhibit the contrast the paper draws between
+//!   the two arrival models.
+//! * [`element_sampling::ElementSamplingSolver`] — a projection-based
+//!   hybrid representing the Õ(mn/α) space regime (Table 1 row 1,
+//!   [Assadi–Khanna–Li]); see the module docs for the exact guarantee.
+//! * [`trivial::FirstSetSolver`], [`trivial::StoreAllSolver`] — the
+//!   endpoints: patch-everything (n sets, O(n) space) and
+//!   store-everything (greedy-quality, O(N) space).
+//!
+//! ## Facades and wrappers
+//!
+//! * [`dominating::DominatingSetStream`] — the `m = n` Dominating Set
+//!   facade: feed graph edges, get a verified dominating set from any
+//!   backend solver.
+//!
+//! * [`amplify::BestOfK`] — run `k` independent copies on the same pass
+//!   and keep the smallest cover (the success-amplification in the remark
+//!   after Theorem 2).
+//! * [`amplify::NGuessing`] — Algorithm 1's "guess the stream length"
+//!   wrapper (§4.1): parallel runs with `N̂ = 2^i · m/√n`.
+//!
+//! ## Example
+//!
+//! ```
+//! use setcover_algos::KkSolver;
+//! use setcover_core::solver::run_streaming;
+//! use setcover_core::stream::{stream_of, StreamOrder};
+//! use setcover_core::InstanceBuilder;
+//!
+//! let mut b = InstanceBuilder::new(2, 4);
+//! b.add_set_elems(0, [0, 1]);
+//! b.add_set_elems(1, [2, 3]);
+//! let instance = b.build().unwrap();
+//!
+//! let outcome = run_streaming(
+//!     KkSolver::new(instance.m(), instance.n(), 7),
+//!     stream_of(&instance, StreamOrder::Uniform(42)),
+//! );
+//! outcome.cover.verify(&instance).unwrap();
+//! assert!(outcome.cover.size() <= instance.n());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod amplify;
+pub mod common;
+pub mod dominating;
+pub mod element_sampling;
+pub mod greedy;
+pub mod kk;
+pub mod multipass;
+pub mod packing;
+pub mod random_order;
+pub mod set_arrival;
+pub mod trivial;
+
+pub use adversarial::{AdversarialConfig, AdversarialSolver};
+pub use amplify::{BestOfK, NGuessing};
+pub use dominating::{DominatingSet, DominatingSetStream};
+pub use element_sampling::{ElementSamplingConfig, ElementSamplingSolver};
+pub use greedy::{greedy_cover, GreedySolver};
+pub use kk::{KkConfig, KkSolver};
+pub use multipass::MultiPassSieve;
+pub use packing::{greedy_packing, packing_lower_bound, Packing};
+pub use random_order::{ProbeLog, RandomOrderConfig, RandomOrderSolver, SpecialEvent};
+pub use set_arrival::{SetArrivalMultiPass, SetArrivalThresholdSolver};
+pub use trivial::{FirstSetSolver, StoreAllSolver};

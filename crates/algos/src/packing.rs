@@ -1,0 +1,150 @@
+//! Element packings: certified lower bounds on OPT.
+//!
+//! A *packing* is a set of elements no two of which share any set. Every
+//! cover must spend a distinct set on each packed element, so
+//! `OPT ≥ |packing|` — a **certified lower bound** that lets experiments
+//! report honest approximation-ratio *upper bounds* on workloads without
+//! a planted optimum (uniform, zipf, crawl, dominating-set instances).
+//! (On planted instances the exact OPT is preferred; the packing is the
+//! fallback the harness uses for `OptHint::Unknown`.)
+//!
+//! The greedy packing processes elements by ascending degree (low-degree
+//! elements exclude fewer others), which is the classic heuristic for
+//! large independent sets in the element-conflict graph.
+
+use setcover_core::{ElemId, SetCoverInstance};
+
+/// A packing with its members (pairwise set-disjoint elements).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packing {
+    members: Vec<ElemId>,
+}
+
+impl Packing {
+    /// The packed elements.
+    pub fn members(&self) -> &[ElemId] {
+        &self.members
+    }
+
+    /// The certified lower bound `OPT ≥ len()`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the packing is empty (never, for feasible instances).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Verify the defining property against the instance: no two members
+    /// share a set.
+    pub fn verify(&self, inst: &SetCoverInstance) -> Result<(), String> {
+        let mut used = vec![false; inst.m()];
+        for &u in &self.members {
+            for &s in inst.sets_containing(u) {
+                if used[s.index()] {
+                    return Err(format!("elements share set {s} — not a packing"));
+                }
+                used[s.index()] = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Greedily build a packing (ascending element degree, ties by id).
+pub fn greedy_packing(inst: &SetCoverInstance) -> Packing {
+    let mut order: Vec<u32> = (0..inst.n() as u32).collect();
+    order.sort_by_key(|&u| (inst.elem_degree(ElemId(u)), u));
+
+    let mut set_used = vec![false; inst.m()];
+    let mut members = Vec::new();
+    'outer: for u in order {
+        let uid = ElemId(u);
+        for &s in inst.sets_containing(uid) {
+            if set_used[s.index()] {
+                continue 'outer;
+            }
+        }
+        for &s in inst.sets_containing(uid) {
+            set_used[s.index()] = true;
+        }
+        members.push(uid);
+    }
+    Packing { members }
+}
+
+/// The packing lower bound `OPT ≥ greedy_packing(inst).len()`.
+pub fn packing_lower_bound(inst: &SetCoverInstance) -> usize {
+    greedy_packing(inst).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcover_core::InstanceBuilder;
+    use setcover_gen::planted::{planted, PlantedConfig};
+    use setcover_gen::uniform::{uniform, UniformConfig};
+
+    #[test]
+    fn packing_is_valid_and_positive() {
+        let w = uniform(&UniformConfig::ranged(200, 60, 2, 12), 1);
+        let p = greedy_packing(&w.instance);
+        p.verify(&w.instance).unwrap();
+        assert!(!p.is_empty());
+        assert!(p.len() <= w.instance.n());
+    }
+
+    #[test]
+    fn packing_lower_bounds_greedy_cover() {
+        // OPT >= packing, and greedy <= H(k)·OPT, so packing <= greedy.
+        for seed in 0..5u64 {
+            let w = uniform(&UniformConfig::ranged(150, 50, 2, 10), seed);
+            let lb = packing_lower_bound(&w.instance);
+            let greedy = crate::greedy_cover(&w.instance).size();
+            assert!(lb <= greedy, "packing {lb} exceeds greedy {greedy}");
+            assert!(lb >= 1);
+        }
+    }
+
+    #[test]
+    fn packing_is_tight_on_disjoint_partitions() {
+        // Pure partition: every element of a block conflicts only within
+        // its block, so the packing picks exactly one element per block
+        // and the bound is exactly OPT.
+        let p = planted(&PlantedConfig::exact(100, 10, 10), 2);
+        // m == opt: only the planted partition, no decoys.
+        let inst = &p.workload.instance;
+        let lb = packing_lower_bound(inst);
+        assert_eq!(lb, 10, "partition instances certify OPT exactly");
+    }
+
+    #[test]
+    fn packing_respects_hub_elements() {
+        // One element in every set forces |packing| == 1 once picked
+        // first... the degree ordering picks low-degree elements first,
+        // avoiding the hub and packing more.
+        let mut b = InstanceBuilder::new(4, 5);
+        b.add_set_elems(0, [0, 4]);
+        b.add_set_elems(1, [1, 4]);
+        b.add_set_elems(2, [2, 4]);
+        b.add_set_elems(3, [3, 4]);
+        let inst = b.build().unwrap();
+        let p = greedy_packing(&inst);
+        p.verify(&inst).unwrap();
+        // Elements 0..3 are pairwise disjoint; the hub 4 is excluded.
+        assert_eq!(p.len(), 4);
+        assert_eq!(packing_lower_bound(&inst), 4);
+        // And indeed OPT = 4 here.
+        assert_eq!(crate::greedy_cover(&inst).size(), 4);
+    }
+
+    #[test]
+    fn verify_rejects_fake_packings() {
+        let mut b = InstanceBuilder::new(1, 2);
+        b.add_set_elems(0, [0, 1]);
+        let inst = b.build().unwrap();
+        let fake = Packing { members: vec![ElemId(0), ElemId(1)] };
+        assert!(fake.verify(&inst).is_err());
+    }
+}

@@ -1,0 +1,960 @@
+//! Algorithm 1 (Theorem 3, the paper's main result): one-pass
+//! Õ(√n)-approximation with Õ(m/√n) space for **random order** streams.
+//!
+//! ## Structure (faithful to the paper's listing, §4.1)
+//!
+//! * The set family is partitioned into `√n` batches `S_1, ..., S_√n` of
+//!   `m/√n` sets each; per-set counters exist **only for the current
+//!   batch** — this is the Õ(m/√n) working set.
+//! * **Epoch 0** (lines 5–7): sample every set into `Sol` with probability
+//!   `p₀ = C·√n·log(m)/m`; then detect elements of degree `≥ 1.1·m/√n` by
+//!   counting occurrences over the first `Θ(√n·N·log(m)/m)` edges and mark
+//!   them as covered (their high degree means some sampled set w.h.p.
+//!   contains them, even if the covering edge has not arrived yet).
+//! * **Algorithms `A⁽¹⁾..A⁽ᴷ⁾`** (lines 8–32), `K = ½log n − 3 log log m
+//!   − 2`: algorithm `A⁽ⁱ⁾` targets sets that can still cover `≈ n/2ⁱ`
+//!   uncovered elements. It runs `log m − ½log n` epochs of `√n`
+//!   subepochs; subepoch `k` of epoch `j` processes `ℓᵢ = 2ⁱN/(n log m)`
+//!   edges and counts, for each set of batch `S_k`, its edges to unmarked
+//!   elements. A set reaching `j·log⁶m` is **special**: it enters `Sol`
+//!   with probability `p_j = C·2ʲ√n·log(m)/m` and the tracked sample `Q̃'`
+//!   with probability `q_j = 2ʲ/n`.
+//! * **Tracking** (lines 24–25, 31): edges from the previous epoch's
+//!   sampled specials `Q̃` are recorded in `T`; at the end of each epoch,
+//!   elements with `≥ 1.085·m·2^{i−1}/(n² log m)` tracked edges are
+//!   *optimistically marked* — they are incident to so many special sets
+//!   that one of them is in `Sol` w.h.p., even though the covering edge
+//!   may never arrive after the inclusion (a *missed edge*, handled by
+//!   patching).
+//! * **Tail** (lines 33–36): the rest of the stream only collects
+//!   covering witnesses for `Sol`.
+//! * **Patching** (line 38): elements without a witness fall back to the
+//!   first-set map `R(u)`.
+//!
+//! ## Paper-faithful vs practical thresholds
+//!
+//! The literal thresholds (`j·log⁶m`, constants `C`) are asymptotic: at
+//! laptop scale `log⁶m` exceeds any set size and no set would ever become
+//! special. [`RandomOrderConfig::paper_faithful`] keeps the literal
+//! constants (useful for structural tests); [`RandomOrderConfig::practical`]
+//! keeps every mechanism but sets the threshold exponent to 1 and modest
+//! constants, preserving the *shape* of the space/approximation trade-off
+//! (see DESIGN.md §3). Every deviation is a config field.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+
+use setcover_core::math::{isqrt, log2f};
+use setcover_core::rng::{coin, seeded_rng};
+use setcover_core::space::{map_entry_words, SpaceComponent, SpaceMeter};
+use setcover_core::{Cover, Edge, SetId, SpaceReport, StreamingSetCover};
+
+use crate::common::{FirstSetMap, MarkSet, SolutionBuilder};
+
+/// Tuning for [`RandomOrderSolver`]; see the module docs for the mapping
+/// to the paper's constants.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomOrderConfig {
+    /// The paper's "large constant" `C` in `p₀`, `p_j` and the epoch-0
+    /// prefix length.
+    pub c: f64,
+    /// Exponent `e` of the special threshold `j·b·(log m)^e`. Paper: 6.
+    pub special_exponent: u32,
+    /// Base multiplier `b` of the special threshold. Paper: 1.
+    pub special_base: f64,
+    /// Lower floor for the tracking-based marking threshold (the paper's
+    /// `1.085·m·2^{i−1}/(n² log m)` is below 1 at small scale; the floor
+    /// prevents every tracked edge from marking its element).
+    pub mark_floor: f64,
+    /// Multiplier on the epoch-0 detection prefix length.
+    pub epoch0_mult: f64,
+    /// Override the number of batches (default `√n`).
+    pub num_batches: Option<usize>,
+    /// Override `K` (number of algorithms `A⁽ⁱ⁾`).
+    pub k_override: Option<u32>,
+    /// Override the number of epochs per algorithm.
+    pub epochs_override: Option<u32>,
+    /// Multiplier on the subepoch length `ℓᵢ`.
+    pub subepoch_len_mult: f64,
+    /// Ignore the paper's `ℓᵢ = 2ⁱN/(n log m)` formula and instead size
+    /// the subepochs (keeping the geometric doubling across `i`) so the
+    /// whole main phase consumes ≈ N̂/2 — the edge budget the paper's
+    /// schedule only approaches asymptotically. Without this, at laptop
+    /// scale the main phase sees a vanishing fraction of the stream and
+    /// no set can register a signal.
+    pub fill_budget: bool,
+    /// Tracked-sample base probability `q₀` (paper: `1/n`).
+    pub q0: Option<f64>,
+    /// Record a [`ProbeLog`] of per-epoch diagnostics (invariant
+    /// experiments E-F5).
+    pub probe: bool,
+}
+
+impl RandomOrderConfig {
+    /// The literal paper constants. At small scale the `log⁶m` threshold
+    /// makes "special" unreachable, so this preset exercises structure
+    /// (epoch-0 sampling + high-degree marking + patching) rather than the
+    /// special-set machinery — as documented in DESIGN.md §3.
+    pub fn paper_faithful() -> Self {
+        RandomOrderConfig {
+            c: 1.0,
+            special_exponent: 6,
+            special_base: 1.0,
+            mark_floor: 1.0,
+            epoch0_mult: 1.0,
+            num_batches: None,
+            k_override: None,
+            epochs_override: None,
+            subepoch_len_mult: 1.0,
+            fill_budget: false,
+            q0: None,
+            probe: false,
+        }
+    }
+
+    /// Laptop-scale preset: identical structure, with the thresholds
+    /// rescaled so the special/tracking machinery actually fires at
+    /// `n ≤ 10⁴` (at the paper's literal constants, detection requires
+    /// sets of size ≥ √n·log⁶m > n, so nothing is ever special at this
+    /// scale — see DESIGN.md §3):
+    ///
+    /// * 3 epochs per algorithm and budget-filling subepochs (the main
+    ///   phase consumes ≈ N̂/2), so each batch subepoch sees enough of the
+    ///   stream for large sets to register a signal;
+    /// * special threshold `2j` (exponent 0, base 2): a set must
+    ///   contribute two-per-epoch edges to unmarked elements within its
+    ///   own subepoch, preserving the increasing-threshold monotonicity
+    ///   (Lemma 5) at laptop scale.
+    pub fn practical() -> Self {
+        RandomOrderConfig {
+            c: 1.0,
+            special_exponent: 0,
+            special_base: 2.0,
+            mark_floor: 2.0,
+            epoch0_mult: 1.0,
+            num_batches: None,
+            k_override: None,
+            epochs_override: Some(3),
+            subepoch_len_mult: 1.0,
+            fill_budget: true,
+            q0: None,
+            probe: false,
+        }
+    }
+
+    /// Enable probe recording.
+    pub fn with_probe(mut self) -> Self {
+        self.probe = true;
+        self
+    }
+}
+
+/// Per-epoch diagnostics recorded when probing is enabled.
+#[derive(Debug, Clone, Default)]
+pub struct EpochProbe {
+    /// Algorithm index `i` (1-based).
+    pub i: u32,
+    /// Epoch index `j` (1-based).
+    pub j: u32,
+    /// Number of sets that became special this epoch (Lemma 8 bounds this
+    /// by `≈ 1.1·m/2ʲ`).
+    pub specials: usize,
+    /// Number of sets added to `Sol` this epoch (Invariant I3 sums these
+    /// to Õ(√n) per algorithm).
+    pub sol_added: usize,
+    /// Size of the tracked sample `Q̃` during this epoch.
+    pub tracked_sets: usize,
+    /// Number of tracked-edge map entries at epoch end.
+    pub tracked_edges: usize,
+    /// Elements optimistically marked by the tracking rule at epoch end.
+    pub marked_by_tracking: usize,
+}
+
+/// A `Sol` insertion event (for missed-edge analysis, Invariant I2).
+#[derive(Debug, Clone, Copy)]
+pub struct SolEvent {
+    /// The included set.
+    pub set: SetId,
+    /// Stream position (0-based edge index) at inclusion time.
+    pub edge_index: usize,
+    /// Algorithm index at inclusion (0 = epoch 0 pre-sampling).
+    pub i: u32,
+    /// Epoch index at inclusion (0 = epoch 0).
+    pub j: u32,
+}
+
+/// A set becoming *special* (counter reached the epoch threshold).
+#[derive(Debug, Clone, Copy)]
+pub struct SpecialEvent {
+    /// The special set.
+    pub set: SetId,
+    /// Algorithm index (1-based).
+    pub i: u32,
+    /// Epoch index (1-based).
+    pub j: u32,
+}
+
+/// Diagnostics recorded by a probing run.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeLog {
+    /// Elements marked by epoch-0 high-degree detection.
+    pub epoch0_marked: usize,
+    /// Sets pre-sampled into `Sol` in epoch 0.
+    pub epoch0_sampled: usize,
+    /// Per-(i, j) epoch diagnostics.
+    pub epochs: Vec<EpochProbe>,
+    /// Every `Sol` insertion with its stream position.
+    pub sol_events: Vec<SolEvent>,
+    /// Every special-set event, for Lemma 5 monotonicity checks.
+    pub special_events: Vec<SpecialEvent>,
+    /// The derived schedule: `K`.
+    pub k: u32,
+    /// The derived schedule: epochs per algorithm.
+    pub epochs_per_algo: u32,
+    /// The derived schedule: subepoch lengths `ℓᵢ`.
+    pub subepoch_lens: Vec<usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Epoch-0 detection prefix.
+    Epoch0,
+    /// Inside algorithm `A⁽ⁱ⁾`, epoch `j`, subepoch `k` (all 1-based
+    /// except `k`, 0-based batch index).
+    Main { i: u32, j: u32, k: u32 },
+    /// Witness-collection tail.
+    Tail,
+}
+
+/// The Algorithm 1 solver. See the [module docs](self).
+#[derive(Debug)]
+pub struct RandomOrderSolver {
+    m: usize,
+    n: usize,
+    /// Stream length estimate `N̂` (see [`crate::amplify::NGuessing`]).
+    n_est: usize,
+    config: RandomOrderConfig,
+    rng: SmallRng,
+
+    // Schedule (derived once).
+    num_batches: usize,
+    batch_size: usize,
+    k_max: u32,
+    epochs: u32,
+    subepoch_lens: Vec<usize>, // ℓ_i, index i-1
+    epoch0_len: usize,
+    mark0_threshold: f64,
+
+    // Dynamic state.
+    phase: Phase,
+    remaining: usize, // edges left in the current phase/subepoch
+    edge_index: usize,
+
+    marked: MarkSet,
+    first: FirstSetMap,
+    sol: SolutionBuilder,
+
+    /// Epoch-0 per-element occurrence counters (`O(n)` words, released
+    /// after the detection prefix).
+    elem_counts: Vec<u32>,
+
+    /// Per-batch counters `C[S]`, reused across subepochs via generation
+    /// stamps — the Õ(m/√n) working set.
+    counters: Vec<u32>,
+    counter_gen: Vec<u32>,
+    generation: u32,
+
+    /// Tracked specials of the previous epoch (`Q̃`) and the sample being
+    /// built this epoch (`Q̃'`).
+    tracked: HashSet<u32>,
+    tracked_next: HashSet<u32>,
+    /// Tracked-edge counts per element (`T`).
+    t_counts: HashMap<u32, u32>,
+
+    meter: SpaceMeter,
+    probe: Option<ProbeLog>,
+    cur_epoch_probe: EpochProbe,
+    /// Set when `|Sol|` reaches `n`: the paper's space-cap rule (§4.2)
+    /// then reports the trivial first-set cover instead.
+    degenerate: bool,
+}
+
+impl RandomOrderSolver {
+    /// Create a solver for an instance with `m` sets, `n` elements, and a
+    /// stream length estimate `n_est` (§4.1: `N` known is w.l.o.g.;
+    /// [`crate::amplify::NGuessing`] supplies the parallel guesses).
+    pub fn new(
+        m: usize,
+        n: usize,
+        n_est: usize,
+        config: RandomOrderConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(m >= 1 && n >= 1 && n_est >= 1);
+        let mut meter = SpaceMeter::new();
+        let marked = MarkSet::new(n, &mut meter);
+        let first = FirstSetMap::new(n, &mut meter);
+        let mut rng = seeded_rng(seed);
+
+        let log_m = log2f(m).max(1.0);
+        let log_n = log2f(n).max(1.0);
+        let sqrt_n = isqrt(n).max(1) as f64;
+
+        let num_batches = config.num_batches.unwrap_or_else(|| isqrt(n).max(1)).min(m).max(1);
+        let batch_size = m.div_ceil(num_batches);
+
+        // K = ½log n − 3 log log m − 2, clamped to [1, ·] and to the edge
+        // budget (the planned main-phase edges must fit in ≤ N̂/2 so the
+        // tail can collect witnesses).
+        let k_formula = 0.5 * log_n - 3.0 * log2f(log_m.ceil() as usize).max(1.0) - 2.0;
+        let epochs = config
+            .epochs_override
+            .unwrap_or_else(|| ((log_m - 0.5 * log_n).floor() as i64).max(1) as u32);
+        let mut k_max = config.k_override.unwrap_or_else(|| (k_formula.floor() as i64).max(1) as u32);
+        // ℓ_i = mult · 2^i · N̂ / (n · log m), at least 1.
+        let len_for = |i: u32| -> usize {
+            let l = config.subepoch_len_mult * 2f64.powi(i as i32) * n_est as f64
+                / (n as f64 * log_m);
+            (l.floor() as usize).max(1)
+        };
+        let budget = n_est / 2;
+        // Edge-budget clamp on K (paper formula mode).
+        if config.k_override.is_none() && !config.fill_budget {
+            while k_max > 1 {
+                let planned: usize = (1..=k_max)
+                    .map(|i| len_for(i) * num_batches * epochs as usize)
+                    .sum();
+                if planned <= budget {
+                    break;
+                }
+                k_max -= 1;
+            }
+        }
+        let subepoch_lens: Vec<usize> = if config.fill_budget {
+            // Geometric doubling ℓ_i = 2^i·x with the whole schedule
+            // (epochs · batches · Σ 2^i · x) summing to the budget.
+            let weight: f64 = (1..=k_max).map(|i| 2f64.powi(i as i32)).sum();
+            let x = budget as f64 / (epochs as f64 * num_batches as f64 * weight);
+            (1..=k_max)
+                .map(|i| ((2f64.powi(i as i32) * x).floor() as usize).max(1))
+                .collect()
+        } else {
+            (1..=k_max).map(len_for).collect()
+        };
+
+        // Epoch 0: prefix length Θ(√n·N·log m / m), element-count
+        // detection threshold 1.085·C·log m (degree ≥ 1.1·m/√n appears
+        // ≈ 1.1·C·log m times in the prefix; Lemma 6's epoch-0 case).
+        let epoch0_len = ((config.epoch0_mult * config.c * sqrt_n * n_est as f64 * log_m
+            / m as f64)
+            .floor() as usize)
+            .min(n_est / 4)
+            .max(1);
+        let mark0_threshold = 1.085 * config.c * log_m * config.epoch0_mult;
+
+        // Epoch-0 pre-sampling: each set w.p. p0 = C·√n·log m / m.
+        let p0 = (config.c * sqrt_n * log_m / m as f64).min(1.0);
+        let mut sol = SolutionBuilder::new(m, n);
+        let mut epoch0_sampled = 0usize;
+        let mut degenerate = false;
+        for s in 0..m as u32 {
+            if coin(&mut rng, p0) {
+                if sol.len() >= n {
+                    degenerate = true;
+                    break;
+                }
+                sol.add(SetId(s), &mut meter);
+                epoch0_sampled += 1;
+            }
+        }
+
+        // Per-element epoch-0 counters (released after detection).
+        meter.charge(SpaceComponent::Counters, n);
+        // Per-batch counters, alive for the whole run.
+        meter.charge(SpaceComponent::Counters, batch_size);
+
+        let probe = if config.probe {
+            Some(ProbeLog {
+                epoch0_sampled,
+                k: k_max,
+                epochs_per_algo: epochs,
+                subepoch_lens: subepoch_lens.clone(),
+                ..ProbeLog::default()
+            })
+        } else {
+            None
+        };
+
+        let mut solver = RandomOrderSolver {
+            m,
+            n,
+            n_est,
+            config,
+            rng,
+            num_batches,
+            batch_size,
+            k_max,
+            epochs,
+            subepoch_lens,
+            epoch0_len,
+            mark0_threshold,
+            phase: Phase::Epoch0,
+            remaining: 0,
+            edge_index: 0,
+            marked,
+            first,
+            sol,
+            elem_counts: vec![0; n],
+            counters: vec![0; batch_size],
+            counter_gen: vec![0; batch_size],
+            generation: 0,
+            tracked: HashSet::new(),
+            tracked_next: HashSet::new(),
+            t_counts: HashMap::new(),
+            meter,
+            probe: None,
+            cur_epoch_probe: EpochProbe::default(),
+            degenerate,
+        };
+        solver.remaining = solver.epoch0_len;
+        solver.probe = probe;
+        if let Some(p) = &mut solver.probe {
+            for s in solver.sol.members() {
+                p.sol_events.push(SolEvent { set: *s, edge_index: 0, i: 0, j: 0 });
+            }
+        }
+        solver
+    }
+
+    /// The stream-length estimate this run was configured with.
+    pub fn n_estimate(&self) -> usize {
+        self.n_est
+    }
+
+    /// The derived schedule `(K, epochs per algorithm, batches)`.
+    pub fn schedule(&self) -> (u32, u32, usize) {
+        (self.k_max, self.epochs, self.num_batches)
+    }
+
+    /// Subepoch length `ℓᵢ` for algorithm `i` (1-based).
+    pub fn subepoch_len(&self, i: u32) -> usize {
+        self.subepoch_lens[(i - 1) as usize]
+    }
+
+    /// Take the probe log (if probing was enabled). Call after the run.
+    pub fn take_probe(&mut self) -> Option<ProbeLog> {
+        self.probe.take()
+    }
+
+    /// Current solution size (before patching).
+    pub fn solution_len(&self) -> usize {
+        self.sol.len()
+    }
+
+    fn log_m(&self) -> f64 {
+        log2f(self.m).max(1.0)
+    }
+
+    /// Special threshold `j·b·(log m)^e` (line 28; paper `b = 1, e = 6`).
+    fn special_threshold(&self, j: u32) -> u32 {
+        let t = j as f64
+            * self.config.special_base
+            * self.log_m().powi(self.config.special_exponent as i32);
+        (t.ceil() as u32).max(1)
+    }
+
+    /// `p_j = C·2ʲ·√n·log m / m` (line 29).
+    fn p_j(&self, j: u32) -> f64 {
+        self.config.c * 2f64.powi(j as i32) * (isqrt(self.n).max(1) as f64) * self.log_m()
+            / self.m as f64
+    }
+
+    /// `q_j = min(2ʲ·q₀, 1)` with `q₀ = 1/n` (line 30).
+    fn q_j(&self, j: u32) -> f64 {
+        let q0 = self.config.q0.unwrap_or(1.0 / self.n as f64);
+        (2f64.powi(j as i32) * q0).min(1.0)
+    }
+
+    /// Tracking-based marking threshold at the end of epoch `j` of `A⁽ⁱ⁾`
+    /// (line 31): `max(mark_floor, 1.085·m·2^{i−1}/(n²·log m))`.
+    fn mark_threshold(&self, i: u32) -> f64 {
+        let formula = 1.085 * self.m as f64 * 2f64.powi(i as i32 - 1)
+            / (self.n as f64 * self.n as f64 * self.log_m());
+        formula.max(self.config.mark_floor)
+    }
+
+    fn batch_of(&self, s: SetId) -> u32 {
+        (s.index() / self.batch_size) as u32
+    }
+
+    /// Mark `u` as covered by `s` and record the witness.
+    fn cover(&mut self, u: setcover_core::ElemId, s: SetId) {
+        self.marked.mark(u);
+        self.sol.certify(u, s, &mut self.meter);
+    }
+
+    /// End-of-epoch-0: high-degree detection marking, counter release.
+    fn finish_epoch0(&mut self) {
+        let mut marked0 = 0usize;
+        for u in 0..self.n {
+            if self.elem_counts[u] as f64 >= self.mark0_threshold
+                && self.marked.mark(setcover_core::ElemId(u as u32)) {
+                    marked0 += 1;
+                }
+        }
+        self.elem_counts = Vec::new();
+        self.meter.release(SpaceComponent::Counters, self.n);
+        if let Some(p) = &mut self.probe {
+            p.epoch0_marked = marked0;
+        }
+    }
+
+    /// Start the subepoch `(i, j, k)`: reset batch counters (generation
+    /// bump) and the remaining-edge budget.
+    fn start_subepoch(&mut self, i: u32) {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Extremely rare wrap: hard reset.
+            self.counter_gen.iter_mut().for_each(|g| *g = 0);
+            self.generation = 1;
+        }
+        self.remaining = self.subepoch_lens[(i - 1) as usize];
+    }
+
+    /// End of epoch `j` of `A⁽ⁱ⁾`: tracking-based optimistic marking
+    /// (line 31) and tracked-sample swap (line 32).
+    fn finish_epoch(&mut self, i: u32) {
+        let threshold = self.mark_threshold(i);
+        let mut marked_by_tracking = 0usize;
+        for (&u, &cnt) in &self.t_counts {
+            if cnt as f64 >= threshold
+                && self.marked.mark(setcover_core::ElemId(u)) {
+                    marked_by_tracking += 1;
+                }
+        }
+        // Release T and swap Q̃ ← Q̃'.
+        self.meter
+            .release(SpaceComponent::TrackedEdges, self.t_counts.len() * map_entry_words(2));
+        self.t_counts.clear();
+        self.meter.release(SpaceComponent::TrackedSets, self.tracked.len());
+        self.tracked = std::mem::take(&mut self.tracked_next);
+
+        if let Some(p) = &mut self.probe {
+            let mut ep = std::mem::take(&mut self.cur_epoch_probe);
+            ep.marked_by_tracking = marked_by_tracking;
+            p.epochs.push(ep);
+        }
+    }
+
+    /// Start algorithm `A⁽ⁱ⁾`: draw the initial tracked sample `Q̃` with
+    /// probability `q₀` per set (line 10).
+    fn start_algorithm(&mut self, _i: u32) {
+        self.meter.release(SpaceComponent::TrackedSets, self.tracked.len());
+        self.tracked.clear();
+        let q0 = self.config.q0.unwrap_or(1.0 / self.n as f64);
+        for s in 0..self.m as u32 {
+            if coin(&mut self.rng, q0) {
+                self.tracked.insert(s);
+            }
+        }
+        self.meter.charge(SpaceComponent::TrackedSets, self.tracked.len());
+    }
+
+    fn begin_epoch_probe(&mut self, i: u32, j: u32) {
+        if self.probe.is_some() {
+            self.cur_epoch_probe = EpochProbe {
+                i,
+                j,
+                tracked_sets: self.tracked.len(),
+                ..EpochProbe::default()
+            };
+        }
+    }
+
+    /// Advance the phase machine after a phase's edge budget is exhausted.
+    fn advance(&mut self) {
+        match self.phase {
+            Phase::Epoch0 => {
+                self.finish_epoch0();
+                if self.k_max >= 1 {
+                    self.start_algorithm(1);
+                    self.begin_epoch_probe(1, 1);
+                    self.phase = Phase::Main { i: 1, j: 1, k: 0 };
+                    self.start_subepoch(1);
+                } else {
+                    self.phase = Phase::Tail;
+                }
+            }
+            Phase::Main { i, j, k } => {
+                if (k as usize) + 1 < self.num_batches {
+                    self.phase = Phase::Main { i, j, k: k + 1 };
+                    self.start_subepoch(i);
+                } else {
+                    // Epoch j of A^(i) finished.
+                    self.finish_epoch(i);
+                    if j < self.epochs {
+                        self.begin_epoch_probe(i, j + 1);
+                        self.phase = Phase::Main { i, j: j + 1, k: 0 };
+                        self.start_subepoch(i);
+                    } else if i < self.k_max {
+                        self.start_algorithm(i + 1);
+                        self.begin_epoch_probe(i + 1, 1);
+                        self.phase = Phase::Main { i: i + 1, j: 1, k: 0 };
+                        self.start_subepoch(i + 1);
+                    } else {
+                        self.phase = Phase::Tail;
+                    }
+                }
+            }
+            Phase::Tail => {}
+        }
+    }
+
+    fn process_main(&mut self, e: Edge, i: u32, j: u32, k: u32) {
+        // Lines 20–21: solution sets cover their arriving elements.
+        if self.sol.contains(e.set) {
+            self.cover(e.elem, e.set);
+            return;
+        }
+        // Line 22: ignore edges of marked elements.
+        if self.marked.is_marked(e.elem) {
+            return;
+        }
+        // Lines 24–25: track edges from Q̃.
+        if self.tracked.contains(&e.set.0) {
+            let entry = self.t_counts.entry(e.elem.0).or_insert(0);
+            if *entry == 0 {
+                self.meter.charge(SpaceComponent::TrackedEdges, map_entry_words(2));
+            }
+            *entry += 1;
+        }
+        // Lines 26–30: batch counter and special-set sampling.
+        if self.batch_of(e.set) == k {
+            let off = e.set.index() - k as usize * self.batch_size;
+            if self.counter_gen[off] != self.generation {
+                self.counter_gen[off] = self.generation;
+                self.counters[off] = 0;
+            }
+            self.counters[off] += 1;
+            if self.counters[off] == self.special_threshold(j) {
+                if self.probe.is_some() {
+                    self.cur_epoch_probe.specials += 1;
+                    if let Some(pr) = &mut self.probe {
+                        pr.special_events.push(SpecialEvent { set: e.set, i, j });
+                    }
+                }
+                let p_j = self.p_j(j);
+                if self.sol.len() >= self.n {
+                    // §4.2 cap: |Sol| may never exceed n.
+                    self.degenerate = true;
+                }
+                if !self.degenerate
+                    && coin(&mut self.rng, p_j)
+                    && self.sol.add(e.set, &mut self.meter)
+                {
+                    if self.probe.is_some() {
+                        self.cur_epoch_probe.sol_added += 1;
+                    }
+                    if let Some(p) = &mut self.probe {
+                        p.sol_events.push(SolEvent {
+                            set: e.set,
+                            edge_index: self.edge_index,
+                            i,
+                            j,
+                        });
+                    }
+                }
+                let q_j = self.q_j(j);
+                if coin(&mut self.rng, q_j) && self.tracked_next.insert(e.set.0) {
+                    self.meter.charge(SpaceComponent::TrackedSets, 1);
+                }
+            }
+        }
+        if self.probe.is_some() {
+            self.cur_epoch_probe.tracked_edges = self.t_counts.len();
+        }
+    }
+}
+
+impl StreamingSetCover for RandomOrderSolver {
+    fn name(&self) -> &'static str {
+        "random-order"
+    }
+
+    fn process_edge(&mut self, e: Edge) {
+        // Line 4 (throughout): first-set map.
+        self.first.observe(e.elem, e.set);
+
+        match self.phase {
+            Phase::Epoch0 => {
+                if self.sol.contains(e.set) {
+                    self.cover(e.elem, e.set);
+                } else if !self.marked.is_marked(e.elem) {
+                    self.elem_counts[e.elem.index()] += 1;
+                }
+            }
+            Phase::Main { i, j, k } => self.process_main(e, i, j, k),
+            Phase::Tail => {
+                // Lines 34–36.
+                if self.sol.contains(e.set) && !self.sol.has_witness(e.elem) {
+                    self.cover(e.elem, e.set);
+                }
+            }
+        }
+
+        self.edge_index += 1;
+        if !matches!(self.phase, Phase::Tail) {
+            self.remaining = self.remaining.saturating_sub(1);
+            if self.remaining == 0 {
+                self.advance();
+            }
+        }
+    }
+
+    fn finalize(&mut self) -> Cover {
+        // If the stream ended mid-schedule, close the open epoch so probes
+        // and space accounting are consistent.
+        if let Phase::Main { i, .. } = self.phase {
+            self.finish_epoch(i);
+            self.phase = Phase::Tail;
+        } else if matches!(self.phase, Phase::Epoch0) && !self.elem_counts.is_empty() {
+            self.finish_epoch0();
+            self.phase = Phase::Tail;
+        }
+        let first = &self.first;
+        let trivial = || {
+            let fresh = SolutionBuilder::new(self.m, self.n);
+            fresh.finish_with(|u| first.get(u))
+        };
+        if self.degenerate {
+            // §4.2 space cap tripped: report the trivial first-set cover.
+            return trivial();
+        }
+        // Line 38: patch everything without a witness via R(u).
+        let sol = std::mem::replace(&mut self.sol, SolutionBuilder::new(0, 0));
+        let cover = sol.finish_with(|u| first.get(u));
+        // §4.2 fallback, second face: epoch-0 pre-samples are not tied to
+        // certified elements, so on tiny instances Sol + patches can
+        // exceed the trivial cover — report whichever is smaller (both
+        // are available within the space budget).
+        if cover.size() > self.n {
+            let t = trivial();
+            if t.size() < cover.size() {
+                return t;
+            }
+        }
+        cover
+    }
+
+    fn space(&self) -> SpaceReport {
+        self.meter.report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcover_core::math::approx_ratio;
+    use setcover_core::solver::run_streaming;
+    use setcover_core::stream::{stream_of, StreamOrder};
+    use setcover_gen::planted::{planted, PlantedConfig};
+
+    fn run_practical(
+        inst: &setcover_core::SetCoverInstance,
+        order: StreamOrder,
+        seed: u64,
+    ) -> setcover_core::solver::RunOutcome {
+        let solver = RandomOrderSolver::new(
+            inst.m(),
+            inst.n(),
+            inst.num_edges(),
+            RandomOrderConfig::practical(),
+            seed,
+        );
+        run_streaming(solver, stream_of(inst, order))
+    }
+
+    #[test]
+    fn produces_valid_cover_random_order() {
+        let p = planted(&PlantedConfig::exact(100, 10_000, 10), 1);
+        let inst = &p.workload.instance;
+        let out = run_practical(inst, StreamOrder::Uniform(2), 3);
+        out.cover.verify(inst).unwrap();
+    }
+
+    #[test]
+    fn valid_even_on_adversarial_orders() {
+        // Correctness (not quality) must hold on any order: patching
+        // guarantees a legal cover.
+        let p = planted(&PlantedConfig::exact(64, 1024, 8), 2);
+        let inst = &p.workload.instance;
+        for order in [StreamOrder::SetArrival, StreamOrder::Interleaved, StreamOrder::GreedyTrap]
+        {
+            let out = run_practical(inst, order, 5);
+            out.cover.verify(inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn schedule_respects_edge_budget() {
+        let p = planted(&PlantedConfig::exact(256, 16_384, 16), 3);
+        let inst = &p.workload.instance;
+        let s = RandomOrderSolver::new(
+            inst.m(),
+            inst.n(),
+            inst.num_edges(),
+            RandomOrderConfig::practical(),
+            1,
+        );
+        let (k, epochs, batches) = s.schedule();
+        let planned: usize =
+            (1..=k).map(|i| s.subepoch_len(i) * batches * epochs as usize).sum();
+        assert!(
+            planned <= inst.num_edges() / 2 || k == 1,
+            "planned {planned} exceeds half of N = {}",
+            inst.num_edges()
+        );
+    }
+
+    #[test]
+    fn batch_counters_are_the_headline_space() {
+        let p = planted(&PlantedConfig::exact(256, 16_384, 16), 4);
+        let inst = &p.workload.instance;
+        let out = run_practical(inst, StreamOrder::Uniform(7), 8);
+        // Counters peak = n (epoch 0) + m/√n (batch) — far below m.
+        let counters = out
+            .space
+            .peak_by_component
+            .iter()
+            .find(|(c, _)| *c == SpaceComponent::Counters)
+            .map(|(_, w)| *w)
+            .unwrap();
+        let batch = inst.m().div_ceil(setcover_core::math::isqrt(inst.n()));
+        assert_eq!(counters, inst.n() + batch);
+        assert!(counters < inst.m() / 2, "working set not sublinear in m");
+    }
+
+    #[test]
+    fn paper_faithful_preset_still_covers() {
+        // With log^6 m thresholds nothing becomes special; epoch-0
+        // sampling + patching must still produce a valid cover.
+        let p = planted(&PlantedConfig::exact(49, 2401, 7), 5);
+        let inst = &p.workload.instance;
+        let solver = RandomOrderSolver::new(
+            inst.m(),
+            inst.n(),
+            inst.num_edges(),
+            RandomOrderConfig::paper_faithful(),
+            6,
+        );
+        let out = run_streaming(solver, stream_of(inst, StreamOrder::Uniform(9)));
+        out.cover.verify(inst).unwrap();
+    }
+
+    #[test]
+    fn ratio_beats_trivial_on_planted_random_order() {
+        // n = 400, OPT = 20, m = n^2/?: ratio should be well under the
+        // trivial n/OPT = 20... compare against first-set baseline.
+        let p = planted(&PlantedConfig::exact(400, 40_000, 20), 6);
+        let inst = &p.workload.instance;
+        let out = run_practical(inst, StreamOrder::Uniform(11), 12);
+        out.cover.verify(inst).unwrap();
+        let ratio = approx_ratio(out.cover.size(), 20);
+        // The solution is capped at n sets, and the ratio stays in the
+        // Õ(√n) envelope (√n = 20; the Õ hides the C·log m sampling cost).
+        assert!(out.cover.size() <= inst.n());
+        assert!(ratio <= 3.0 * 20.0, "ratio {ratio} above 3·√n");
+    }
+
+    #[test]
+    fn probe_records_schedule_and_epochs() {
+        let p = planted(&PlantedConfig::exact(100, 10_000, 10), 7);
+        let inst = &p.workload.instance;
+        let mut solver = RandomOrderSolver::new(
+            inst.m(),
+            inst.n(),
+            inst.num_edges(),
+            RandomOrderConfig::practical().with_probe(),
+            13,
+        );
+        for e in setcover_core::stream::order_edges(inst, StreamOrder::Uniform(14)) {
+            solver.process_edge(e);
+        }
+        let _ = solver.finalize();
+        let probe = solver.take_probe().expect("probe enabled");
+        assert!(probe.k >= 1);
+        assert_eq!(probe.subepoch_lens.len(), probe.k as usize);
+        assert!(!probe.sol_events.is_empty(), "epoch-0 sampling records events");
+        // Epoch probes: at most K * epochs entries (stream may end early).
+        assert!(probe.epochs.len() <= (probe.k * probe.epochs_per_algo) as usize + 1);
+    }
+
+    #[test]
+    fn special_threshold_grows_linearly_in_j() {
+        // practical: threshold = 2j (exponent 0, base 2).
+        let s = RandomOrderSolver::new(
+            1 << 16,
+            256,
+            1 << 20,
+            RandomOrderConfig::practical(),
+            0,
+        );
+        assert_eq!(s.special_threshold(1), 2);
+        assert_eq!(s.special_threshold(2), 4);
+        assert_eq!(s.special_threshold(3), 6);
+        // paper-faithful: threshold = j·log^6 m.
+        let pf = RandomOrderSolver::new(
+            1 << 16,
+            256,
+            1 << 20,
+            RandomOrderConfig::paper_faithful(),
+            0,
+        );
+        assert_eq!(pf.special_threshold(1), 16u32.pow(6));
+        assert_eq!(pf.special_threshold(2), 2 * 16u32.pow(6));
+    }
+
+    #[test]
+    fn p_and_q_double_per_epoch() {
+        let s = RandomOrderSolver::new(
+            1 << 16,
+            256,
+            1 << 20,
+            RandomOrderConfig::practical(),
+            0,
+        );
+        assert!((s.p_j(2) / s.p_j(1) - 2.0).abs() < 1e-12);
+        assert!((s.q_j(2) / s.q_j(1) - 2.0).abs() < 1e-12);
+        assert_eq!(s.q_j(30), 1.0); // capped
+    }
+
+    #[test]
+    fn short_stream_is_handled() {
+        // Stream much shorter than the schedule: finalize must close the
+        // machine and still produce a valid cover.
+        let p = planted(&PlantedConfig::exact(50, 500, 5), 8);
+        let inst = &p.workload.instance;
+        let mut solver = RandomOrderSolver::new(
+            inst.m(),
+            inst.n(),
+            inst.num_edges() * 100, // wild overestimate of N
+            RandomOrderConfig::practical(),
+            1,
+        );
+        for e in setcover_core::stream::order_edges(inst, StreamOrder::Uniform(3)) {
+            solver.process_edge(e);
+        }
+        let cover = solver.finalize();
+        cover.verify(inst).unwrap();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = planted(&PlantedConfig::exact(81, 2000, 9), 9);
+        let inst = &p.workload.instance;
+        let a = run_practical(inst, StreamOrder::Uniform(4), 42).cover;
+        let b = run_practical(inst, StreamOrder::Uniform(4), 42).cover;
+        assert_eq!(a, b);
+    }
+}

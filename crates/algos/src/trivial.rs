@@ -1,0 +1,165 @@
+//! Trivial baseline solvers: the two endpoints of the space/quality
+//! trade-off.
+//!
+//! * [`FirstSetSolver`] — keep only `R(u)` (the first set seen per
+//!   element) and output `{R(u) : u ∈ U}`. `Õ(n)` space, cover size up to
+//!   `n`: the "patch everything" strategy every paper algorithm falls back
+//!   on for leftovers (Algorithm 1 line 38, Algorithm 2 line 25). Its
+//!   cover size on a workload measures how much the clever machinery
+//!   actually saves.
+//! * [`StoreAllSolver`] — buffer the entire stream and run offline greedy
+//!   at the end. `O(N)` space, near-OPT quality: the quality ceiling for
+//!   one-pass algorithms.
+
+use setcover_core::space::{SpaceComponent, SpaceMeter};
+use setcover_core::{Cover, Edge, InstanceBuilder, SpaceReport, StreamingSetCover};
+
+use crate::common::{FirstSetMap, SolutionBuilder};
+use crate::greedy::greedy_cover;
+
+/// The `Õ(n)`-space patch-everything baseline.
+#[derive(Debug)]
+pub struct FirstSetSolver {
+    first: FirstSetMap,
+    m: usize,
+    n: usize,
+    meter: SpaceMeter,
+}
+
+impl FirstSetSolver {
+    /// Create a solver for an instance with `m` sets and `n` elements.
+    pub fn new(m: usize, n: usize) -> Self {
+        let mut meter = SpaceMeter::new();
+        let first = FirstSetMap::new(n, &mut meter);
+        FirstSetSolver { first, m, n, meter }
+    }
+}
+
+impl StreamingSetCover for FirstSetSolver {
+    fn name(&self) -> &'static str {
+        "first-set"
+    }
+
+    fn process_edge(&mut self, e: Edge) {
+        self.first.observe(e.elem, e.set);
+    }
+
+    fn finalize(&mut self) -> Cover {
+        let sol = SolutionBuilder::new(self.m, self.n);
+        sol.finish_with(|u| self.first.get(u))
+    }
+
+    fn space(&self) -> SpaceReport {
+        self.meter.report()
+    }
+}
+
+/// The `O(N)`-space store-everything baseline (offline greedy at the end).
+#[derive(Debug)]
+pub struct StoreAllSolver {
+    m: usize,
+    n: usize,
+    edges: Vec<Edge>,
+    meter: SpaceMeter,
+}
+
+impl StoreAllSolver {
+    /// Create a solver for an instance with `m` sets and `n` elements.
+    pub fn new(m: usize, n: usize) -> Self {
+        StoreAllSolver { m, n, edges: Vec::new(), meter: SpaceMeter::new() }
+    }
+}
+
+impl StreamingSetCover for StoreAllSolver {
+    fn name(&self) -> &'static str {
+        "store-all-greedy"
+    }
+
+    fn process_edge(&mut self, e: Edge) {
+        self.edges.push(e);
+        self.meter.charge(SpaceComponent::StoredEdges, 2);
+    }
+
+    fn finalize(&mut self) -> Cover {
+        let mut b = InstanceBuilder::new(self.m, self.n).with_edge_capacity(self.edges.len());
+        for e in &self.edges {
+            b.add_edge(e.set, e.elem);
+        }
+        let inst = b.build().expect("replayed full stream is the original feasible instance");
+        greedy_cover(&inst)
+    }
+
+    fn space(&self) -> SpaceReport {
+        self.meter.report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcover_core::solver::run_streaming;
+    use setcover_core::stream::{stream_of, StreamOrder};
+    use setcover_gen::planted::{planted, PlantedConfig};
+
+    #[test]
+    fn first_set_covers_everything() {
+        let p = planted(&PlantedConfig::exact(120, 60, 6), 1);
+        let inst = &p.workload.instance;
+        let out = run_streaming(
+            FirstSetSolver::new(inst.m(), inst.n()),
+            stream_of(inst, StreamOrder::Uniform(3)),
+        );
+        out.cover.verify(inst).unwrap();
+        assert!(out.cover.size() <= inst.n());
+    }
+
+    #[test]
+    fn first_set_space_is_linear_in_n() {
+        let p = planted(&PlantedConfig::exact(100, 400, 10), 2);
+        let inst = &p.workload.instance;
+        let out = run_streaming(
+            FirstSetSolver::new(inst.m(), inst.n()),
+            stream_of(inst, StreamOrder::SetArrival),
+        );
+        // n words for R(u) (+ solution/certificate growth at finalize).
+        assert!(out.space.peak_words <= 2 * inst.n() + 64);
+    }
+
+    #[test]
+    fn store_all_matches_offline_greedy() {
+        let p = planted(&PlantedConfig::exact(90, 45, 9), 7);
+        let inst = &p.workload.instance;
+        let offline = greedy_cover(inst);
+        for order in [StreamOrder::Uniform(1), StreamOrder::Interleaved] {
+            let out =
+                run_streaming(StoreAllSolver::new(inst.m(), inst.n()), stream_of(inst, order));
+            out.cover.verify(inst).unwrap();
+            assert_eq!(out.cover.size(), offline.size(), "order {:?}", order);
+        }
+    }
+
+    #[test]
+    fn store_all_space_is_stream_length() {
+        let p = planted(&PlantedConfig::exact(50, 25, 5), 3);
+        let inst = &p.workload.instance;
+        let out = run_streaming(
+            StoreAllSolver::new(inst.m(), inst.n()),
+            stream_of(inst, StreamOrder::SetArrival),
+        );
+        assert_eq!(out.space.peak_words, 2 * inst.num_edges());
+    }
+
+    #[test]
+    fn first_set_quality_is_trivial_cover() {
+        // On a set-arrival stream in id order, R(u) equals the smallest-id
+        // containing set, so the first-set cover equals the instance's
+        // trivial cover.
+        let p = planted(&PlantedConfig::exact(80, 40, 8), 9);
+        let inst = &p.workload.instance;
+        let out = run_streaming(
+            FirstSetSolver::new(inst.m(), inst.n()),
+            stream_of(inst, StreamOrder::SetArrival),
+        );
+        assert_eq!(out.cover.size(), inst.trivial_cover_size());
+    }
+}

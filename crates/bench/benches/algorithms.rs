@@ -1,0 +1,119 @@
+//! Throughput benches: edges/second for every streaming algorithm, plus
+//! the offline greedy, on a planted workload. One group per algorithm;
+//! criterion reports elements (edges) per second via `Throughput`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use setcover_algos::{
+    AdversarialConfig, AdversarialSolver, ElementSamplingConfig, ElementSamplingSolver,
+    FirstSetSolver, GreedySolver, KkSolver, RandomOrderConfig, RandomOrderSolver,
+    SetArrivalThresholdSolver,
+};
+use setcover_core::solver::run_on_edges;
+use setcover_core::stream::{order_edges, StreamOrder};
+use setcover_core::{Edge, OfflineSetCover, SetCoverInstance};
+use setcover_gen::planted::{planted, PlantedConfig};
+
+struct Fixture {
+    inst: SetCoverInstance,
+    edges: Vec<Edge>,
+    n: usize,
+    m: usize,
+}
+
+fn fixture(n: usize, m: usize) -> Fixture {
+    let p = planted(&PlantedConfig::exact(n, m, setcover_core::math::isqrt(n) / 2), 42);
+    let inst = p.workload.instance;
+    let edges = order_edges(&inst, StreamOrder::Uniform(7));
+    Fixture { n, m, edges, inst }
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let f = fixture(1024, 16_384);
+    let mut g = c.benchmark_group("streaming");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(f.edges.len() as u64));
+
+    g.bench_function(BenchmarkId::new("kk", "n=1024"), |b| {
+        b.iter(|| run_on_edges(KkSolver::new(f.m, f.n, 1), black_box(&f.edges)).cover.size())
+    });
+    g.bench_function(BenchmarkId::new("adversarial-low-space", "n=1024"), |b| {
+        b.iter(|| {
+            run_on_edges(
+                AdversarialSolver::new(f.m, f.n, AdversarialConfig::sqrt_n(f.n), 1),
+                black_box(&f.edges),
+            )
+            .cover
+            .size()
+        })
+    });
+    g.bench_function(BenchmarkId::new("random-order", "n=1024"), |b| {
+        b.iter(|| {
+            run_on_edges(
+                RandomOrderSolver::new(
+                    f.m,
+                    f.n,
+                    f.edges.len(),
+                    RandomOrderConfig::practical(),
+                    1,
+                ),
+                black_box(&f.edges),
+            )
+            .cover
+            .size()
+        })
+    });
+    g.bench_function(BenchmarkId::new("element-sampling", "n=1024"), |b| {
+        b.iter(|| {
+            run_on_edges(
+                ElementSamplingSolver::new(
+                    f.m,
+                    f.n,
+                    ElementSamplingConfig::for_alpha(32.0, f.m, 1.0),
+                    1,
+                ),
+                black_box(&f.edges),
+            )
+            .cover
+            .size()
+        })
+    });
+    g.bench_function(BenchmarkId::new("set-arrival-threshold", "n=1024"), |b| {
+        b.iter(|| {
+            run_on_edges(SetArrivalThresholdSolver::new(f.m, f.n), black_box(&f.edges))
+                .cover
+                .size()
+        })
+    });
+    g.bench_function(BenchmarkId::new("first-set", "n=1024"), |b| {
+        b.iter(|| run_on_edges(FirstSetSolver::new(f.m, f.n), black_box(&f.edges)).cover.size())
+    });
+    g.finish();
+}
+
+fn bench_offline(c: &mut Criterion) {
+    let f = fixture(1024, 16_384);
+    let mut g = c.benchmark_group("offline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(f.edges.len() as u64));
+    g.bench_function("greedy", |b| b.iter(|| GreedySolver.solve(black_box(&f.inst)).size()));
+    g.finish();
+}
+
+fn bench_kk_scaling(c: &mut Criterion) {
+    // KK per-edge cost as m grows (counter array scaling).
+    let mut g = c.benchmark_group("kk-scaling");
+    g.sample_size(10);
+    for m in [4_096usize, 16_384, 65_536] {
+        let f = fixture(576, m);
+        g.throughput(Throughput::Elements(f.edges.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(m), &f, |b, f| {
+            b.iter(|| run_on_edges(KkSolver::new(f.m, f.n, 1), black_box(&f.edges)).cover.size())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_streaming, bench_offline, bench_kk_scaling);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Micro-benches for the hot substrate components: the per-edge primitives
+//! every solver touches (coin flips, mark bits, counters), cover
+//! verification, and the Theorem 2 reduction end-to-end.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use setcover_algos::greedy_cover;
+use setcover_algos::KkSolver;
+use setcover_comm::disjointness::{DisjCase, DisjointnessInstance};
+use setcover_comm::reduction::run_reduction;
+use setcover_core::rng::{coin, seeded_rng};
+use setcover_gen::lowerbound::{LbFamily, LbFamilyConfig};
+use setcover_gen::planted::{planted, PlantedConfig};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives");
+    g.throughput(Throughput::Elements(1 << 16));
+    g.bench_function("coin-64k", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(1);
+            let mut heads = 0u32;
+            for _ in 0..(1 << 16) {
+                heads += u32::from(coin(&mut rng, black_box(0.3)));
+            }
+            heads
+        })
+    });
+    g.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let p = planted(&PlantedConfig::exact(1024, 8192, 16), 9);
+    let inst = p.workload.instance;
+    let cover = greedy_cover(&inst);
+    let mut g = c.benchmark_group("verify");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(inst.n() as u64));
+    g.bench_function("cover-verify(n=1024)", |b| {
+        b.iter(|| cover.verify(black_box(&inst)).is_ok())
+    });
+    g.finish();
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let cfg = LbFamilyConfig { n: 2048, m: 51, t: 4 };
+    let fam = LbFamily::generate(cfg, 2);
+    let disj = DisjointnessInstance::generate(51, 4, DisjCase::UniquelyIntersecting, 2);
+    let mut g = c.benchmark_group("reduction");
+    g.sample_size(10);
+    g.bench_function("theorem2-game(n=2048,m=51,t=4)", |b| {
+        b.iter(|| {
+            run_reduction(black_box(&fam), black_box(&disj), 5, |m, n| KkSolver::new(m, n, 7))
+                .best_estimate
+        })
+    });
+    g.finish();
+}
+
+fn bench_io(c: &mut Criterion) {
+    use setcover_core::io::{read_stream, write_stream};
+    use setcover_core::stream::{order_edges, StreamOrder};
+    let p = planted(&PlantedConfig::exact(512, 4096, 16), 11);
+    let inst = p.workload.instance;
+    let edges = order_edges(&inst, StreamOrder::Uniform(2));
+    let mut buf = Vec::new();
+    write_stream(inst.m(), inst.n(), &edges, &mut buf).unwrap();
+
+    let mut g = c.benchmark_group("io");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(edges.len() as u64));
+    g.bench_function("write-stream", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            write_stream(inst.m(), inst.n(), black_box(&edges), &mut out).unwrap();
+            out.len()
+        })
+    });
+    g.bench_function("read-stream", |b| {
+        b.iter(|| read_stream(black_box(&buf[..])).unwrap().edges.len())
+    });
+    g.finish();
+}
+
+fn bench_multipass(c: &mut Criterion) {
+    use setcover_algos::MultiPassSieve;
+    use setcover_core::solver::run_multipass;
+    use setcover_core::stream::{order_edges, StreamOrder};
+    let p = planted(&PlantedConfig::exact(512, 4096, 16), 12);
+    let inst = p.workload.instance;
+    let edges = order_edges(&inst, StreamOrder::Interleaved);
+    let mut g = c.benchmark_group("multipass");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(edges.len() as u64));
+    for passes in [1usize, 4] {
+        g.bench_function(format!("sieve-p{passes}"), |b| {
+            b.iter(|| {
+                run_multipass(MultiPassSieve::new(inst.m(), inst.n(), passes), black_box(&edges))
+                    .cover
+                    .size()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_verify, bench_reduction, bench_io, bench_multipass);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Generator benches: instance construction cost for each workload family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use setcover_gen::coverage::{blog_watch, BlogWatchConfig};
+use setcover_gen::dominating::planted_hubs;
+use setcover_gen::lowerbound::{LbFamily, LbFamilyConfig};
+use setcover_gen::planted::{planted, PlantedConfig};
+use setcover_gen::uniform::{uniform, UniformConfig};
+use setcover_gen::zipf::{zipf, ZipfConfig};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators");
+    g.sample_size(10);
+
+    let cfg = PlantedConfig::exact(1024, 16_384, 16);
+    g.bench_function("planted(n=1024,m=16k)", |b| {
+        b.iter(|| planted(black_box(&cfg), 1).workload.instance.num_edges())
+    });
+
+    let ucfg = UniformConfig::ranged(1024, 16_384, 4, 32);
+    g.bench_function("uniform(n=1024,m=16k)", |b| {
+        b.iter(|| uniform(black_box(&ucfg), 1).instance.num_edges())
+    });
+
+    let zcfg = ZipfConfig { n: 1024, m: 16_384, set_size: 16, theta: 1.1 };
+    g.bench_function("zipf(n=1024,m=16k)", |b| {
+        b.iter(|| zipf(black_box(&zcfg), 1).instance.num_edges())
+    });
+
+    let bcfg = BlogWatchConfig::default_shape(1024, 16_384);
+    g.bench_function("blog_watch(n=1024,m=16k)", |b| {
+        b.iter(|| blog_watch(black_box(&bcfg), 1).instance.num_edges())
+    });
+
+    g.bench_function("dominating_hubs(n=2048)", |b| {
+        b.iter(|| planted_hubs(2048, 16, 4096, 1).instance.num_edges())
+    });
+    g.finish();
+}
+
+fn bench_lb_family(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lowerbound-family");
+    g.sample_size(10);
+    for (n, m, t) in [(4096usize, 64usize, 4usize), (16384, 128, 8)] {
+        let cfg = LbFamilyConfig { n, m, t };
+        g.throughput(Throughput::Elements((m * cfg.set_size()) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={n},m={m},t={t}")),
+            &cfg,
+            |b, cfg| b.iter(|| LbFamily::generate(black_box(*cfg), 3).set(0).len()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_lb_family);
+criterion_main!(benches);

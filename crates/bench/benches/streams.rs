@@ -1,0 +1,32 @@
+//! Stream-order adapter benches: cost of materializing each arrival order.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use setcover_core::stream::{order_edges, StreamOrder};
+use setcover_gen::planted::{planted, PlantedConfig};
+
+fn bench_orders(c: &mut Criterion) {
+    let p = planted(&PlantedConfig::exact(1024, 16_384, 16), 5);
+    let inst = p.workload.instance;
+    let mut g = c.benchmark_group("stream-orders");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(inst.num_edges() as u64));
+
+    for order in [
+        StreamOrder::SetArrival,
+        StreamOrder::SetArrivalShuffled(3),
+        StreamOrder::Interleaved,
+        StreamOrder::ElementGrouped,
+        StreamOrder::Uniform(3),
+        StreamOrder::GreedyTrap,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(order.name()), &order, |b, &o| {
+            b.iter(|| order_edges(black_box(&inst), o).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_orders);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! E-A1..A4 — Ablations of the design choices DESIGN.md calls out:
+//! KK level width, Algorithm 1 randomness dose (block-shuffled streams)
+//! and `mark_floor`, and the multi-pass sieve's pass count.
+//!
+//! Usage: `cargo run -p setcover-bench --release --bin ablation [trials=3]`
+
+use setcover_bench::experiments::ablation;
+use setcover_bench::harness::arg_usize;
+
+fn main() {
+    let p = ablation::Params { trials: arg_usize("trials", 3) };
+    print!("{}", ablation::run(&p));
+}

@@ -1,0 +1,18 @@
+//! E-F1 — Algorithm 2 space/approximation trade-off over α (Theorem 4).
+//!
+//! Sweeps α = c·√n for c ∈ {2, 4, 8, 16, 32}, measuring the level-map
+//! size |L| (the Õ(mn/α²) quantity), the ratio, and the log-log slope.
+//!
+//! Usage: `cargo run -p setcover-bench --release --bin alpha_sweep [n=1024] [trials=3]`
+
+use setcover_bench::experiments::alpha_sweep;
+use setcover_bench::harness::{arg_str, arg_usize};
+
+fn main() {
+    let mut p = alpha_sweep::Params { n: arg_usize("n", 1024), ..Default::default() };
+    p.trials = arg_usize("trials", p.trials);
+    if arg_str("m").is_some() {
+        p.m = Some(arg_usize("m", 0));
+    }
+    print!("{}", alpha_sweep::run(&p));
+}

@@ -1,0 +1,15 @@
+//! E-F2 — Approximation ratio vs n for the √n-regime algorithms
+//! (theory slope ≈ 0.5 in log-log).
+//!
+//! Usage: `cargo run -p setcover-bench --release --bin approx_scaling [max_n=1600] [trials=3]`
+
+use setcover_bench::experiments::approx_scaling;
+use setcover_bench::harness::arg_usize;
+
+fn main() {
+    let p = approx_scaling::Params {
+        max_n: arg_usize("max_n", 1600),
+        trials: arg_usize("trials", 3),
+    };
+    print!("{}", approx_scaling::run(&p));
+}

@@ -1,0 +1,12 @@
+//! E-L2 — Lemma 2's concentration bounds, validated by exact
+//! hypergeometric simulation (see the experiments module docs).
+//!
+//! Usage: `cargo run -p setcover-bench --release --bin concentration [trials=300]`
+
+use setcover_bench::experiments::concentration;
+use setcover_bench::harness::arg_usize;
+
+fn main() {
+    let p = concentration::Params { trials: arg_usize("trials", 300) };
+    print!("{}", concentration::run(&p));
+}

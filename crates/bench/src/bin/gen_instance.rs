@@ -1,0 +1,91 @@
+//! CLI: generate a workload and write it to disk.
+//!
+//! Writes the instance in `.sc` set-list format and, when `order=` is
+//! given, the concrete ordered stream in `.scs` format — an interchange
+//! point for comparing against other implementations on identical
+//! adversarial orders.
+//!
+//! ```console
+//! $ cargo run -p setcover-bench --release --bin gen_instance \
+//!       kind=planted n=1024 m=16384 opt=16 seed=7 \
+//!       out=inst.sc order=interleaved stream_out=inst.scs
+//! ```
+//!
+//! Kinds: `planted`, `uniform`, `zipf`, `blogwatch`, `gnp`, `hubs`,
+//! `kk-trap`, `spike`. Orders: `set-arrival`, `interleaved`,
+//! `element-grouped`, `uniform`, `greedy-trap`.
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use setcover_bench::harness::{arg_f64, arg_str, arg_usize};
+use setcover_core::io::{write_instance, write_stream};
+use setcover_core::math::isqrt;
+use setcover_core::stream::{order_edges, StreamOrder};
+use setcover_gen::coverage::{blog_watch, BlogWatchConfig};
+use setcover_gen::dominating::{gnp, planted_hubs};
+use setcover_gen::hard::{degree_spike, kk_level_trap};
+use setcover_gen::planted::{planted, PlantedConfig};
+use setcover_gen::uniform::{uniform, UniformConfig};
+use setcover_gen::zipf::{zipf, ZipfConfig};
+use setcover_gen::Workload;
+
+fn main() {
+    let kind = arg_str("kind").unwrap_or_else(|| "planted".to_string());
+    let n = arg_usize("n", 1024);
+    let m = arg_usize("m", 4 * n);
+    let opt = arg_usize("opt", (isqrt(n) / 2).max(2));
+    let seed = arg_usize("seed", 7) as u64;
+
+    let w: Workload = match kind.as_str() {
+        "planted" => planted(&PlantedConfig::exact(n, m, opt), seed).workload,
+        "uniform" => uniform(
+            &UniformConfig::ranged(n, m, 1, arg_usize("size", isqrt(n)).max(1)),
+            seed,
+        ),
+        "zipf" => zipf(
+            &ZipfConfig {
+                n,
+                m,
+                set_size: arg_usize("size", 8),
+                theta: arg_f64("theta", 1.1),
+            },
+            seed,
+        ),
+        "blogwatch" => blog_watch(&BlogWatchConfig::default_shape(n, m), seed),
+        "gnp" => gnp(n, arg_f64("p", 0.01), seed),
+        "hubs" => planted_hubs(n, opt, arg_usize("extra", n), seed),
+        "kk-trap" => kk_level_trap(n, m, opt, seed),
+        "spike" => degree_spike(n, m, opt, arg_usize("spikes", 3), seed),
+        other => {
+            eprintln!("unknown kind `{other}`");
+            std::process::exit(2);
+        }
+    };
+
+    println!("{}: m = {}, n = {}, N = {}", w.label, w.instance.m(), w.instance.n(), w.instance.num_edges());
+
+    let out = arg_str("out").unwrap_or_else(|| format!("{kind}.sc"));
+    let f = BufWriter::new(File::create(&out).expect("create instance file"));
+    write_instance(&w.instance, f).expect("write instance");
+    println!("instance -> {out}");
+
+    if let Some(order_name) = arg_str("order") {
+        let order = match order_name.as_str() {
+            "set-arrival" => StreamOrder::SetArrival,
+            "interleaved" => StreamOrder::Interleaved,
+            "element-grouped" => StreamOrder::ElementGrouped,
+            "uniform" => StreamOrder::Uniform(seed),
+            "greedy-trap" => StreamOrder::GreedyTrap,
+            other => {
+                eprintln!("unknown order `{other}`");
+                std::process::exit(2);
+            }
+        };
+        let stream_out = arg_str("stream_out").unwrap_or_else(|| format!("{kind}.scs"));
+        let edges = order_edges(&w.instance, order);
+        let f = BufWriter::new(File::create(&stream_out).expect("create stream file"));
+        write_stream(w.instance.m(), w.instance.n(), &edges, f).expect("write stream");
+        println!("stream ({}) -> {stream_out}", order.name());
+    }
+}

@@ -1,0 +1,19 @@
+//! E-F5 — Empirical traces of Algorithm 1's analysis invariants
+//! ((I1)–(I3), Lemma 8) from a probing run.
+//!
+//! Usage: `cargo run -p setcover-bench --release --bin invariants [n=4096] [opt=8]`
+
+use setcover_bench::experiments::invariants;
+use setcover_bench::harness::{arg_str, arg_usize};
+
+fn main() {
+    let mut p = invariants::Params {
+        n: arg_usize("n", 4096),
+        opt: arg_usize("opt", 8),
+        ..Default::default()
+    };
+    if arg_str("m").is_some() {
+        p.m = Some(arg_usize("m", 0));
+    }
+    print!("{}", invariants::run(&p));
+}

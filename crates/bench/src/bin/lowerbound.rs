@@ -1,0 +1,13 @@
+//! E-F4 / E-F6 / E-F7 — The lower-bound constructions, measured:
+//! Lemma 1 family intersections, the Theorem 2 distinguishing game, the
+//! success-vs-total-state budget sweep, and the simple 2√(nt) protocol.
+//!
+//! Usage: `cargo run -p setcover-bench --release --bin lowerbound [trials=5]`
+
+use setcover_bench::experiments::lowerbound;
+use setcover_bench::harness::arg_usize;
+
+fn main() {
+    let p = lowerbound::Params { trials: arg_usize("trials", 5) };
+    print!("{}", lowerbound::run(&p));
+}

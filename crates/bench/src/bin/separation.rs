@@ -1,0 +1,21 @@
+//! E-F3 — The adversarial/random-order separation (Theorems 2 + 3):
+//! Algorithm 1 at its Õ(m/√n) budget per arrival order, with its internal
+//! detector statistics, against KK and the first-set baseline.
+//!
+//! Usage: `cargo run -p setcover-bench --release --bin separation [n=4096] [trials=3]`
+
+use setcover_bench::experiments::separation;
+use setcover_bench::harness::{arg_str, arg_usize};
+
+fn main() {
+    let mut p = separation::Params {
+        n: arg_usize("n", 4096),
+        opt: arg_usize("opt", 8),
+        trials: arg_usize("trials", 3),
+        ..Default::default()
+    };
+    if arg_str("m").is_some() {
+        p.m = Some(arg_usize("m", 0));
+    }
+    print!("{}", separation::run(&p));
+}

@@ -1,0 +1,142 @@
+//! CLI: run any solver on an instance or stream file and report the
+//! verified cover, space, and throughput.
+//!
+//! ```console
+//! $ cargo run -p setcover-bench --release --bin solve \
+//!       stream=inst.scs algo=kk seed=3
+//! $ cargo run -p setcover-bench --release --bin solve \
+//!       inst=inst.sc order=uniform algo=alg2 alpha=64
+//! ```
+//!
+//! Algorithms: `kk`, `alg1` (random-order), `alg2` (adversarial
+//! low-space), `element-sampling`, `set-arrival`, `first-set`,
+//! `store-all`, `multipass` (with `passes=`), `greedy` (offline).
+
+use std::fs::File;
+use std::io::BufReader;
+
+use setcover_algos::{
+    greedy_cover, AdversarialConfig, AdversarialSolver, ElementSamplingConfig,
+    ElementSamplingSolver, FirstSetSolver, KkSolver, MultiPassSieve, RandomOrderConfig,
+    RandomOrderSolver, SetArrivalThresholdSolver, StoreAllSolver,
+};
+use setcover_bench::harness::{arg_f64, arg_str, arg_usize};
+use setcover_core::io::{read_instance, read_stream};
+use setcover_core::solver::{run_multipass, run_on_edges, RunOutcome};
+use setcover_core::stream::{order_edges, StreamOrder};
+use setcover_core::{Edge, SetCoverInstance};
+
+fn load() -> (SetCoverInstance, Vec<Edge>) {
+    if let Some(path) = arg_str("stream") {
+        let f = BufReader::new(File::open(&path).expect("open stream file"));
+        let parsed = read_stream(f).expect("parse stream");
+        let inst = parsed.to_instance().expect("stream must describe a feasible instance");
+        (inst, parsed.edges)
+    } else if let Some(path) = arg_str("inst") {
+        let f = BufReader::new(File::open(&path).expect("open instance file"));
+        let inst = read_instance(f).expect("parse instance");
+        let seed = arg_usize("seed", 7) as u64;
+        let order = match arg_str("order").as_deref() {
+            None | Some("uniform") => StreamOrder::Uniform(seed),
+            Some("set-arrival") => StreamOrder::SetArrival,
+            Some("interleaved") => StreamOrder::Interleaved,
+            Some("element-grouped") => StreamOrder::ElementGrouped,
+            Some("greedy-trap") => StreamOrder::GreedyTrap,
+            Some(other) => {
+                eprintln!("unknown order `{other}`");
+                std::process::exit(2);
+            }
+        };
+        let edges = order_edges(&inst, order);
+        (inst, edges)
+    } else {
+        eprintln!("pass stream=<file.scs> or inst=<file.sc>");
+        std::process::exit(2);
+    }
+}
+
+fn report(inst: &SetCoverInstance, out: RunOutcome) {
+    out.cover.verify(inst).expect("solver must produce a valid cover");
+    println!("algorithm: {}", out.algorithm);
+    println!("cover:     {} sets (universe {})", out.cover.size(), inst.n());
+    println!("space:     {}", out.space);
+    println!(
+        "pass:      {} edges in {:.2?} ({:.2} M edges/s)",
+        out.edges_processed,
+        out.elapsed,
+        out.edges_per_sec() / 1e6
+    );
+}
+
+fn main() {
+    let (inst, edges) = load();
+    let (m, n) = (inst.m(), inst.n());
+    let seed = arg_usize("seed", 7) as u64;
+    let algo = arg_str("algo").unwrap_or_else(|| "kk".to_string());
+    println!("instance: m = {m}, n = {n}, N = {} stream edges", edges.len());
+
+    match algo.as_str() {
+        "kk" => report(&inst, run_on_edges(KkSolver::new(m, n, seed), &edges)),
+        "alg1" => report(
+            &inst,
+            run_on_edges(
+                RandomOrderSolver::new(
+                    m,
+                    n,
+                    edges.len(),
+                    RandomOrderConfig::practical(),
+                    seed,
+                ),
+                &edges,
+            ),
+        ),
+        "alg2" => {
+            let alpha = arg_f64("alpha", 2.0 * (n as f64).sqrt());
+            report(
+                &inst,
+                run_on_edges(
+                    AdversarialSolver::new(m, n, AdversarialConfig::with_alpha(alpha), seed),
+                    &edges,
+                ),
+            )
+        }
+        "element-sampling" => {
+            let alpha = arg_f64("alpha", (n as f64).sqrt() / 2.0);
+            report(
+                &inst,
+                run_on_edges(
+                    ElementSamplingSolver::new(
+                        m,
+                        n,
+                        ElementSamplingConfig::for_alpha(alpha.max(1.0), m, 1.0),
+                        seed,
+                    ),
+                    &edges,
+                ),
+            )
+        }
+        "set-arrival" => {
+            report(&inst, run_on_edges(SetArrivalThresholdSolver::new(m, n), &edges))
+        }
+        "first-set" => report(&inst, run_on_edges(FirstSetSolver::new(m, n), &edges)),
+        "store-all" => report(&inst, run_on_edges(StoreAllSolver::new(m, n), &edges)),
+        "multipass" => {
+            let passes = arg_usize("passes", 4);
+            let out = run_multipass(MultiPassSieve::new(m, n, passes), &edges);
+            out.cover.verify(&inst).expect("valid cover");
+            println!("algorithm: {} ({} passes used)", out.algorithm, out.passes_used);
+            println!("cover:     {} sets", out.cover.size());
+            println!("space:     {}", out.space);
+        }
+        "greedy" => {
+            let cover = greedy_cover(&inst);
+            cover.verify(&inst).expect("valid cover");
+            println!("algorithm: greedy-offline");
+            println!("cover:     {} sets", cover.size());
+        }
+        other => {
+            eprintln!("unknown algorithm `{other}`");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! E-T1 — Regenerate **Table 1** of the paper, empirically.
+//!
+//! | row | regime | algorithm | theory space |
+//! |-----|--------|-----------|--------------|
+//! | 1 | α = o(√n), adversarial | element sampling [AKL] | Θ̃(mn/α) |
+//! | 2 | α = Θ̃(√n), adversarial | KK-algorithm [KK] | Õ(m) |
+//! | 3 | α = Ω̃(√n), adversarial | Algorithm 2 (here) | Õ(mn/α²) |
+//! | 4 | α = Θ̃(√n), random | Algorithm 1 (here) | Õ(m/√n) |
+//!
+//! Usage: `cargo run -p setcover-bench --release --bin table1 [n=576] [m=...] [trials=3]`
+
+use setcover_bench::experiments::table1;
+use setcover_bench::harness::{arg_str, arg_usize};
+
+fn main() {
+    let mut p = table1::Params { n: arg_usize("n", 576), ..Default::default() };
+    p.trials = arg_usize("trials", p.trials);
+    if arg_str("m").is_some() {
+        p.m = Some(arg_usize("m", 0));
+    }
+    print!("{}", table1::run(&p));
+}

@@ -1,0 +1,225 @@
+//! E-A1..A4 — ablations of the design choices DESIGN.md calls out
+//! (KK level width; Algorithm 1 randomness dose and `mark_floor`; the
+//! multi-pass sieve's pass count).
+
+use setcover_algos::{KkConfig, KkSolver, MultiPassSieve, RandomOrderConfig, RandomOrderSolver};
+use setcover_core::math::isqrt;
+use setcover_core::solver::run_multipass;
+use setcover_core::stream::{order_edges, StreamOrder};
+use setcover_core::StreamingSetCover;
+use setcover_gen::hard::kk_level_trap;
+use setcover_gen::planted::{planted, PlantedConfig};
+
+use crate::harness::{measure, trial_seeds, Measurement};
+use crate::Table;
+
+use super::Report;
+
+/// Parameters for the ablation suite.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Trials per configuration (level-width section).
+    pub trials: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { trials: 3 }
+    }
+}
+
+/// Run all four ablations and return the report.
+pub fn run(p: &Params) -> String {
+    let mut r = Report::new();
+    kk_level_width(&mut r, p.trials);
+    randomness_dose(&mut r);
+    passes_sweep(&mut r);
+    mark_floor_sweep(&mut r);
+    r.finish()
+}
+
+fn kk_level_width(r: &mut Report, trials: usize) {
+    let n = 1024;
+    let m = 8192;
+    let opt = 16;
+    let sqrt_n = isqrt(n);
+    let pl = planted(&PlantedConfig::exact(n, m, opt), 1).workload;
+    let trap = kk_level_trap(n, m, opt, 1);
+
+    let mut table = Table::new(
+        "KK level width ablation (paper: width = √n)",
+        &["width/√n", "width", "planted ratio", "trap ratio"],
+    );
+    for num in [1usize, 2, 4, 8, 16] {
+        let width = (num * sqrt_n / 4).max(1);
+        let mut rows = Vec::new();
+        for w in [&pl, &trap] {
+            let inst = &w.instance;
+            let edges = order_edges(inst, StreamOrder::Interleaved);
+            let mut meas = Measurement::default();
+            for seed in trial_seeds(num as u64, trials) {
+                meas.push(measure(
+                    KkSolver::with_config(
+                        inst.m(),
+                        inst.n(),
+                        KkConfig::paper(inst.n()).with_level_width(width),
+                        seed,
+                    ),
+                    &edges,
+                    inst,
+                    opt,
+                ));
+            }
+            rows.push(meas.ratio().display());
+        }
+        table.row(&[
+            format!("{:.2}", width as f64 / sqrt_n as f64),
+            width.to_string(),
+            rows[0].clone(),
+            rows[1].clone(),
+        ]);
+    }
+    r.table(&table);
+    r.line(
+        "Reading: narrower widths sample more aggressively — at laptop scale the extra\n\
+         coverage outweighs the extra picks, so ratios mildly improve; widths past √n\n\
+         starve inclusion on the trap (everything patched). The paper's √n balances\n\
+         solution size against the Ω(√n) patching term asymptotically.",
+    );
+    r.blank();
+}
+
+fn randomness_dose(r: &mut Report) {
+    let n = 4096;
+    let m = 10 * n;
+    let sqrt_n = isqrt(n);
+    let pl = planted(
+        &PlantedConfig::exact(n, m, 8).with_decoy_size(sqrt_n / 4, sqrt_n / 2),
+        2,
+    );
+    let inst = &pl.workload.instance;
+    let nn = inst.num_edges();
+
+    let mut table = Table::new(
+        "Algorithm 1 vs randomness dose (block-shuffled set-arrival stream)",
+        &["block len", "fraction of N", "specials", "marked-via-T", "cover"],
+    );
+    for block in [1usize, nn / 1000, nn / 100, nn / 10, nn] {
+        let block = block.max(1);
+        let edges = order_edges(inst, StreamOrder::BlockShuffled { block, seed: 5 });
+        let mut cfg = RandomOrderConfig::practical().with_probe();
+        cfg.q0 = Some(0.01);
+        let mut solver = RandomOrderSolver::new(m, n, nn, cfg, 7);
+        for &e in &edges {
+            solver.process_edge(e);
+        }
+        let cover = solver.finalize();
+        cover.verify(inst).expect("valid");
+        let probe = solver.take_probe().unwrap();
+        let specials: usize = probe.epochs.iter().map(|e| e.specials).sum();
+        let marked: usize = probe.epochs.iter().map(|e| e.marked_by_tracking).sum();
+        table.row(&[
+            block.to_string(),
+            format!("{:.4}", block as f64 / nn as f64),
+            specials.to_string(),
+            marked.to_string(),
+            cover.size().to_string(),
+        ]);
+    }
+    r.table(&table);
+    r.line(
+        "Reading: at block = 1 (sets contiguous) whole-set dumps mis-fire the detector;\n\
+         intermediate blocks inflate detections further (locally bursty signal); only at\n\
+         block = N (the Theorem 3 model) does it fire at its designed, low rate.",
+    );
+    r.blank();
+}
+
+fn passes_sweep(r: &mut Report) {
+    let n = 1024;
+    let m = 4096;
+    let opt = 16;
+    let pl = planted(&PlantedConfig::exact(n, m, opt), 3).workload;
+    let inst = &pl.instance;
+    let edges = order_edges(inst, StreamOrder::Interleaved);
+
+    let mut table = Table::new(
+        "multi-pass sieve: cover vs passes",
+        &["passes", "used", "cover", "ratio", "bound 2p·n^(1/(p+1))", "edges seen"],
+    );
+    for passes in [1usize, 2, 3, 4, 6, 8, 12] {
+        let out = run_multipass(MultiPassSieve::new(m, n, passes), &edges);
+        out.cover.verify(inst).expect("valid");
+        let bound = 2.0 * passes as f64 * (n as f64).powf(1.0 / (passes as f64 + 1.0));
+        table.row(&[
+            passes.to_string(),
+            out.passes_used.to_string(),
+            out.cover.size().to_string(),
+            format!("{:.2}", out.cover.size() as f64 / opt as f64),
+            format!("{bound:.1}"),
+            out.edges_processed.to_string(),
+        ]);
+    }
+    r.table(&table);
+    r.line(
+        "Reading: quality is NOT monotone at small p — eager picks multi-count shared\n\
+         uncovered elements across sets (see multipass module docs); from p ≈ log n the\n\
+         dense threshold ladder recovers greedy-like quality.",
+    );
+    r.blank();
+}
+
+fn mark_floor_sweep(r: &mut Report) {
+    let n = 4096;
+    let m = 10 * n;
+    let sqrt_n = isqrt(n);
+    let pl = planted(
+        &PlantedConfig::exact(n, m, 8).with_decoy_size(sqrt_n / 4, sqrt_n / 2),
+        4,
+    );
+    let inst = &pl.workload.instance;
+    let edges = order_edges(inst, StreamOrder::Uniform(9));
+
+    let mut table = Table::new(
+        "Algorithm 1 mark_floor ablation (optimistic-marking threshold floor)",
+        &["mark_floor", "marked-via-T", "cover", "valid"],
+    );
+    for floor in [1.0f64, 2.0, 4.0, 8.0, 1e9] {
+        let mut cfg = RandomOrderConfig::practical().with_probe();
+        cfg.mark_floor = floor;
+        cfg.q0 = Some(0.01);
+        let mut solver = RandomOrderSolver::new(m, n, inst.num_edges(), cfg, 11);
+        for &e in &edges {
+            solver.process_edge(e);
+        }
+        let cover = solver.finalize();
+        let valid = cover.verify(inst).is_ok();
+        let probe = solver.take_probe().unwrap();
+        let marked: usize = probe.epochs.iter().map(|e| e.marked_by_tracking).sum();
+        table.row(&[
+            format!("{floor:.0}"),
+            marked.to_string(),
+            cover.size().to_string(),
+            valid.to_string(),
+        ]);
+    }
+    r.table(&table);
+    r.line(
+        "Reading: floor 1 optimistically marks every tracked element (extra patching);\n\
+         a huge floor disables the tracking path entirely; correctness holds throughout.",
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_ablations_render() {
+        let s = run(&Params { trials: 1 });
+        assert!(s.contains("KK level width ablation"));
+        assert!(s.contains("randomness dose"));
+        assert!(s.contains("multi-pass sieve"));
+        assert!(s.contains("mark_floor ablation"));
+    }
+}

@@ -1,0 +1,112 @@
+//! E-F1 — Algorithm 2 space/approximation trade-off over α (Theorem 4).
+
+use setcover_algos::{AdversarialConfig, AdversarialSolver};
+use setcover_core::math::isqrt;
+use setcover_core::stream::{order_edges, StreamOrder};
+use setcover_gen::planted::{planted, PlantedConfig};
+
+use crate::harness::{measure, trial_seeds, Measurement};
+use crate::table::{fmt_words, sparkline_log};
+use crate::{loglog_slope, Table};
+
+use super::Report;
+
+/// Parameters for the α sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Universe size.
+    pub n: usize,
+    /// Number of sets (default `16·n`).
+    pub m: Option<usize>,
+    /// Trials per α.
+    pub trials: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { n: 1024, m: None, trials: 3 }
+    }
+}
+
+/// Run the experiment and return the report section.
+pub fn run(p: &Params) -> String {
+    let n = p.n;
+    let trials = p.trials;
+    let m = p.m.unwrap_or(16 * n);
+    let sqrt_n = isqrt(n);
+    let opt = (sqrt_n / 2).max(2);
+    let mut r = Report::new();
+
+    r.line(format!("Algorithm 2 α-sweep: n = {n} (√n = {sqrt_n}), m = {m}, OPT = {opt}"));
+    r.blank();
+
+    let pl = planted(&PlantedConfig::exact(n, m, opt), 0x0a15_e0e9);
+    let inst = &pl.workload.instance;
+    let adv = order_edges(inst, StreamOrder::Interleaved);
+
+    let mut table = Table::new(
+        "Algorithm 2: space & ratio vs α",
+        &["alpha", "alpha/√n", "bound mn/α²", "measured |L| words", "ratio", "cover"],
+    );
+    let mut points: Vec<(f64, f64)> = Vec::new();
+
+    for c in [2usize, 4, 8, 16, 32] {
+        let alpha = (c * sqrt_n) as f64;
+        let mut meas = Measurement::default();
+        for seed in trial_seeds(c as u64, trials) {
+            meas.push(measure(
+                AdversarialSolver::new(m, n, AdversarialConfig::with_alpha(alpha), seed),
+                &adv,
+                inst,
+                opt,
+            ));
+        }
+        let space = meas.algorithmic_words().mean;
+        points.push((alpha, space));
+        table.row(&[
+            format!("{alpha:.0}"),
+            format!("{c}"),
+            fmt_words(((m * n) as f64 / (alpha * alpha)) as usize),
+            format!("{space:.0}"),
+            meas.ratio().display(),
+            meas.cover_size().display(),
+        ]);
+    }
+
+    r.table(&table);
+    r.line(format!(
+        "space vs α (log scale):  {}",
+        sparkline_log(&points.iter().map(|pt| pt.1).collect::<Vec<_>>())
+    ));
+    match loglog_slope(&points) {
+        Some(s) => r.line(format!(
+            "measured log-log slope of space vs α: {s:.2}  (theory bound slope: -2.0; \
+             expected measured range [-2, -1])"
+        )),
+        None => r.line("slope unavailable (degenerate points)"),
+    };
+    r.blank();
+    r.csv(&table);
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reports_negative_slope() {
+        let s = run(&Params { n: 256, m: Some(2048), trials: 1 });
+        assert!(s.contains("space & ratio vs α"));
+        assert!(s.contains("log-log slope"));
+        // Extract the slope and check it is negative.
+        let slope: f64 = s
+            .lines()
+            .find(|l| l.contains("measured log-log slope"))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().split_whitespace().next())
+            .and_then(|v| v.parse().ok())
+            .expect("slope line present");
+        assert!(slope < -0.5, "slope {slope} should be clearly negative");
+    }
+}

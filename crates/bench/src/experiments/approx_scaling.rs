@@ -1,0 +1,115 @@
+//! E-F2 — approximation ratio vs n for the √n-regime algorithms.
+
+use setcover_algos::{KkSolver, RandomOrderConfig, RandomOrderSolver};
+use setcover_core::math::isqrt;
+use setcover_core::stream::{order_edges, StreamOrder};
+use setcover_gen::planted::{planted, PlantedConfig};
+
+use crate::harness::{measure, trial_seeds, Measurement};
+use crate::table::sparkline_log;
+use crate::{loglog_slope, Table};
+
+use super::Report;
+
+/// Parameters for the ratio-vs-n sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Largest universe size included in the sweep.
+    pub max_n: usize,
+    /// Trials per point.
+    pub trials: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { max_n: 1024, trials: 3 }
+    }
+}
+
+/// Run the experiment and return the report section.
+pub fn run(p: &Params) -> String {
+    let trials = p.trials;
+    let ns: Vec<usize> = [144usize, 256, 400, 576, 784, 1024, 1600, 2304]
+        .into_iter()
+        .filter(|&n| n <= p.max_n)
+        .collect();
+    let mut r = Report::new();
+    r.line("Ratio scaling vs n (OPT = √n/2, m = n²/16): theory slope ≈ 0.5");
+    r.blank();
+
+    let mut table = Table::new(
+        "ratio vs n",
+        &["n", "sqrt(n)", "m", "kk ratio (adv)", "random-order ratio (rnd)"],
+    );
+    let mut kk_pts = Vec::new();
+    let mut ro_pts = Vec::new();
+
+    for &n in &ns {
+        let sqrt_n = isqrt(n);
+        let opt = (sqrt_n / 2).max(2);
+        let m = (n * n / 16).max(4 * n);
+        let pl = planted(&PlantedConfig::exact(n, m, opt), n as u64);
+        let inst = &pl.workload.instance;
+
+        let adv = order_edges(inst, StreamOrder::Interleaved);
+        let mut kk = Measurement::default();
+        for seed in trial_seeds(n as u64, trials) {
+            kk.push(measure(KkSolver::new(m, n, seed), &adv, inst, opt));
+        }
+
+        let mut ro = Measurement::default();
+        for (i, seed) in trial_seeds(n as u64 + 1, trials).into_iter().enumerate() {
+            let rnd = order_edges(inst, StreamOrder::Uniform(7000 + i as u64));
+            ro.push(measure(
+                RandomOrderSolver::new(m, n, inst.num_edges(), RandomOrderConfig::practical(), seed),
+                &rnd,
+                inst,
+                opt,
+            ));
+        }
+
+        kk_pts.push((n as f64, kk.ratio().mean));
+        ro_pts.push((n as f64, ro.ratio().mean));
+        table.row(&[
+            n.to_string(),
+            sqrt_n.to_string(),
+            m.to_string(),
+            kk.ratio().display(),
+            ro.ratio().display(),
+        ]);
+    }
+
+    r.table(&table);
+    r.line(format!(
+        "kk ratio (log scale):            {}",
+        sparkline_log(&kk_pts.iter().map(|pt| pt.1).collect::<Vec<_>>())
+    ));
+    r.line(format!(
+        "random-order ratio (log scale):  {}",
+        sparkline_log(&ro_pts.iter().map(|pt| pt.1).collect::<Vec<_>>())
+    ));
+    if let Some(s) = loglog_slope(&kk_pts) {
+        r.line(format!("kk           ratio-vs-n log-log slope: {s:.2}  (theory ≈ 0.5)"));
+    }
+    if let Some(s) = loglog_slope(&ro_pts) {
+        r.line(format!("random-order ratio-vs-n log-log slope: {s:.2}  (theory ≈ 0.5)"));
+    }
+    r.blank();
+    r.csv(&table);
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_requested_range_and_slopes() {
+        let s = run(&Params { max_n: 400, trials: 1 });
+        for n in ["144", "256", "400"] {
+            assert!(s.contains(n));
+        }
+        assert!(!s.contains("576"), "points above max_n must be excluded");
+        assert!(s.contains("ratio-vs-n log-log slope"));
+    }
+}

@@ -1,0 +1,205 @@
+//! E-L2 — Lemma 2's concentration bounds, validated by simulation.
+//!
+//! Lemma 2 (paper §4.3 + appendix A.1) is the engine of the random-order
+//! analysis: for a random set `I` of `ℓ` stream positions and a fixed
+//! subset `X ⊆ S`, the number `Y` of `(S, x ∈ X)` edges landing in `I` is
+//! hypergeometric and concentrates:
+//!
+//! 1. `0.99·ℓ|X|/N ≤ Y ≤ 1.01·ℓ|X|/N` when `ℓ ≤ 0.001·N` and the mean is
+//!    large enough;
+//! 2. `Y ≤ C·log(m)·max(ℓ|X|/N, 1)` for `ℓ ≤ N/2`;
+//! 3. two-sided `μ ± log(m)·√μ`-style bounds for `ℓ ≤ N/√n`.
+//!
+//! The paper's failure probabilities (`1/m²⁰`) are beyond any empirical
+//! reach, so the experiment validates the bounds' *form*: at parameters
+//! where the same Chernoff calculation predicts far less than one
+//! expected violation across all trials, we observe **zero** violations,
+//! and we report the worst observed deviation in σ units next to each
+//! bound. The hypergeometric draws use the exact sequential chain (no
+//! approximation), so this is a true simulation of sampling stream
+//! positions without replacement.
+
+use rand::rngs::SmallRng;
+use setcover_core::rng::{coin, seeded_rng};
+
+use crate::Table;
+
+use super::Report;
+
+/// Parameters for the concentration experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Trials per bullet (each trial draws one hypergeometric sample).
+    pub trials: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { trials: 300 }
+    }
+}
+
+/// Exact hypergeometric sample: draw `draws` positions without
+/// replacement from `total`, of which `marked` are special; count hits.
+fn hypergeometric(rng: &mut SmallRng, total: u64, marked: u64, draws: u64) -> u64 {
+    debug_assert!(marked <= total && draws <= total);
+    let mut hits = 0u64;
+    let mut rem_marked = marked as f64;
+    let mut rem_total = total as f64;
+    for _ in 0..draws {
+        if coin(rng, rem_marked / rem_total) {
+            hits += 1;
+            rem_marked -= 1.0;
+        }
+        rem_total -= 1.0;
+    }
+    hits
+}
+
+struct BulletOutcome {
+    violations: usize,
+    worst_sigma: f64,
+}
+
+fn run_bullet<F: Fn(u64) -> bool>(
+    rng: &mut SmallRng,
+    total: u64,
+    marked: u64,
+    draws: u64,
+    trials: usize,
+    within: F,
+) -> BulletOutcome {
+    let mu = draws as f64 * marked as f64 / total as f64;
+    let p = marked as f64 / total as f64;
+    let sigma = (mu * (1.0 - p)).sqrt().max(1e-9);
+    let mut violations = 0usize;
+    let mut worst: f64 = 0.0;
+    for _ in 0..trials {
+        let y = hypergeometric(rng, total, marked, draws);
+        if !within(y) {
+            violations += 1;
+        }
+        worst = worst.max((y as f64 - mu).abs() / sigma);
+    }
+    BulletOutcome { violations, worst_sigma: worst }
+}
+
+/// Run the experiment and return the report section.
+pub fn run(p: &Params) -> String {
+    let trials = p.trials;
+    let log_m = 20.0; // m = 2^20 throughout
+    let c = 2.0;
+    let mut r = Report::new();
+    r.line(format!(
+        "Lemma 2 concentration (hypergeometric simulation, m = 2^20, C = {c}, \
+         {trials} trials per bullet)"
+    ));
+    r.blank();
+
+    let mut table = Table::new(
+        "Lemma 2 bullets, simulated",
+        &["bullet", "N", "ℓ", "|X|", "mean", "bound", "violations", "worst dev (σ)"],
+    );
+    let mut rng = seeded_rng(0x1e44_a2);
+
+    // Bullet 1: ℓ = 0.001·N, mean large; band ±1%·μ (≈ 7σ here).
+    {
+        let (total, draws, marked) = (200_000_000u64, 200_000u64, 100_000_000u64);
+        let mu = draws as f64 * marked as f64 / total as f64;
+        let out = run_bullet(&mut rng, total, marked, draws, trials, |y| {
+            (y as f64) >= 0.99 * mu && (y as f64) <= 1.01 * mu
+        });
+        table.row(&[
+            "1 (±1% band)".into(),
+            total.to_string(),
+            draws.to_string(),
+            marked.to_string(),
+            format!("{mu:.0}"),
+            format!("[{:.0}, {:.0}]", 0.99 * mu, 1.01 * mu),
+            out.violations.to_string(),
+            format!("{:.2}", out.worst_sigma),
+        ]);
+    }
+
+    // Bullet 2: tiny mean; Y ≤ C·log m·max(μ, 1).
+    for (total, draws, marked) in [(1_000_000u64, 1_000u64, 500u64), (1_000_000, 1_000, 10_000)]
+    {
+        let mu = draws as f64 * marked as f64 / total as f64;
+        let bound = c * log_m * mu.max(1.0);
+        let out =
+            run_bullet(&mut rng, total, marked, draws, trials * 10, |y| (y as f64) <= bound);
+        table.row(&[
+            "2 (upper)".into(),
+            total.to_string(),
+            draws.to_string(),
+            marked.to_string(),
+            format!("{mu:.1}"),
+            format!("≤ {bound:.0}"),
+            out.violations.to_string(),
+            format!("{:.2}", out.worst_sigma),
+        ]);
+    }
+
+    // Bullet 3: ℓ = N/√n (n = 1024), band μ ± log(m)·√μ (≈ 20σ).
+    {
+        let (total, draws, marked) = (3_200_000u64, 100_000u64, 128_000u64);
+        let mu = draws as f64 * marked as f64 / total as f64;
+        let band = log_m * mu.sqrt();
+        let out = run_bullet(&mut rng, total, marked, draws, trials, |y| {
+            (y as f64) >= mu - band && (y as f64) <= mu + band
+        });
+        table.row(&[
+            "3 (±logm·√μ)".into(),
+            total.to_string(),
+            draws.to_string(),
+            marked.to_string(),
+            format!("{mu:.0}"),
+            format!("[{:.0}, {:.0}]", mu - band, mu + band),
+            out.violations.to_string(),
+            format!("{:.2}", out.worst_sigma),
+        ]);
+    }
+
+    r.table(&table);
+    r.line(
+        "Reading: zero violations at scales where the Chernoff calculation behind the\n\
+         lemma predicts ≪ 1 expected violation in total; worst observed deviations sit\n\
+         at the ~3-4σ level a sample of this size should produce. The paper's 1/m²⁰\n\
+         rates are unfalsifiable empirically — the bounds' *form* is what is validated.",
+    );
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypergeometric_matches_mean_and_support() {
+        let mut rng = seeded_rng(7);
+        // Degenerate cases.
+        assert_eq!(hypergeometric(&mut rng, 100, 0, 50), 0);
+        assert_eq!(hypergeometric(&mut rng, 100, 100, 50), 50);
+        // Mean check: Hyp(1000, 300, 100) has mean 30.
+        let mut sum = 0u64;
+        let trials = 2000;
+        for _ in 0..trials {
+            sum += hypergeometric(&mut rng, 1000, 300, 100);
+        }
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 30.0).abs() < 1.0, "mean {mean} far from 30");
+    }
+
+    #[test]
+    fn section_reports_zero_violations() {
+        let s = run(&Params { trials: 40 });
+        assert!(s.contains("Lemma 2 bullets"));
+        // Every row's violation column should be 0 at these scales; scrape
+        // the CSV-free table rows loosely by asserting the word occurs.
+        for line in s.lines().filter(|l| l.starts_with("1 (") || l.starts_with("3 (")) {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            let viol = cols[cols.len() - 2];
+            assert_eq!(viol, "0", "violations in: {line}");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! E-F4 / E-F6 / E-F7 — the lower-bound constructions, measured. Four
+//! sections: Lemma 1 family check; the Theorem 2 distinguishing game; the
+//! success-vs-total-state budget sweep; the simple 2√(nt) protocol.
+
+use setcover_algos::KkSolver;
+use setcover_comm::budgeted::BucketedKkSolver;
+use setcover_comm::sweep::{play_series, GameConfig, GameStats};
+use setcover_comm::simple_protocol::{run_simple_protocol, split_instance_across_parties};
+use setcover_core::math::log2f;
+use setcover_gen::lowerbound::{LbFamily, LbFamilyConfig};
+use setcover_gen::planted::{planted, PlantedConfig};
+
+use crate::{Summary, Table};
+
+use super::Report;
+
+/// Parameters for the lower-bound sections.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Evaluation seeds for the game (each plays both promise cases).
+    pub trials: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { trials: 5 }
+    }
+}
+
+/// Run all four sections and return the report.
+pub fn run(p: &Params) -> String {
+    let mut r = Report::new();
+    lemma1_family(&mut r, p.trials);
+    game(&mut r, p.trials);
+    budget_sweep(&mut r, p.trials);
+    simple_protocol(&mut r);
+    r.finish()
+}
+
+fn lemma1_family(r: &mut Report, trials: usize) {
+    let mut table = Table::new(
+        "Lemma 1 family: max part intersection vs O(log n)",
+        &["n", "t", "part", "set size s", "E[inter]", "measured max", "log2 n"],
+    );
+    for (n, t) in [(1024usize, 4usize), (4096, 4), (4096, 8), (16384, 8)] {
+        let cfg = LbFamilyConfig { n, m: 64, t };
+        let mut maxes = Vec::new();
+        for seed in 0..trials as u64 {
+            let fam = LbFamily::generate(cfg, seed);
+            maxes.push(fam.max_part_intersection_sampled(2000, seed) as f64);
+        }
+        let s = Summary::of(&maxes);
+        table.row(&[
+            n.to_string(),
+            t.to_string(),
+            cfg.part_size().to_string(),
+            cfg.set_size().to_string(),
+            format!("{:.2}", (cfg.set_size() * cfg.set_size()) as f64 / (n * t) as f64),
+            s.display(),
+            format!("{:.1}", log2f(n)),
+        ]);
+    }
+    r.table(&table);
+    r.line("Claim: measured max stays O(log n) — a small multiple of the last column.");
+    r.blank();
+}
+
+fn game(r: &mut Report, trials: usize) {
+    let cfg = GameConfig { evaluation_runs: trials, ..GameConfig::standard() };
+    let f = cfg.family;
+    r.line(format!(
+        "Theorem 2 game: n = {}, m = {}, t = {} (part {}, set size {})",
+        f.n,
+        f.m,
+        f.t,
+        f.part_size(),
+        f.set_size()
+    ));
+    let stats = play_series(&cfg, 0x7472_7574, KkSolver::new);
+    r.line(format!(
+        "calibrated threshold {}; success {}/{} ({:.0}%); estimates: intersecting ≈ {:.1}, \
+         disjoint ≈ {:.1} (gap {:.1}x); max forwarded state {} words — KK's Θ(m) counters,",
+        stats.threshold,
+        stats.correct,
+        stats.total,
+        100.0 * stats.success_rate(),
+        GameStats::mean(&stats.intersecting_estimates),
+        GameStats::mean(&stats.disjoint_estimates),
+        stats.gap(),
+        stats.max_state_words
+    ));
+    r.line(
+        "exactly the state the Ω̃(mn²/α⁴) bound says any distinguishing algorithm must pay for.",
+    );
+    r.blank();
+}
+
+fn budget_sweep(r: &mut Report, trials: usize) {
+    let base_cfg = GameConfig { evaluation_runs: trials, ..GameConfig::standard() };
+    let mut table = Table::new(
+        "Theorem 2 game vs total state budget (bucketed KK, fraction f of counters AND element entries)",
+        &["f", "state words", "success", "mean inter. est.", "mean disj. est."],
+    );
+    for frac in [1.0f64, 0.5, 0.25, 0.1, 0.03, 0.01] {
+        let stats = play_series(&base_cfg, 0x6275_6467, |m, n, seed| {
+            BucketedKkSolver::with_element_budget(
+                m,
+                n,
+                ((m as f64 * frac) as usize).max(1),
+                ((n as f64 * frac) as usize).max(1),
+                seed,
+            )
+        });
+        table.row(&[
+            format!("{frac:.2}"),
+            stats.max_state_words.to_string(),
+            format!("{}/{}", stats.correct, stats.total),
+            format!("{:.1}", GameStats::mean(&stats.intersecting_estimates)),
+            format!("{:.1}", GameStats::mean(&stats.disjoint_estimates)),
+        ]);
+    }
+    r.table(&table);
+    r.line(
+        "Reading: at f = 1 the game succeeds; as the total forwarded state shrinks, the\n\
+         per-run estimates of the two promise cases converge (unknown elements cost one\n\
+         cover slot each in BOTH cases) and success decays toward coin-flipping — no\n\
+         small memory state carries the distinguishing information (Theorem 2).",
+    );
+    r.blank();
+}
+
+fn simple_protocol(r: &mut Report) {
+    let mut table = Table::new(
+        "Simple t-party protocol: 2√(nt)-approx with Õ(n) messages",
+        &["n", "t", "OPT", "cover", "ratio", "bound 2√(nt)", "max msg words", "m"],
+    );
+    for t in [2usize, 4, 8, 16] {
+        let n = 1024;
+        let opt = 16;
+        let m = 4096;
+        let pl = planted(&PlantedConfig::exact(n, m, opt), t as u64);
+        let inst = &pl.workload.instance;
+        let parties = split_instance_across_parties(inst, t);
+        let out = run_simple_protocol(n, &parties);
+        table.row(&[
+            n.to_string(),
+            t.to_string(),
+            opt.to_string(),
+            out.cover_size().to_string(),
+            format!("{:.2}", out.cover_size() as f64 / opt as f64),
+            format!("{:.1}", 2.0 * ((n * t) as f64).sqrt()),
+            out.messages.max_message_words().to_string(),
+            m.to_string(),
+        ]);
+    }
+    r.table(&table);
+    r.line(
+        "Messages stay Õ(n) ≪ m while the ratio stays under 2√(nt): this is why the\n\
+         Theorem 2 lower bound needs t = Ω(α²/n) parties to bite above Θ̃(n) space.",
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_sections_render() {
+        let s = run(&Params { trials: 1 });
+        assert!(s.contains("Lemma 1 family"));
+        assert!(s.contains("Theorem 2 game:"));
+        assert!(s.contains("total state budget"));
+        assert!(s.contains("Simple t-party protocol"));
+    }
+}

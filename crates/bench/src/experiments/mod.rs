@@ -1,0 +1,83 @@
+//! The experiments as library functions.
+//!
+//! Every table/figure reproduction is a function `run(&Params) -> String`
+//! returning the full report section (tables, sparkline "figures",
+//! commentary, CSV). The `table1`, `alpha_sweep`, ... binaries are thin
+//! CLI wrappers; the `report` binary concatenates all sections into a
+//! single document — one command regenerates the entire reproduction.
+//!
+//! All functions verify every cover before reporting a number and are
+//! deterministic in their parameters.
+
+pub mod ablation;
+pub mod alpha_sweep;
+pub mod approx_scaling;
+pub mod concentration;
+pub mod invariants;
+pub mod lowerbound;
+pub mod separation;
+pub mod table1;
+
+use std::fmt::Write as _;
+
+use crate::Table;
+
+/// A growing report section.
+#[derive(Debug, Default, Clone)]
+pub struct Report {
+    buf: String,
+}
+
+impl Report {
+    /// Empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Append a paragraph/line.
+    pub fn line(&mut self, s: impl AsRef<str>) -> &mut Self {
+        let _ = writeln!(self.buf, "{}", s.as_ref());
+        self
+    }
+
+    /// Append a blank line.
+    pub fn blank(&mut self) -> &mut Self {
+        let _ = writeln!(self.buf);
+        self
+    }
+
+    /// Append a rendered table followed by its CSV form.
+    pub fn table(&mut self, t: &Table) -> &mut Self {
+        let _ = writeln!(self.buf, "{}", t.render());
+        self
+    }
+
+    /// Append a table's CSV (for machine consumption).
+    pub fn csv(&mut self, t: &Table) -> &mut Self {
+        let _ = writeln!(self.buf, "CSV:\n{}", t.to_csv());
+        self
+    }
+
+    /// Finish into the section text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates() {
+        let mut r = Report::new();
+        r.line("hello").blank().line("world");
+        let mut t = Table::new("t", &["a"]);
+        t.row(&["1".into()]);
+        r.table(&t).csv(&t);
+        let s = r.finish();
+        assert!(s.contains("hello\n\nworld\n"));
+        assert!(s.contains("## t"));
+        assert!(s.contains("CSV:\na\n1"));
+    }
+}

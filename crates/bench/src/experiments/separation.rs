@@ -1,0 +1,158 @@
+//! E-F3 — the adversarial/random-order separation (Theorems 2 + 3).
+
+use setcover_algos::{FirstSetSolver, KkSolver, RandomOrderConfig, RandomOrderSolver};
+use setcover_core::math::isqrt;
+use setcover_core::stream::{order_edges, StreamOrder};
+use setcover_core::StreamingSetCover;
+use setcover_gen::planted::{planted, PlantedConfig};
+
+use crate::harness::{measure, trial_seeds, Measurement};
+use crate::table::fmt_words;
+use crate::Table;
+
+use super::Report;
+
+/// Parameters for the separation experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Universe size.
+    pub n: usize,
+    /// Number of sets (default `10·n`).
+    pub m: Option<usize>,
+    /// Planted optimum (default 8; planted sets of size `n/opt` carry the
+    /// machinery's signal).
+    pub opt: usize,
+    /// Trials per (algorithm, order).
+    pub trials: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { n: 4096, m: None, opt: 8, trials: 3 }
+    }
+}
+
+/// Run the experiment and return the report section.
+pub fn run(p: &Params) -> String {
+    let n = p.n;
+    let trials = p.trials;
+    let m = p.m.unwrap_or(10 * n);
+    let sqrt_n = isqrt(n);
+    let opt = p.opt;
+    let mut r = Report::new();
+
+    r.line(format!(
+        "Adversarial vs random separation: n = {n}, m = {m}, OPT = {opt} \
+         (√n = {sqrt_n}, m/√n = {})",
+        m / sqrt_n
+    ));
+    r.blank();
+
+    let pl = planted(
+        &PlantedConfig::exact(n, m, opt).with_decoy_size((sqrt_n / 4).max(1), (sqrt_n / 2).max(1)),
+        0x5e9a_7a7e,
+    );
+    let inst = &pl.workload.instance;
+
+    let orders = [
+        StreamOrder::Uniform(11),
+        StreamOrder::Uniform(12),
+        StreamOrder::SetArrival,
+        StreamOrder::Interleaved,
+        StreamOrder::ElementGrouped,
+        StreamOrder::GreedyTrap,
+    ];
+
+    let mut table = Table::new(
+        "ratio, space & machinery per (algorithm, order)",
+        &["algorithm", "order", "ratio", "cover", "space (alg words)", "specials", "marked-via-T"],
+    );
+
+    for order in orders {
+        let edges = order_edges(inst, order);
+
+        let mut ro = Measurement::default();
+        for seed in trial_seeds(1, trials) {
+            ro.push(measure(
+                RandomOrderSolver::new(m, n, inst.num_edges(), RandomOrderConfig::practical(), seed),
+                &edges,
+                inst,
+                opt,
+            ));
+        }
+        let mut probed = RandomOrderSolver::new(
+            m,
+            n,
+            inst.num_edges(),
+            RandomOrderConfig::practical().with_probe(),
+            trial_seeds(1, 1)[0],
+        );
+        for &e in &edges {
+            probed.process_edge(e);
+        }
+        let _ = probed.finalize();
+        let probe = probed.take_probe().expect("probe enabled");
+        let specials: usize = probe.epochs.iter().map(|e| e.specials).sum();
+        let marked_t: usize = probe.epochs.iter().map(|e| e.marked_by_tracking).sum();
+        table.row(&[
+            "random-order".into(),
+            order.name().into(),
+            ro.ratio().display(),
+            ro.cover_size().display(),
+            fmt_words(ro.algorithmic_words().mean as usize),
+            specials.to_string(),
+            marked_t.to_string(),
+        ]);
+
+        let mut kk = Measurement::default();
+        for seed in trial_seeds(2, trials) {
+            kk.push(measure(KkSolver::new(m, n, seed), &edges, inst, opt));
+        }
+        table.row(&[
+            "kk".into(),
+            order.name().into(),
+            kk.ratio().display(),
+            kk.cover_size().display(),
+            fmt_words(kk.algorithmic_words().mean as usize),
+            "-".into(),
+            "-".into(),
+        ]);
+
+        let fs = measure(FirstSetSolver::new(m, n), &edges, inst, opt);
+        table.row(&[
+            "first-set".into(),
+            order.name().into(),
+            format!("{:.2}", fs.ratio),
+            fs.cover_size.to_string(),
+            fmt_words(fs.algorithmic_words),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+
+    r.table(&table);
+    r.line(
+        "Expected shape: random-order runs in ~m/√n + n words vs kk's m words; on uniform\n\
+         orders its machinery fires (specials > 0) and quality tracks kk; on grouped or\n\
+         adversarial orders the subepoch statistics break (machinery silent or mis-firing\n\
+         while space stays low) — the behavioural face of the Theorem 2/3 separation.",
+    );
+    r.blank();
+    r.csv(&table);
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_lists_every_order_and_algorithm() {
+        let s = run(&Params { n: 1024, m: Some(4096), opt: 4, trials: 1 });
+        for needle in
+            ["uniform-random", "set-arrival", "interleaved", "greedy-trap", "first-set", "kk"]
+        {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+}

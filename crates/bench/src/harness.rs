@@ -1,0 +1,178 @@
+//! Multi-trial experiment runner.
+//!
+//! Every experiment point is measured over several seeds; each run
+//! verifies its cover against the instance (an invalid cover aborts the
+//! experiment — correctness is never sacrificed to speed) and records
+//! quality, space and throughput.
+
+use setcover_core::math::approx_ratio;
+use setcover_core::solver::run_on_edges;
+use setcover_core::{Edge, SetCoverInstance, StreamingSetCover};
+
+use crate::stats::Summary;
+
+/// One verified run's measurements.
+#[derive(Debug, Clone)]
+pub struct MeasuredRun {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Final cover size.
+    pub cover_size: usize,
+    /// `cover_size / opt_reference`.
+    pub ratio: f64,
+    /// Peak total live words.
+    pub peak_words: usize,
+    /// Peak words excluding the `Õ(n)` per-element structures the model
+    /// grants every algorithm (see `SpaceReport::algorithmic_peak_words`).
+    pub algorithmic_words: usize,
+    /// Edges processed.
+    pub edges: usize,
+    /// Wall-clock milliseconds for the pass + finalize.
+    pub millis: f64,
+}
+
+/// Run a solver over a prepared edge sequence, verify, and measure.
+///
+/// Panics (with context) if the produced cover is invalid — experiments
+/// must never report numbers from broken covers.
+pub fn measure<A: StreamingSetCover>(
+    solver: A,
+    edges: &[Edge],
+    inst: &SetCoverInstance,
+    opt_reference: usize,
+) -> MeasuredRun {
+    let out = run_on_edges(solver, edges);
+    if let Err(e) = out.cover.verify(inst) {
+        panic!("{} produced an invalid cover: {e}", out.algorithm);
+    }
+    MeasuredRun {
+        algorithm: out.algorithm,
+        cover_size: out.cover.size(),
+        ratio: approx_ratio(out.cover.size(), opt_reference),
+        peak_words: out.space.peak_words,
+        algorithmic_words: out.space.algorithmic_peak_words(),
+        edges: out.edges_processed,
+        millis: out.elapsed.as_secs_f64() * 1e3,
+    }
+}
+
+/// A collection of runs of the same configuration over different seeds.
+#[derive(Debug, Clone, Default)]
+pub struct Measurement {
+    /// The individual runs.
+    pub runs: Vec<MeasuredRun>,
+}
+
+impl Measurement {
+    /// Append a run.
+    pub fn push(&mut self, run: MeasuredRun) {
+        self.runs.push(run);
+    }
+
+    /// Summary of approximation ratios.
+    pub fn ratio(&self) -> Summary {
+        Summary::of(&self.runs.iter().map(|r| r.ratio).collect::<Vec<_>>())
+    }
+
+    /// Summary of cover sizes.
+    pub fn cover_size(&self) -> Summary {
+        Summary::of_usize(&self.runs.iter().map(|r| r.cover_size).collect::<Vec<_>>())
+    }
+
+    /// Summary of peak space.
+    pub fn peak_words(&self) -> Summary {
+        Summary::of_usize(&self.runs.iter().map(|r| r.peak_words).collect::<Vec<_>>())
+    }
+
+    /// Summary of algorithmic (per-set) space.
+    pub fn algorithmic_words(&self) -> Summary {
+        Summary::of_usize(&self.runs.iter().map(|r| r.algorithmic_words).collect::<Vec<_>>())
+    }
+
+    /// Mean throughput in million edges per second.
+    pub fn medges_per_sec(&self) -> f64 {
+        let total_edges: usize = self.runs.iter().map(|r| r.edges).sum();
+        let total_ms: f64 = self.runs.iter().map(|r| r.millis).sum();
+        if total_ms <= 0.0 {
+            0.0
+        } else {
+            total_edges as f64 / total_ms / 1e3
+        }
+    }
+}
+
+/// Derive `k` trial seeds from a base seed.
+pub fn trial_seeds(base: u64, k: usize) -> Vec<u64> {
+    (0..k as u64).map(|i| setcover_core::rng::derive_seed(base, 0xEC0 + i)).collect()
+}
+
+/// Parse `key=value` style CLI arguments (e.g. `n=1024 trials=5`),
+/// returning the value for `key` or the default. Binaries use this for
+/// lightweight parameterization without a CLI dependency.
+pub fn arg_usize(key: &str, default: usize) -> usize {
+    arg_str(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Parse a `key=value` CLI argument as a float.
+pub fn arg_f64(key: &str, default: f64) -> f64 {
+    arg_str(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Parse a `key=value` CLI argument as a string (last occurrence wins).
+pub fn arg_str(key: &str) -> Option<String> {
+    let prefix = format!("{key}=");
+    std::env::args().filter_map(|a| a.strip_prefix(&prefix).map(str::to_string)).next_back()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcover_algos::KkSolver;
+    use setcover_core::stream::{order_edges, StreamOrder};
+    use setcover_gen::planted::{planted, PlantedConfig};
+
+    #[test]
+    fn measure_records_everything() {
+        let p = planted(&PlantedConfig::exact(64, 128, 8), 1);
+        let inst = &p.workload.instance;
+        let edges = order_edges(inst, StreamOrder::Uniform(2));
+        let run = measure(KkSolver::new(inst.m(), inst.n(), 3), &edges, inst, 8);
+        assert_eq!(run.algorithm, "kk");
+        assert_eq!(run.edges, inst.num_edges());
+        assert!(run.cover_size >= 8);
+        assert!(run.ratio >= 1.0);
+        assert!(run.peak_words >= inst.m());
+        assert!(run.algorithmic_words <= run.peak_words);
+    }
+
+    #[test]
+    fn measurement_aggregates() {
+        let p = planted(&PlantedConfig::exact(64, 128, 8), 1);
+        let inst = &p.workload.instance;
+        let edges = order_edges(inst, StreamOrder::Uniform(2));
+        let mut m = Measurement::default();
+        for seed in trial_seeds(9, 4) {
+            m.push(measure(KkSolver::new(inst.m(), inst.n(), seed), &edges, inst, 8));
+        }
+        assert_eq!(m.runs.len(), 4);
+        assert_eq!(m.ratio().n, 4);
+        assert!(m.cover_size().mean >= 8.0);
+        assert!(m.peak_words().mean >= inst.m() as f64);
+        assert!(m.medges_per_sec() >= 0.0);
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct() {
+        let seeds = trial_seeds(7, 8);
+        let mut s = seeds.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 8);
+        assert_eq!(trial_seeds(7, 8), seeds);
+    }
+
+    #[test]
+    fn arg_usize_falls_back_to_default() {
+        assert_eq!(arg_usize("definitely-not-passed", 42), 42);
+    }
+}

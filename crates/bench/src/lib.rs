@@ -1,0 +1,33 @@
+//! # setcover-bench
+//!
+//! Experiment harness for the PODS'23 reproduction: multi-trial runners,
+//! summary statistics, text-table/CSV rendering, and the binaries that
+//! regenerate each table/figure of DESIGN.md's per-experiment index:
+//!
+//! | binary | experiment |
+//! |--------|------------|
+//! | `table1` | E-T1 — Table 1: measured space & approximation per algorithm/regime |
+//! | `alpha_sweep` | E-F1 — Algorithm 2 space vs α (log-log slope ≈ −2) |
+//! | `approx_scaling` | E-F2 — ratio vs n for KK & random-order (slope ≈ ½) |
+//! | `separation` | E-F3 — adversarial vs random order on the same algorithm |
+//! | `lowerbound` | E-F4/E-F6 — Lemma 1 family, Theorem 2 game, simple t-party protocol |
+//! | `invariants` | E-F5 — invariants (I1)–(I3), Lemmas 5 & 8 traces |
+//! | `report` | everything above, concatenated into `results/REPORT.md` |
+//! | `ablation` | E-A1..A4 — design-choice ablations |
+//! | `gen_instance` / `solve` | file-based workload interchange (`.sc`/`.scs`) |
+//!
+//! Run with `cargo run -p setcover-bench --release --bin <name>`. Criterion
+//! throughput benches live in `benches/`; the experiment logic itself is a
+//! library ([`experiments`]) so tests can exercise it end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod stats;
+pub mod table;
+
+pub use harness::{trial_seeds, MeasuredRun, Measurement};
+pub use stats::{loglog_slope, Summary};
+pub use table::Table;

@@ -1,0 +1,134 @@
+//! Summary statistics for multi-trial experiments.
+
+/// Mean / stddev / min / max summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for n < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Empty samples yield zeros.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary { n: 0, mean: 0.0, std: 0.0, min: 0.0, max: 0.0 };
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n >= 2 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary { n, mean, std: var.sqrt(), min, max }
+    }
+
+    /// Summarize integer samples.
+    pub fn of_usize(values: &[usize]) -> Summary {
+        let f: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        Summary::of(&f)
+    }
+
+    /// `mean ± std` rendering with sensible precision.
+    pub fn display(&self) -> String {
+        if self.n == 0 {
+            "-".to_string()
+        } else if self.std == 0.0 {
+            format!("{:.2}", self.mean)
+        } else {
+            format!("{:.2} ± {:.2}", self.mean, self.std)
+        }
+    }
+}
+
+/// Least-squares slope of `log2(y)` against `log2(x)` — the exponent `p`
+/// of a power law `y ≈ c·x^p`. This is how the experiments check
+/// theoretical exponents (space ∝ α^{−2}, ratio ∝ n^{1/2}, ...).
+/// Points with non-positive coordinates are skipped; fewer than two valid
+/// points yield `None`.
+pub fn loglog_slope(points: &[(f64, f64)]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.log2(), y.log2()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn summary_empty_and_single() {
+        assert_eq!(Summary::of(&[]).n, 0);
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(Summary::of(&[]).display(), "-");
+    }
+
+    #[test]
+    fn summary_of_usize() {
+        let s = Summary::of_usize(&[2, 4]);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_recovers_exponent() {
+        // y = 3 x^2
+        let pts: Vec<(f64, f64)> =
+            (1..=10).map(|i| (i as f64, 3.0 * (i * i) as f64)).collect();
+        let slope = loglog_slope(&pts).unwrap();
+        assert!((slope - 2.0).abs() < 1e-9, "slope {slope}");
+    }
+
+    #[test]
+    fn slope_recovers_negative_exponent() {
+        // y = 100 / x^2
+        let pts: Vec<(f64, f64)> =
+            (1..=10).map(|i| (i as f64, 100.0 / ((i * i) as f64))).collect();
+        let slope = loglog_slope(&pts).unwrap();
+        assert!((slope + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_skips_nonpositive_points() {
+        assert_eq!(loglog_slope(&[(0.0, 1.0), (1.0, 1.0)]), None);
+        assert_eq!(loglog_slope(&[]), None);
+        let s = loglog_slope(&[(-1.0, 5.0), (2.0, 4.0), (4.0, 8.0)]).unwrap();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,197 @@
+//! Plain-text table and CSV rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table that can also serialize to CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(s, "{:<width$}  ", c, width = widths[i]);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total.min(120)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV (header + rows). Cells containing commas are quoted.
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Print the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Render a series as a Unicode sparkline (`▁▂▃▄▅▆▇█`) — the text-mode
+/// "figure" the sweep binaries print next to their tables. Non-finite
+/// values render as spaces; a constant series renders mid-height.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return String::new();
+    }
+    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else if max <= min {
+                BARS[3]
+            } else {
+                let t = (v - min) / (max - min);
+                BARS[((t * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Log-scale sparkline: spark of `log2(v)` for positive series — the
+/// right view for power-law sweeps (space vs α, ratio vs n).
+pub fn sparkline_log(values: &[f64]) -> String {
+    let logs: Vec<f64> =
+        values.iter().map(|&v| if v > 0.0 { v.log2() } else { f64::NAN }).collect();
+    sparkline(&logs)
+}
+
+/// Format a word count human-readably (`12_345` → `12.3k`).
+pub fn fmt_words(w: usize) -> String {
+    if w >= 10_000_000 {
+        format!("{:.1}M", w as f64 / 1e6)
+    } else if w >= 10_000 {
+        format!("{:.1}k", w as f64 / 1e3)
+    } else {
+        w.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("demo", &["a", "long-header", "c"]);
+        t.row(&["1".into(), "2".into(), "3".into()]);
+        t.row(&["100".into(), "x".into(), "yyyy".into()]);
+        let r = t.render();
+        assert!(r.contains("## demo"));
+        assert!(r.contains("long-header"));
+        assert!(r.lines().count() >= 5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(&["a,b".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\",plain"));
+        assert!(csv.starts_with("x,y\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn rejects_wrong_arity() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[5.0]), "▄"); // constant mid-height
+        let up = sparkline(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(up.chars().count(), 4);
+        assert!(up.starts_with('▁') && up.ends_with('█'));
+        let down = sparkline(&[4.0, 1.0]);
+        assert_eq!(down, "█▁");
+        // Non-finite values become spaces.
+        assert_eq!(sparkline(&[1.0, f64::NAN, 2.0]), "▁ █");
+    }
+
+    #[test]
+    fn log_sparkline_handles_power_laws() {
+        // Powers of two are linear in log space: evenly spaced bars.
+        let s = sparkline_log(&[1.0, 2.0, 4.0, 8.0]);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+        // An all-nonpositive series has nothing to draw.
+        assert_eq!(sparkline_log(&[0.0]), "");
+        // Mixed: nonpositive entries blank out within a real series.
+        assert_eq!(sparkline_log(&[1.0, 0.0, 4.0]), "▁ █");
+    }
+
+    #[test]
+    fn word_formatting() {
+        assert_eq!(fmt_words(999), "999");
+        assert_eq!(fmt_words(12_345), "12.3k");
+        assert_eq!(fmt_words(12_345_678), "12.3M");
+    }
+}

@@ -1,0 +1,208 @@
+//! t-party Set Disjointness promise instances.
+//!
+//! Each of `t` parties holds a subset `S_i ⊆ [m]`. The promise (paper §3):
+//! either the sets are **pairwise disjoint**, or they **uniquely
+//! intersect** — `|⋂_i S_i| = 1` and `|S_i ∩ S_j| = 1` for every `i ≠ j`
+//! (the pairwise intersections all equal the common element). Deciding
+//! which case holds requires a message of size Ω(m/t²) (Theorem 5,
+//! [Chakrabarti–Khot–Sun]); the reduction turns a too-frugal streaming
+//! algorithm into a too-frugal disjointness protocol.
+
+use rand::seq::SliceRandom;
+
+use setcover_core::rng::{derive_seed, seeded_rng};
+
+/// Which side of the promise an instance realizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisjCase {
+    /// All sets pairwise disjoint.
+    PairwiseDisjoint,
+    /// A unique common element appears in every set; all pairwise
+    /// intersections equal `{x}`.
+    UniquelyIntersecting,
+}
+
+/// A t-party Set Disjointness promise instance over the universe `[m]`.
+#[derive(Debug, Clone)]
+pub struct DisjointnessInstance {
+    /// Universe size (the `m` of the Set Cover reduction: indices of the
+    /// Lemma 1 family).
+    pub m: usize,
+    /// The parties' sets, `sets.len() == t`, each sorted ascending.
+    pub sets: Vec<Vec<u32>>,
+    /// Which case was constructed.
+    pub case: DisjCase,
+    /// The common element in the intersecting case.
+    pub intersection: Option<u32>,
+}
+
+impl DisjointnessInstance {
+    /// Generate an instance with `t` parties over `[m]`. The parties'
+    /// private sets fully partition the available pool — all of `[m]` in
+    /// the disjoint case, `[m] \ {x}` in the intersecting case, where the
+    /// common element `x` is additionally given to every party. Full
+    /// coverage of `[m]` mirrors the hard distribution's density and
+    /// ensures every index of the Lemma 1 family is present in the
+    /// reduction (so every parallel run's set `T_j` actually appears).
+    /// Deterministic in `(m, t, case, seed)`.
+    pub fn generate(m: usize, t: usize, case: DisjCase, seed: u64) -> Self {
+        assert!(t >= 2, "need at least two parties");
+        assert!(m > t, "universe must exceed the party count");
+        let mut rng = seeded_rng(derive_seed(seed, 0x4449_534a)); // "DISJ"
+
+        let mut universe: Vec<u32> = (0..m as u32).collect();
+        universe.shuffle(&mut rng);
+
+        let (common, private): (u32, &[u32]) = match case {
+            DisjCase::UniquelyIntersecting => (universe[0], &universe[1..]),
+            DisjCase::PairwiseDisjoint => (u32::MAX, &universe[..]),
+        };
+
+        // Near-equal split of the private pool across parties.
+        let mut sets: Vec<Vec<u32>> = Vec::with_capacity(t);
+        let base = private.len() / t;
+        let extra = private.len() % t;
+        let mut pos = 0usize;
+        for p in 0..t {
+            let len = base + usize::from(p < extra);
+            let mut s: Vec<u32> = private[pos..pos + len].to_vec();
+            pos += len;
+            if case == DisjCase::UniquelyIntersecting {
+                s.push(common);
+            }
+            s.sort_unstable();
+            sets.push(s);
+        }
+
+        DisjointnessInstance {
+            m,
+            sets,
+            case,
+            intersection: (case == DisjCase::UniquelyIntersecting).then_some(common),
+        }
+    }
+
+    /// Union coverage: how many of `[m]` appear in some party's set
+    /// (always `m` for generated instances).
+    pub fn coverage(&self) -> usize {
+        let mut seen = vec![false; self.m];
+        for s in &self.sets {
+            for &b in s {
+                seen[b as usize] = true;
+            }
+        }
+        seen.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of parties `t`.
+    pub fn t(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Check the promise actually holds (used by tests and as a harness
+    /// sanity check).
+    pub fn verify_promise(&self) -> bool {
+        let t = self.t();
+        match self.case {
+            DisjCase::PairwiseDisjoint => {
+                for i in 0..t {
+                    for j in (i + 1)..t {
+                        if intersection_size(&self.sets[i], &self.sets[j]) != 0 {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+            DisjCase::UniquelyIntersecting => {
+                let Some(x) = self.intersection else { return false };
+                for i in 0..t {
+                    if self.sets[i].binary_search(&x).is_err() {
+                        return false;
+                    }
+                    for j in (i + 1)..t {
+                        if intersection_size(&self.sets[i], &self.sets[j]) != 1 {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
+/// `|a ∩ b|` for sorted slices.
+fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_case_promise_holds_and_covers_universe() {
+        let inst = DisjointnessInstance::generate(100, 4, DisjCase::PairwiseDisjoint, 1);
+        assert_eq!(inst.t(), 4);
+        assert!(inst.verify_promise());
+        assert_eq!(inst.intersection, None);
+        assert_eq!(inst.coverage(), 100);
+        for s in &inst.sets {
+            assert_eq!(s.len(), 25);
+        }
+    }
+
+    #[test]
+    fn intersecting_case_promise_holds_and_covers_universe() {
+        let inst = DisjointnessInstance::generate(101, 4, DisjCase::UniquelyIntersecting, 1);
+        assert!(inst.verify_promise());
+        assert_eq!(inst.coverage(), 101);
+        let x = inst.intersection.unwrap();
+        for s in &inst.sets {
+            assert!(s.binary_search(&x).is_ok());
+            assert_eq!(s.len(), 26);
+        }
+    }
+
+    #[test]
+    fn uneven_pools_distribute_remainders() {
+        let inst = DisjointnessInstance::generate(10, 3, DisjCase::PairwiseDisjoint, 2);
+        let sizes: Vec<usize> = inst.sets.iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+        assert!(inst.verify_promise());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = DisjointnessInstance::generate(50, 2, DisjCase::PairwiseDisjoint, 3);
+        let b = DisjointnessInstance::generate(50, 2, DisjCase::PairwiseDisjoint, 3);
+        assert_eq!(a.sets, b.sets);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe must exceed")]
+    fn rejects_tiny_universe() {
+        DisjointnessInstance::generate(3, 3, DisjCase::PairwiseDisjoint, 1);
+    }
+
+    #[test]
+    fn intersection_size_helper() {
+        assert_eq!(intersection_size(&[1, 3, 5], &[2, 3, 4, 5]), 2);
+        assert_eq!(intersection_size(&[], &[1]), 0);
+        assert_eq!(intersection_size(&[7], &[7]), 1);
+    }
+}

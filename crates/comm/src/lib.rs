@@ -1,0 +1,48 @@
+//! # setcover-comm
+//!
+//! One-way multi-party communication machinery for the PODS'23 lower bound
+//! (Theorem 2) and its surrounding constructions.
+//!
+//! Theorem 2 proves that any one-pass α-approximation streaming algorithm
+//! for edge-arrival Set Cover in adversarial order needs Ω̃(mn²/α⁴) space,
+//! by reduction from t-party **Set Disjointness** (Theorem 5,
+//! [Chakrabarti–Khot–Sun]): if the streaming algorithm used less space,
+//! its forwarded memory state would be a too-short message.
+//!
+//! This crate implements the constructions so the reduction can be *run*:
+//!
+//! * [`disjointness`] — promise instances of t-party Set Disjointness
+//!   (pairwise disjoint vs uniquely intersecting);
+//! * [`party`] — the one-way protocol trace: parties, handoffs, and
+//!   message-size accounting (a streaming algorithm's message is its
+//!   memory state);
+//! * [`reduction`] — the full Theorem 2 reduction: each party feeds the
+//!   partial sets `T_b^p` (from the Lemma 1 family in `setcover-gen`) for
+//!   its disjointness set, the last party forks `m` parallel runs adding
+//!   the complement `[n] \ T_j` in run `j`, and the protocol answers
+//!   "uniquely intersecting" iff some run reports a cover estimate below
+//!   the disjoint-case floor `OPT₀`;
+//! * [`budgeted`] — a space-budgeted KK variant (hashed counters) whose
+//!   distinguishing success collapses with its budget, the measurable
+//!   face of the space lower bound;
+//! * [`simple_protocol`] — the deterministic t-party protocol with
+//!   approximation `2√(nt)` and message size Õ(n) that the paper mentions
+//!   (full version) to motivate why `t = Ω(α²/n)` parties are necessary;
+//! * [`sweep`] — the calibrate-then-evaluate game harness shared by the
+//!   experiments and tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budgeted;
+pub mod disjointness;
+pub mod party;
+pub mod reduction;
+pub mod simple_protocol;
+pub mod sweep;
+
+pub use budgeted::BucketedKkSolver;
+pub use disjointness::{DisjCase, DisjointnessInstance};
+pub use party::{MessageStats, PartyHandoff};
+pub use reduction::{ReductionOutcome, ReductionSolver};
+pub use sweep::{play_once, play_series, GameConfig, GameStats};

@@ -1,0 +1,83 @@
+//! One-way multi-party protocol traces and message-size accounting.
+//!
+//! In the one-way model (paper §3), party 1 sends a message `M₁` to party
+//! 2, who sends `M₂` to party 3, and so on; party `t` outputs the answer.
+//! A one-pass streaming algorithm with space `s` yields a protocol whose
+//! every message has at most `s` words — the algorithm's forwarded memory
+//! state. Conversely, a lower bound on the longest message lower-bounds
+//! streaming space.
+//!
+//! When we *run* a reduction in one process, the "message" at the boundary
+//! between party `p` and party `p+1` is the simulated algorithm's live
+//! state at that instant. [`MessageStats`] records those handoff sizes so
+//! experiments can plot distinguishing power against message length.
+
+/// The state size observed at one party boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartyHandoff {
+    /// The party that just finished (1-based).
+    pub from_party: usize,
+    /// Live words of simulated-algorithm state forwarded to the next
+    /// party.
+    pub state_words: usize,
+}
+
+/// Message-size statistics for one protocol execution.
+#[derive(Debug, Clone, Default)]
+pub struct MessageStats {
+    /// All handoffs, in order.
+    pub handoffs: Vec<PartyHandoff>,
+}
+
+impl MessageStats {
+    /// Record a handoff.
+    pub fn record(&mut self, from_party: usize, state_words: usize) {
+        self.handoffs.push(PartyHandoff { from_party, state_words });
+    }
+
+    /// The longest individual message — the quantity Theorem 5 bounds by
+    /// Ω(m/t²).
+    pub fn max_message_words(&self) -> usize {
+        self.handoffs.iter().map(|h| h.state_words).max().unwrap_or(0)
+    }
+
+    /// Total communication (sum of messages).
+    pub fn total_words(&self) -> usize {
+        self.handoffs.iter().map(|h| h.state_words).sum()
+    }
+
+    /// Number of messages sent.
+    pub fn len(&self) -> usize {
+        self.handoffs.len()
+    }
+
+    /// Whether no message was sent.
+    pub fn is_empty(&self) -> bool {
+        self.handoffs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut s = MessageStats::default();
+        assert!(s.is_empty());
+        s.record(1, 100);
+        s.record(2, 250);
+        s.record(3, 50);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max_message_words(), 250);
+        assert_eq!(s.total_words(), 400);
+        assert_eq!(s.handoffs[1], PartyHandoff { from_party: 2, state_words: 250 });
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = MessageStats::default();
+        assert_eq!(s.max_message_words(), 0);
+        assert_eq!(s.total_words(), 0);
+    }
+}

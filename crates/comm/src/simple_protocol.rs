@@ -1,0 +1,223 @@
+//! The simple deterministic t-party protocol: approximation `2√(nt)`,
+//! maximum message Õ(n).
+//!
+//! The paper (§3, deferred to the full version) notes that a deterministic
+//! t-party protocol achieves a `2√(nt)` approximation with messages of
+//! length Õ(n) — which is why a lower bound above Θ̃(n) space for
+//! approximation α requires `t = Ω(α²/n)` parties. We reconstruct the
+//! natural such protocol:
+//!
+//! * the forwarded message carries the covered-element bitmap, the chosen
+//!   set ids, witnesses, and the first-set map `R(u)` — all Õ(n) words;
+//! * each party processes its local partial sets in order and picks any
+//!   whose *locally new* coverage is at least `τ = √(n/t)`;
+//! * the last party patches uncovered (seen) elements via `R(u)`.
+//!
+//! Analysis: picks cover ≥ τ new elements each, so there are at most
+//! `n/τ = √(nt)` picks. An optimal set's elements are split across ≤ t
+//! parties, each leaving a residual < τ at processing time, so patching
+//! costs < `t·τ·OPT = √(nt)·OPT`. Total ≤ `√(nt) + √(nt)·OPT ≤
+//! 2√(nt)·OPT`.
+
+use std::collections::HashSet;
+
+use setcover_core::math::isqrt;
+use setcover_core::space::bitset_words;
+use setcover_core::{SetCoverInstance, SetId};
+
+use crate::party::MessageStats;
+
+/// One party's input: partial sets `(set id, local elements)`.
+pub type PartyInput = Vec<(u32, Vec<u32>)>;
+
+/// Result of a simple-protocol execution.
+#[derive(Debug, Clone)]
+pub struct SimpleProtocolOutcome {
+    /// The output cover (threshold picks + patches), deduplicated.
+    pub cover_sets: Vec<SetId>,
+    /// Sets chosen by the threshold rule.
+    pub picks: usize,
+    /// Distinct sets added by patching.
+    pub patches: usize,
+    /// The pick threshold `τ = √(n/t)`.
+    pub threshold: usize,
+    /// Message sizes per handoff (Õ(n) each).
+    pub messages: MessageStats,
+}
+
+impl SimpleProtocolOutcome {
+    /// `|cover|`.
+    pub fn cover_size(&self) -> usize {
+        self.cover_sets.len()
+    }
+}
+
+/// Run the protocol on per-party edge partitions over universe `[n]`.
+pub fn run_simple_protocol(n: usize, parties: &[PartyInput]) -> SimpleProtocolOutcome {
+    let t = parties.len().max(1);
+    let threshold = isqrt(n / t).max(1);
+
+    let mut covered = vec![false; n];
+    let mut witnesses: Vec<Option<SetId>> = vec![None; n];
+    let mut first: Vec<Option<SetId>> = vec![None; n];
+    let mut picked: Vec<SetId> = Vec::new();
+    let mut messages = MessageStats::default();
+
+    for (p, input) in parties.iter().enumerate() {
+        for (sid, elems) in input {
+            let sid = SetId(*sid);
+            for &u in elems {
+                if first[u as usize].is_none() {
+                    first[u as usize] = Some(sid);
+                }
+            }
+            let new = elems.iter().filter(|&&u| !covered[u as usize]).count();
+            if new >= threshold {
+                picked.push(sid);
+                for &u in elems {
+                    if !covered[u as usize] {
+                        covered[u as usize] = true;
+                        witnesses[u as usize] = Some(sid);
+                    }
+                }
+            }
+        }
+        // The forwarded state: covered bitmap + picked ids + witnesses +
+        // first-set map — Õ(n) words.
+        messages.record(p + 1, bitset_words(n) + picked.len() + 2 * n);
+    }
+
+    // Patch seen-but-uncovered elements.
+    let mut cover: HashSet<SetId> = picked.iter().copied().collect();
+    let picks = cover.len();
+    let mut patch_sets: HashSet<SetId> = HashSet::new();
+    for u in 0..n {
+        if !covered[u] {
+            if let Some(r) = first[u] {
+                if !cover.contains(&r) {
+                    patch_sets.insert(r);
+                }
+            }
+        }
+    }
+    cover.extend(patch_sets.iter().copied());
+
+    let mut cover_sets: Vec<SetId> = cover.into_iter().collect();
+    cover_sets.sort_unstable();
+    SimpleProtocolOutcome {
+        cover_sets,
+        picks,
+        patches: patch_sets.len(),
+        threshold,
+        messages,
+    }
+}
+
+/// Partition an instance's edges across `t` parties: each set's element
+/// list is split into `t` (nearly equal, contiguous) chunks, chunk `p`
+/// going to party `p`. This is the "sets split across parties" input shape
+/// that makes the `√(nt)` factor tight.
+pub fn split_instance_across_parties(inst: &SetCoverInstance, t: usize) -> Vec<PartyInput> {
+    assert!(t >= 1);
+    let mut parties: Vec<PartyInput> = vec![Vec::new(); t];
+    for s in 0..inst.m() as u32 {
+        let elems = inst.set(SetId(s));
+        let chunk = elems.len().div_ceil(t).max(1);
+        for (p, part) in elems.chunks(chunk).enumerate() {
+            parties[p].push((s, part.iter().map(|u| u.0).collect()));
+        }
+    }
+    parties
+}
+
+/// Give each whole set to one party, round-robin — the easier input shape
+/// (sets not split), on which the protocol behaves like the `√n` threshold
+/// algorithm.
+pub fn assign_sets_round_robin(inst: &SetCoverInstance, t: usize) -> Vec<PartyInput> {
+    assert!(t >= 1);
+    let mut parties: Vec<PartyInput> = vec![Vec::new(); t];
+    for s in 0..inst.m() as u32 {
+        let elems = inst.set(SetId(s)).iter().map(|u| u.0).collect();
+        parties[s as usize % t].push((s, elems));
+    }
+    parties
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcover_gen::planted::{planted, PlantedConfig};
+
+    #[test]
+    fn covers_everything_seen() {
+        let p = planted(&PlantedConfig::exact(256, 512, 8), 1);
+        let inst = &p.workload.instance;
+        let parties = split_instance_across_parties(inst, 4);
+        let out = run_simple_protocol(inst.n(), &parties);
+        // Verify: every element is covered by some set in the output.
+        let mut covered = vec![false; inst.n()];
+        for &s in &out.cover_sets {
+            for &u in inst.set(s) {
+                covered[u.index()] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "protocol output is not a cover");
+    }
+
+    #[test]
+    fn ratio_is_sqrt_nt_scale() {
+        let p = planted(&PlantedConfig::exact(400, 800, 8), 2);
+        let inst = &p.workload.instance;
+        let t = 4;
+        let parties = split_instance_across_parties(inst, t);
+        let out = run_simple_protocol(inst.n(), &parties);
+        let bound = 2.0 * ((inst.n() * t) as f64).sqrt();
+        let ratio = out.cover_size() as f64 / 8.0;
+        assert!(ratio <= bound, "ratio {ratio} above 2√(nt) = {bound}");
+    }
+
+    #[test]
+    fn messages_are_linear_in_n() {
+        let p = planted(&PlantedConfig::exact(300, 3000, 10), 3);
+        let inst = &p.workload.instance;
+        let parties = split_instance_across_parties(inst, 5);
+        let out = run_simple_protocol(inst.n(), &parties);
+        assert_eq!(out.messages.len(), 5);
+        // Õ(n): far below m = 3000... specifically <= bitmap + picks + 2n.
+        let n = inst.n();
+        assert!(out.messages.max_message_words() <= bitset_words(n) + n + 2 * n);
+    }
+
+    #[test]
+    fn threshold_uses_sqrt_n_over_t() {
+        let parties: Vec<PartyInput> = vec![Vec::new(); 4];
+        let out = run_simple_protocol(100, &parties);
+        assert_eq!(out.threshold, 5); // sqrt(100/4)
+        assert_eq!(out.cover_size(), 0); // nothing seen, nothing needed
+    }
+
+    #[test]
+    fn round_robin_assignment_keeps_sets_whole() {
+        let p = planted(&PlantedConfig::exact(60, 30, 6), 4);
+        let inst = &p.workload.instance;
+        let parties = assign_sets_round_robin(inst, 4);
+        let total: usize = parties.iter().map(|pp| pp.len()).sum();
+        assert_eq!(total, inst.m());
+        for (p_idx, party) in parties.iter().enumerate() {
+            for (s, elems) in party {
+                assert_eq!(*s as usize % 4, p_idx);
+                assert_eq!(elems.len(), inst.set_size(SetId(*s)));
+            }
+        }
+    }
+
+    #[test]
+    fn split_partition_preserves_all_edges() {
+        let p = planted(&PlantedConfig::exact(50, 25, 5), 5);
+        let inst = &p.workload.instance;
+        let parties = split_instance_across_parties(inst, 3);
+        let total: usize =
+            parties.iter().flat_map(|pp| pp.iter().map(|(_, e)| e.len())).sum();
+        assert_eq!(total, inst.num_edges());
+    }
+}

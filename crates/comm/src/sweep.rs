@@ -1,0 +1,227 @@
+//! Reusable harness for playing the Theorem 2 distinguishing game over
+//! many seeds, with held-out calibration.
+//!
+//! The binary experiments and integration tests both need the same
+//! protocol: calibrate a decision threshold on dedicated seeds (midpoint
+//! of the two promise cases' mean best-estimates), then evaluate on fresh
+//! seeds and report the success rate and the per-case estimate
+//! distributions. Calibration and evaluation seeds are disjoint by
+//! construction so the threshold never sees the instances it judges.
+
+use setcover_core::rng::derive_seed;
+use setcover_gen::lowerbound::{LbFamily, LbFamilyConfig};
+
+use crate::disjointness::{DisjCase, DisjointnessInstance};
+use crate::reduction::{run_reduction, ReductionOutcome, ReductionSolver};
+
+/// Configuration of one game series.
+#[derive(Debug, Clone, Copy)]
+pub struct GameConfig {
+    /// The Lemma 1 family parameters (shared by every run).
+    pub family: LbFamilyConfig,
+    /// Number of calibration seeds per promise case.
+    pub calibration_runs: usize,
+    /// Number of evaluation seeds (each plays both cases).
+    pub evaluation_runs: usize,
+    /// Triples sampled when measuring the family's max part intersection.
+    pub maxint_samples: usize,
+}
+
+impl GameConfig {
+    /// The scale used throughout the experiments: n = 4096, m = 101,
+    /// t = 8 (see the reduction module docs for why).
+    pub fn standard() -> Self {
+        GameConfig {
+            family: LbFamilyConfig { n: 4096, m: 101, t: 8 },
+            calibration_runs: 3,
+            evaluation_runs: 5,
+            maxint_samples: 500,
+        }
+    }
+}
+
+/// Results of one game series.
+#[derive(Debug, Clone)]
+pub struct GameStats {
+    /// The calibrated decision threshold.
+    pub threshold: usize,
+    /// Correct decisions over evaluation runs.
+    pub correct: usize,
+    /// Total evaluation decisions (2 per evaluation seed).
+    pub total: usize,
+    /// Best estimates of intersecting-case evaluation runs.
+    pub intersecting_estimates: Vec<usize>,
+    /// Best estimates of disjoint-case evaluation runs.
+    pub disjoint_estimates: Vec<usize>,
+    /// Largest forwarded state observed (words).
+    pub max_state_words: usize,
+}
+
+impl GameStats {
+    /// Success rate in `[0, 1]`.
+    pub fn success_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Mean of a case's estimates.
+    pub fn mean(estimates: &[usize]) -> f64 {
+        if estimates.is_empty() {
+            0.0
+        } else {
+            estimates.iter().sum::<usize>() as f64 / estimates.len() as f64
+        }
+    }
+
+    /// Gap factor: disjoint mean / intersecting mean (∞ if the latter is
+    /// 0; 0 if no data).
+    pub fn gap(&self) -> f64 {
+        let i = Self::mean(&self.intersecting_estimates);
+        let d = Self::mean(&self.disjoint_estimates);
+        if i <= 0.0 {
+            if d > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            d / i
+        }
+    }
+}
+
+/// Run one case of the game with a fresh family/instance per seed.
+pub fn play_once<A, F>(cfg: &GameConfig, case: DisjCase, seed: u64, factory: &F) -> ReductionOutcome
+where
+    A: ReductionSolver,
+    F: Fn(usize, usize, u64) -> A,
+{
+    let fam = LbFamily::generate(cfg.family, seed);
+    let disj = DisjointnessInstance::generate(cfg.family.m, cfg.family.t, case, seed);
+    debug_assert!(disj.verify_promise());
+    let maxint = fam.max_part_intersection_sampled(cfg.maxint_samples, seed).max(1);
+    run_reduction(&fam, &disj, maxint, |ms, ns| factory(ms, ns, seed))
+}
+
+/// Play the full series: calibrate, then evaluate.
+///
+/// `factory(m, n, seed)` constructs the simulated streaming algorithm for
+/// one run (the reduction instance has `m` sets over universe `n`).
+pub fn play_series<A, F>(cfg: &GameConfig, base_seed: u64, factory: F) -> GameStats
+where
+    A: ReductionSolver,
+    F: Fn(usize, usize, u64) -> A,
+{
+    // Calibration on a disjoint seed namespace.
+    let cal = |case: DisjCase, salt: u64| -> f64 {
+        let runs: Vec<usize> = (0..cfg.calibration_runs as u64)
+            .map(|i| {
+                play_once(cfg, case, derive_seed(base_seed, salt + i), &factory).best_estimate
+            })
+            .collect();
+        GameStats::mean(&runs)
+    };
+    let ci = cal(DisjCase::UniquelyIntersecting, 0x_CA11);
+    let cd = cal(DisjCase::PairwiseDisjoint, 0x_CA22);
+    let threshold = ((ci + cd) / 2.0).round() as usize;
+
+    let mut stats = GameStats {
+        threshold,
+        correct: 0,
+        total: 0,
+        intersecting_estimates: Vec::new(),
+        disjoint_estimates: Vec::new(),
+        max_state_words: 0,
+    };
+    for i in 0..cfg.evaluation_runs as u64 {
+        let seed = derive_seed(base_seed, 0x_E7A1 + i);
+        for case in [DisjCase::UniquelyIntersecting, DisjCase::PairwiseDisjoint] {
+            let out = play_once(cfg, case, seed, &factory);
+            stats.total += 1;
+            stats.correct += usize::from(out.correct(threshold, case));
+            stats.max_state_words =
+                stats.max_state_words.max(out.messages.max_message_words());
+            match case {
+                DisjCase::UniquelyIntersecting => {
+                    stats.intersecting_estimates.push(out.best_estimate)
+                }
+                DisjCase::PairwiseDisjoint => stats.disjoint_estimates.push(out.best_estimate),
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budgeted::BucketedKkSolver;
+    use setcover_algos::KkSolver;
+
+    fn quick_cfg() -> GameConfig {
+        GameConfig {
+            family: LbFamilyConfig { n: 4096, m: 101, t: 8 },
+            calibration_runs: 2,
+            evaluation_runs: 2,
+            maxint_samples: 300,
+        }
+    }
+
+    #[test]
+    fn full_state_kk_wins_the_series() {
+        let stats = play_series(&quick_cfg(), 42, KkSolver::new);
+        assert_eq!(stats.correct, stats.total, "full-state KK should be perfect");
+        assert!(stats.gap() >= 2.0, "gap {} too small", stats.gap());
+        assert!(stats.max_state_words >= 102, "KK state is Θ(m)");
+        assert!((stats.success_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starved_state_collapses_the_gap() {
+        let stats = play_series(&quick_cfg(), 42, |m, n, seed| {
+            BucketedKkSolver::with_element_budget(m, n, 2, n / 50, seed)
+        });
+        // With 2 counters and 2% of element entries, the two cases are
+        // nearly indistinguishable: the gap shrinks dramatically vs the
+        // full-state series.
+        assert!(stats.gap() < 1.5, "starved gap {} should be near 1", stats.gap());
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let s = GameStats {
+            threshold: 10,
+            correct: 3,
+            total: 4,
+            intersecting_estimates: vec![5, 7],
+            disjoint_estimates: vec![30, 30],
+            max_state_words: 99,
+        };
+        assert!((s.success_rate() - 0.75).abs() < 1e-12);
+        assert!((GameStats::mean(&s.intersecting_estimates) - 6.0).abs() < 1e-12);
+        assert!((s.gap() - 5.0).abs() < 1e-12);
+        let empty = GameStats {
+            threshold: 0,
+            correct: 0,
+            total: 0,
+            intersecting_estimates: vec![],
+            disjoint_estimates: vec![],
+            max_state_words: 0,
+        };
+        assert_eq!(empty.success_rate(), 0.0);
+        assert_eq!(empty.gap(), 0.0);
+    }
+
+    #[test]
+    fn calibration_and_evaluation_seeds_are_disjoint() {
+        // Different base seeds give different thresholds (fresh
+        // calibration) but the protocol stays correct for full-state KK.
+        let a = play_series(&quick_cfg(), 1, KkSolver::new);
+        let b = play_series(&quick_cfg(), 2, KkSolver::new);
+        assert_eq!(a.correct, a.total);
+        assert_eq!(b.correct, b.total);
+    }
+}

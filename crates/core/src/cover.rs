@@ -1,0 +1,298 @@
+//! Covers and cover certificates.
+//!
+//! Per the problem definition (paper §1), an algorithm must output a
+//! subfamily `T ⊆ S` covering the universe **and** a cover certificate
+//! `C : U → T` naming, for each element, a set in `T` that contains it.
+//! (Theorem 2 notes its lower bound holds even for algorithms that only
+//! estimate the cover *size* — our solvers always produce full
+//! certificates.)
+
+use crate::error::CoreError;
+use crate::ids::{ElemId, SetId};
+use crate::instance::SetCoverInstance;
+
+/// A claimed solution: a cover and its certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cover {
+    /// The chosen subfamily `T ⊆ S`, deduplicated, in ascending id order.
+    sets: Vec<SetId>,
+    /// `certificate[u]` is the set of `T` covering element `u`.
+    certificate: Vec<SetId>,
+}
+
+impl Cover {
+    /// Build a cover from a (possibly unsorted, possibly duplicated) list of
+    /// sets and a full certificate. The certificate must have length `n`.
+    pub fn new(mut sets: Vec<SetId>, certificate: Vec<SetId>) -> Self {
+        sets.sort_unstable();
+        sets.dedup();
+        Cover { sets, certificate }
+    }
+
+    /// Build a cover from a certificate alone: the cover is exactly the sets
+    /// the certificate uses.
+    pub fn from_certificate(certificate: Vec<SetId>) -> Self {
+        let sets = certificate.clone();
+        Cover::new(sets, certificate)
+    }
+
+    /// The cover `T`, sorted ascending, duplicate-free.
+    pub fn sets(&self) -> &[SetId] {
+        &self.sets
+    }
+
+    /// Size `|T|` — the objective value.
+    pub fn size(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The certificate `C : U → T`.
+    pub fn certificate(&self) -> &[SetId] {
+        &self.certificate
+    }
+
+    /// The set certified to cover element `u`.
+    pub fn witness(&self, u: ElemId) -> Option<SetId> {
+        self.certificate.get(u.index()).copied()
+    }
+
+    /// Verify this solution against the instance:
+    /// 1. the certificate assigns every element a set;
+    /// 2. each assigned set actually contains the element;
+    /// 3. each assigned set belongs to the cover `T`.
+    ///
+    /// (1)–(3) together imply `⋃_{S ∈ T} S = U`.
+    pub fn verify(&self, inst: &SetCoverInstance) -> Result<(), CoreError> {
+        if self.certificate.len() != inst.n() {
+            let first_missing = self.certificate.len().min(inst.n());
+            return Err(CoreError::MissingCertificate(ElemId(first_missing as u32)));
+        }
+        for (u, &s) in self.certificate.iter().enumerate() {
+            let uid = ElemId(u as u32);
+            if !inst.contains(s, uid) {
+                return Err(CoreError::BadCertificate { elem: uid, set: s });
+            }
+            if self.sets.binary_search(&s).is_err() {
+                return Err(CoreError::CertificateSetNotInCover { elem: uid, set: s });
+            }
+        }
+        Ok(())
+    }
+
+    /// Summary statistics against a reference optimum (planted OPT or a
+    /// lower bound).
+    pub fn stats(&self, opt: usize) -> CoverStats {
+        CoverStats {
+            size: self.size(),
+            opt,
+            approx_ratio: crate::math::approx_ratio(self.size(), opt),
+        }
+    }
+}
+
+/// Solution quality summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverStats {
+    /// `|T|`.
+    pub size: usize,
+    /// The reference optimum used for the ratio.
+    pub opt: usize,
+    /// `size / opt`.
+    pub approx_ratio: f64,
+}
+
+/// Helper used by streaming algorithms while they build a certificate
+/// incrementally: a partial map `U → S` with `n` slots.
+///
+/// Slots start unassigned; the first assignment wins unless `overwrite` is
+/// used. Algorithms typically fill it with witnesses as covered edges
+/// arrive, then patch the remaining slots from the first-set map `R(u)`.
+#[derive(Debug, Clone)]
+pub struct PartialCertificate {
+    slots: Vec<Option<SetId>>,
+    assigned: usize,
+}
+
+impl PartialCertificate {
+    /// A certificate with `n` unassigned slots.
+    pub fn new(n: usize) -> Self {
+        PartialCertificate { slots: vec![None; n], assigned: 0 }
+    }
+
+    /// Assign a witness for `u` if it has none yet. Returns whether the
+    /// assignment took place.
+    #[inline]
+    pub fn assign(&mut self, u: ElemId, s: SetId) -> bool {
+        let slot = &mut self.slots[u.index()];
+        if slot.is_none() {
+            *slot = Some(s);
+            self.assigned += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `u` already has a witness.
+    #[inline]
+    pub fn has(&self, u: ElemId) -> bool {
+        self.slots[u.index()].is_some()
+    }
+
+    /// The witness of `u`, if assigned.
+    pub fn get(&self, u: ElemId) -> Option<SetId> {
+        self.slots[u.index()]
+    }
+
+    /// Number of assigned slots.
+    pub fn assigned(&self) -> usize {
+        self.assigned
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no slot exists.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterate over unassigned element ids.
+    pub fn unassigned(&self) -> impl Iterator<Item = ElemId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(u, _)| ElemId(u as u32))
+    }
+
+    /// Finalize into a full certificate, patching every unassigned slot via
+    /// `patch` (typically the first-set map `R(u)`; see Algorithm 1 line 38
+    /// and Algorithm 2 line 25). Panics if `patch` returns `None` for an
+    /// unassigned slot — the first-set map is total for feasible instances.
+    pub fn finish_with<F: FnMut(ElemId) -> Option<SetId>>(self, mut patch: F) -> Vec<SetId> {
+        self.slots
+            .into_iter()
+            .enumerate()
+            .map(|(u, s)| {
+                s.or_else(|| patch(ElemId(u as u32)))
+                    .expect("patch function must cover all unassigned elements")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    fn inst() -> SetCoverInstance {
+        let mut b = InstanceBuilder::new(3, 4);
+        b.add_set_elems(0, [0, 1]);
+        b.add_set_elems(1, [1, 2]);
+        b.add_set_elems(2, [2, 3]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn valid_cover_verifies() {
+        let inst = inst();
+        let cover = Cover::new(
+            vec![SetId(0), SetId(2)],
+            vec![SetId(0), SetId(0), SetId(2), SetId(2)],
+        );
+        cover.verify(&inst).unwrap();
+        assert_eq!(cover.size(), 2);
+        assert_eq!(cover.witness(ElemId(1)), Some(SetId(0)));
+    }
+
+    #[test]
+    fn duplicate_sets_are_deduped() {
+        let cover = Cover::new(
+            vec![SetId(2), SetId(0), SetId(0), SetId(2)],
+            vec![SetId(0), SetId(0), SetId(2), SetId(2)],
+        );
+        assert_eq!(cover.sets(), &[SetId(0), SetId(2)]);
+        assert_eq!(cover.size(), 2);
+    }
+
+    #[test]
+    fn from_certificate_builds_minimal_family() {
+        let cover =
+            Cover::from_certificate(vec![SetId(0), SetId(0), SetId(1), SetId(2)]);
+        assert_eq!(cover.sets(), &[SetId(0), SetId(1), SetId(2)]);
+    }
+
+    #[test]
+    fn bad_certificate_detected() {
+        let inst = inst();
+        // S0 does not contain element 3.
+        let cover = Cover::new(
+            vec![SetId(0), SetId(2)],
+            vec![SetId(0), SetId(0), SetId(2), SetId(0)],
+        );
+        assert_eq!(
+            cover.verify(&inst).unwrap_err(),
+            CoreError::BadCertificate { elem: ElemId(3), set: SetId(0) }
+        );
+    }
+
+    #[test]
+    fn certificate_set_must_be_in_cover() {
+        let inst = inst();
+        let cover = Cover::new(
+            vec![SetId(0)],
+            vec![SetId(0), SetId(0), SetId(1), SetId(2)],
+        );
+        assert!(matches!(
+            cover.verify(&inst).unwrap_err(),
+            CoreError::CertificateSetNotInCover { .. }
+        ));
+    }
+
+    #[test]
+    fn short_certificate_detected() {
+        let inst = inst();
+        let cover = Cover::new(vec![SetId(0)], vec![SetId(0), SetId(0)]);
+        assert!(matches!(cover.verify(&inst).unwrap_err(), CoreError::MissingCertificate(_)));
+    }
+
+    #[test]
+    fn stats_compute_ratio() {
+        let cover = Cover::from_certificate(vec![SetId(0), SetId(1)]);
+        let st = cover.stats(1);
+        assert_eq!(st.size, 2);
+        assert_eq!(st.approx_ratio, 2.0);
+    }
+
+    #[test]
+    fn partial_certificate_first_assignment_wins() {
+        let mut pc = PartialCertificate::new(3);
+        assert!(pc.assign(ElemId(0), SetId(5)));
+        assert!(!pc.assign(ElemId(0), SetId(6)));
+        assert_eq!(pc.get(ElemId(0)), Some(SetId(5)));
+        assert_eq!(pc.assigned(), 1);
+        assert!(pc.has(ElemId(0)));
+        assert!(!pc.has(ElemId(1)));
+        let un: Vec<_> = pc.unassigned().collect();
+        assert_eq!(un, vec![ElemId(1), ElemId(2)]);
+    }
+
+    #[test]
+    fn partial_certificate_finish_patches() {
+        let mut pc = PartialCertificate::new(3);
+        pc.assign(ElemId(1), SetId(9));
+        let full = pc.finish_with(|u| Some(SetId(u.0)));
+        assert_eq!(full, vec![SetId(0), SetId(9), SetId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "patch function")]
+    fn partial_certificate_finish_requires_total_patch() {
+        let pc = PartialCertificate::new(1);
+        let _ = pc.finish_with(|_| None);
+    }
+}

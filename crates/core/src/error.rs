@@ -1,0 +1,103 @@
+//! Error types for instance construction and solution verification.
+
+use std::fmt;
+
+use crate::ids::{ElemId, SetId};
+
+/// Errors produced while building instances or verifying covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The instance declares an empty universe (`n == 0`).
+    EmptyUniverse,
+    /// The instance declares an empty set family (`m == 0`).
+    EmptyFamily,
+    /// An edge references a set index `>= m`.
+    SetOutOfRange {
+        /// The offending set id.
+        set: SetId,
+        /// The declared number of sets `m`.
+        m: usize,
+    },
+    /// An edge references an element index `>= n`.
+    ElemOutOfRange {
+        /// The offending element id.
+        elem: ElemId,
+        /// The declared universe size `n`.
+        n: usize,
+    },
+    /// Some element is not contained in any set, so no cover exists.
+    /// The paper (§2) assumes instances are feasible.
+    UncoverableElement(ElemId),
+    /// A claimed cover leaves this element uncovered.
+    ElementNotCovered(ElemId),
+    /// A cover certificate maps an element to a set that does not contain it.
+    BadCertificate {
+        /// The element whose certificate is wrong.
+        elem: ElemId,
+        /// The set the certificate names.
+        set: SetId,
+    },
+    /// A cover certificate names a set that is not part of the cover.
+    CertificateSetNotInCover {
+        /// The element whose certificate is wrong.
+        elem: ElemId,
+        /// The set the certificate names.
+        set: SetId,
+    },
+    /// A cover certificate is missing for this element.
+    MissingCertificate(ElemId),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyUniverse => write!(f, "instance has an empty universe (n = 0)"),
+            CoreError::EmptyFamily => write!(f, "instance has an empty set family (m = 0)"),
+            CoreError::SetOutOfRange { set, m } => {
+                write!(f, "edge references {set} but the family has only {m} sets")
+            }
+            CoreError::ElemOutOfRange { elem, n } => {
+                write!(f, "edge references {elem} but the universe has only {n} elements")
+            }
+            CoreError::UncoverableElement(u) => {
+                write!(f, "element {u} is contained in no set; the instance is infeasible")
+            }
+            CoreError::ElementNotCovered(u) => {
+                write!(f, "claimed cover does not cover element {u}")
+            }
+            CoreError::BadCertificate { elem, set } => {
+                write!(f, "certificate maps {elem} to {set}, which does not contain it")
+            }
+            CoreError::CertificateSetNotInCover { elem, set } => {
+                write!(f, "certificate maps {elem} to {set}, which is not in the cover")
+            }
+            CoreError::MissingCertificate(u) => {
+                write!(f, "cover certificate is missing for element {u}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_ids() {
+        let e = CoreError::SetOutOfRange { set: SetId(9), m: 4 };
+        assert!(e.to_string().contains("S9"));
+        assert!(e.to_string().contains('4'));
+
+        let e = CoreError::BadCertificate { elem: ElemId(2), set: SetId(1) };
+        assert!(e.to_string().contains("u2"));
+        assert!(e.to_string().contains("S1"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<CoreError>();
+    }
+}

@@ -1,0 +1,95 @@
+//! Dense integer identifiers for sets and elements.
+//!
+//! The paper's instances are indexed: sets `S_1..S_m` and universe
+//! `U = [n]`. We use zero-based dense `u32` indices wrapped in newtypes so
+//! that set indices and element indices cannot be confused at compile time.
+//! `u32` keeps hot structures (edge lists, counters) compact; instances with
+//! more than `2^32 - 1` sets or elements are out of scope for a single-node
+//! reproduction.
+
+use std::fmt;
+
+/// Identifier of a set `S_i` in the family `S = {S_0, ..., S_{m-1}}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SetId(pub u32);
+
+/// Identifier of an element `u` in the universe `U = {0, ..., n-1}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ElemId(pub u32);
+
+impl SetId {
+    /// The set index as a `usize`, for direct indexing of per-set arrays.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ElemId {
+    /// The element index as a `usize`, for direct indexing of per-element
+    /// arrays.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for SetId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        SetId(v)
+    }
+}
+
+impl From<u32> for ElemId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        ElemId(v)
+    }
+}
+
+impl fmt::Display for SetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Display for ElemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_id_roundtrip() {
+        let s = SetId::from(7u32);
+        assert_eq!(s.index(), 7);
+        assert_eq!(s, SetId(7));
+        assert_eq!(s.to_string(), "S7");
+    }
+
+    #[test]
+    fn elem_id_roundtrip() {
+        let u = ElemId::from(3u32);
+        assert_eq!(u.index(), 3);
+        assert_eq!(u, ElemId(3));
+        assert_eq!(u.to_string(), "u3");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(SetId(1) < SetId(2));
+        assert!(ElemId(0) < ElemId(10));
+    }
+
+    #[test]
+    fn ids_are_compact() {
+        assert_eq!(std::mem::size_of::<SetId>(), 4);
+        assert_eq!(std::mem::size_of::<ElemId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<SetId>>(), 8);
+    }
+}

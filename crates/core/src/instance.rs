@@ -1,0 +1,424 @@
+//! Set Cover instances and their bipartite-graph representation.
+//!
+//! Following §2 of the paper, an instance `(S, U)` with `m = |S|` sets and
+//! `n = |U|` elements is represented as a bipartite graph
+//! `G = (S, U, E)` with an edge `(S_i, u)` iff `u ∈ S_i`. The edge set `E`
+//! is exactly what arrives in the stream, in some order.
+//!
+//! [`SetCoverInstance`] stores both adjacency directions in CSR
+//! (compressed sparse row) form: element lists per set, and set lists per
+//! element. Both are sorted, enabling `O(log)` membership queries and
+//! cache-friendly iteration. Instances are immutable after construction;
+//! build them with [`InstanceBuilder`].
+
+use crate::error::CoreError;
+use crate::ids::{ElemId, SetId};
+
+/// A single stream token `(S, u)`: element `u` is contained in set `S`.
+///
+/// The paper writes tuples both as `(S, u)` and `(u, S)`; the orientation is
+/// immaterial, an [`Edge`] always carries both endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// The set endpoint `S`.
+    pub set: SetId,
+    /// The element endpoint `u`.
+    pub elem: ElemId,
+}
+
+impl Edge {
+    /// Construct an edge from raw indices.
+    #[inline]
+    pub fn new(set: u32, elem: u32) -> Self {
+        Edge { set: SetId(set), elem: ElemId(elem) }
+    }
+}
+
+/// An immutable Set Cover instance in bipartite CSR representation.
+///
+/// Invariants (enforced by [`InstanceBuilder::build`]):
+/// * `n >= 1`, `m >= 1`;
+/// * every element is contained in at least one set (feasibility, §2);
+/// * adjacency lists are sorted and duplicate-free;
+/// * both adjacency directions describe the same edge set.
+#[derive(Debug, Clone)]
+pub struct SetCoverInstance {
+    n: usize,
+    m: usize,
+    /// CSR offsets into `set_elems`; length `m + 1`.
+    set_offsets: Vec<usize>,
+    /// Concatenated, per-set-sorted element lists.
+    set_elems: Vec<ElemId>,
+    /// CSR offsets into `elem_sets`; length `n + 1`.
+    elem_offsets: Vec<usize>,
+    /// Concatenated, per-element-sorted set lists.
+    elem_sets: Vec<SetId>,
+}
+
+impl SetCoverInstance {
+    /// Universe size `n = |U|`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of sets `m = |S|`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of edges `N = |E| = Σ_i |S_i|` — the stream length.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.set_elems.len()
+    }
+
+    /// The elements of set `s`, sorted ascending. This is `N(S)` in the
+    /// paper's notation.
+    #[inline]
+    pub fn set(&self, s: SetId) -> &[ElemId] {
+        let i = s.index();
+        &self.set_elems[self.set_offsets[i]..self.set_offsets[i + 1]]
+    }
+
+    /// The sets containing element `u`, sorted ascending.
+    #[inline]
+    pub fn sets_containing(&self, u: ElemId) -> &[SetId] {
+        let i = u.index();
+        &self.elem_sets[self.elem_offsets[i]..self.elem_offsets[i + 1]]
+    }
+
+    /// Size `|S_s|` of set `s`.
+    #[inline]
+    pub fn set_size(&self, s: SetId) -> usize {
+        let i = s.index();
+        self.set_offsets[i + 1] - self.set_offsets[i]
+    }
+
+    /// Degree of element `u`: the number of sets containing it.
+    #[inline]
+    pub fn elem_degree(&self, u: ElemId) -> usize {
+        let i = u.index();
+        self.elem_offsets[i + 1] - self.elem_offsets[i]
+    }
+
+    /// Whether `u ∈ S_s`, by binary search (`O(log |S_s|)`).
+    pub fn contains(&self, s: SetId, u: ElemId) -> bool {
+        self.set(s).binary_search(&u).is_ok()
+    }
+
+    /// Iterate over all edges in canonical order (by set, then element).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.m).flat_map(move |i| {
+            let s = SetId(i as u32);
+            self.set(s).iter().map(move |&u| Edge { set: s, elem: u })
+        })
+    }
+
+    /// Collect all edges into a vector (canonical order). This materializes
+    /// the stream content; order adapters in [`crate::stream`] permute it.
+    pub fn edge_vec(&self) -> Vec<Edge> {
+        self.edges().collect()
+    }
+
+    /// Summary statistics used by generators, experiments and reports.
+    pub fn stats(&self) -> InstanceStats {
+        let mut min_set = usize::MAX;
+        let mut max_set = 0usize;
+        for i in 0..self.m {
+            let sz = self.set_offsets[i + 1] - self.set_offsets[i];
+            min_set = min_set.min(sz);
+            max_set = max_set.max(sz);
+        }
+        let mut min_deg = usize::MAX;
+        let mut max_deg = 0usize;
+        for i in 0..self.n {
+            let d = self.elem_offsets[i + 1] - self.elem_offsets[i];
+            min_deg = min_deg.min(d);
+            max_deg = max_deg.max(d);
+        }
+        InstanceStats {
+            n: self.n,
+            m: self.m,
+            edges: self.num_edges(),
+            min_set_size: min_set,
+            max_set_size: max_set,
+            avg_set_size: self.num_edges() as f64 / self.m as f64,
+            min_elem_degree: min_deg,
+            max_elem_degree: max_deg,
+            avg_elem_degree: self.num_edges() as f64 / self.n as f64,
+        }
+    }
+
+    /// A trivial upper bound on OPT: one (arbitrary, here: smallest-id) set
+    /// per element, deduplicated. Used as the patching baseline ("first set"
+    /// rule, Algorithm 1 line 38 / Algorithm 2 line 25 use the stream-order
+    /// analogue).
+    pub fn trivial_cover_size(&self) -> usize {
+        let mut chosen = vec![false; self.m];
+        let mut count = 0usize;
+        for u in 0..self.n {
+            let s = self.elem_sets[self.elem_offsets[u]];
+            if !chosen[s.index()] {
+                chosen[s.index()] = true;
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+/// Summary statistics of an instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceStats {
+    /// Universe size.
+    pub n: usize,
+    /// Number of sets.
+    pub m: usize,
+    /// Number of edges (stream length).
+    pub edges: usize,
+    /// Smallest set size.
+    pub min_set_size: usize,
+    /// Largest set size.
+    pub max_set_size: usize,
+    /// Mean set size.
+    pub avg_set_size: f64,
+    /// Smallest element degree.
+    pub min_elem_degree: usize,
+    /// Largest element degree.
+    pub max_elem_degree: usize,
+    /// Mean element degree.
+    pub avg_elem_degree: f64,
+}
+
+/// Incremental builder for [`SetCoverInstance`].
+///
+/// Accepts edges in any order, deduplicates them, validates ranges and
+/// feasibility, and produces both CSR directions.
+#[derive(Debug, Clone)]
+pub struct InstanceBuilder {
+    n: usize,
+    m: usize,
+    edges: Vec<Edge>,
+}
+
+impl InstanceBuilder {
+    /// Start building an instance with `m` sets over a universe of size `n`.
+    pub fn new(m: usize, n: usize) -> Self {
+        InstanceBuilder { n, m, edges: Vec::new() }
+    }
+
+    /// Pre-allocate for `cap` edges.
+    pub fn with_edge_capacity(mut self, cap: usize) -> Self {
+        self.edges.reserve(cap);
+        self
+    }
+
+    /// Add a single membership `u ∈ S_s`. Duplicates are tolerated and
+    /// removed at [`build`](Self::build) time.
+    #[inline]
+    pub fn add_edge(&mut self, s: SetId, u: ElemId) -> &mut Self {
+        self.edges.push(Edge { set: s, elem: u });
+        self
+    }
+
+    /// Add a whole set's contents at once.
+    pub fn add_set_elems<I: IntoIterator<Item = u32>>(&mut self, s: u32, elems: I) -> &mut Self {
+        for e in elems {
+            self.add_edge(SetId(s), ElemId(e));
+        }
+        self
+    }
+
+    /// Number of (possibly duplicate) edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Validate and freeze into a [`SetCoverInstance`].
+    ///
+    /// Errors if the universe or family is empty, any edge is out of range,
+    /// or some element is contained in no set (infeasible instance).
+    pub fn build(mut self) -> Result<SetCoverInstance, CoreError> {
+        if self.n == 0 {
+            return Err(CoreError::EmptyUniverse);
+        }
+        if self.m == 0 {
+            return Err(CoreError::EmptyFamily);
+        }
+        for e in &self.edges {
+            if e.set.index() >= self.m {
+                return Err(CoreError::SetOutOfRange { set: e.set, m: self.m });
+            }
+            if e.elem.index() >= self.n {
+                return Err(CoreError::ElemOutOfRange { elem: e.elem, n: self.n });
+            }
+        }
+        // Sort by (set, elem) and dedup: gives per-set sorted element lists.
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let mut set_offsets = vec![0usize; self.m + 1];
+        for e in &self.edges {
+            set_offsets[e.set.index() + 1] += 1;
+        }
+        for i in 0..self.m {
+            set_offsets[i + 1] += set_offsets[i];
+        }
+        let set_elems: Vec<ElemId> = self.edges.iter().map(|e| e.elem).collect();
+
+        // Reverse direction: counting sort by element keeps per-element set
+        // lists sorted because we scan edges in (set, elem) order.
+        let mut elem_offsets = vec![0usize; self.n + 1];
+        for e in &self.edges {
+            elem_offsets[e.elem.index() + 1] += 1;
+        }
+        for i in 0..self.n {
+            elem_offsets[i + 1] += elem_offsets[i];
+        }
+        for (u, w) in elem_offsets.iter().enumerate().take(self.n) {
+            if elem_offsets[u + 1] == *w {
+                return Err(CoreError::UncoverableElement(ElemId(u as u32)));
+            }
+        }
+        let mut cursor = elem_offsets.clone();
+        let mut elem_sets = vec![SetId(0); self.edges.len()];
+        for e in &self.edges {
+            let c = &mut cursor[e.elem.index()];
+            elem_sets[*c] = e.set;
+            *c += 1;
+        }
+
+        Ok(SetCoverInstance {
+            n: self.n,
+            m: self.m,
+            set_offsets,
+            set_elems,
+            elem_offsets,
+            elem_sets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetCoverInstance {
+        // S0 = {0,1}, S1 = {1,2}, S2 = {2,3}, n = 4
+        let mut b = InstanceBuilder::new(3, 4);
+        b.add_set_elems(0, [0, 1]);
+        b.add_set_elems(1, [1, 2]);
+        b.add_set_elems(2, [2, 3]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_exposes_adjacency() {
+        let inst = tiny();
+        assert_eq!(inst.n(), 4);
+        assert_eq!(inst.m(), 3);
+        assert_eq!(inst.num_edges(), 6);
+        assert_eq!(inst.set(SetId(0)), &[ElemId(0), ElemId(1)]);
+        assert_eq!(inst.set(SetId(2)), &[ElemId(2), ElemId(3)]);
+        assert_eq!(inst.sets_containing(ElemId(1)), &[SetId(0), SetId(1)]);
+        assert_eq!(inst.sets_containing(ElemId(3)), &[SetId(2)]);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let inst = tiny();
+        assert!(inst.contains(SetId(0), ElemId(1)));
+        assert!(!inst.contains(SetId(0), ElemId(3)));
+        assert_eq!(inst.set_size(SetId(1)), 2);
+        assert_eq!(inst.elem_degree(ElemId(2)), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_are_removed() {
+        let mut b = InstanceBuilder::new(1, 2);
+        b.add_set_elems(0, [0, 1, 0, 1, 1]);
+        let inst = b.build().unwrap();
+        assert_eq!(inst.num_edges(), 2);
+        assert_eq!(inst.set(SetId(0)).len(), 2);
+    }
+
+    #[test]
+    fn edges_iterator_matches_counts() {
+        let inst = tiny();
+        let edges = inst.edge_vec();
+        assert_eq!(edges.len(), inst.num_edges());
+        assert!(edges.contains(&Edge::new(1, 2)));
+        // Canonical order: sorted by (set, elem).
+        let mut sorted = edges.clone();
+        sorted.sort();
+        assert_eq!(edges, sorted);
+    }
+
+    #[test]
+    fn rejects_empty_universe_and_family() {
+        assert_eq!(InstanceBuilder::new(1, 0).build().unwrap_err(), CoreError::EmptyUniverse);
+        assert_eq!(InstanceBuilder::new(0, 1).build().unwrap_err(), CoreError::EmptyFamily);
+    }
+
+    #[test]
+    fn rejects_out_of_range_edges() {
+        let mut b = InstanceBuilder::new(1, 1);
+        b.add_edge(SetId(1), ElemId(0));
+        assert!(matches!(b.build().unwrap_err(), CoreError::SetOutOfRange { .. }));
+
+        let mut b = InstanceBuilder::new(1, 1);
+        b.add_edge(SetId(0), ElemId(5));
+        assert!(matches!(b.build().unwrap_err(), CoreError::ElemOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_infeasible_instance() {
+        let mut b = InstanceBuilder::new(2, 3);
+        b.add_set_elems(0, [0]);
+        b.add_set_elems(1, [2]);
+        // element 1 uncovered
+        assert_eq!(b.build().unwrap_err(), CoreError::UncoverableElement(ElemId(1)));
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let inst = tiny();
+        let st = inst.stats();
+        assert_eq!(st.n, 4);
+        assert_eq!(st.m, 3);
+        assert_eq!(st.edges, 6);
+        assert_eq!(st.min_set_size, 2);
+        assert_eq!(st.max_set_size, 2);
+        assert_eq!(st.min_elem_degree, 1);
+        assert_eq!(st.max_elem_degree, 2);
+        assert!((st.avg_set_size - 2.0).abs() < 1e-12);
+        assert!((st.avg_elem_degree - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_cover_upper_bound() {
+        let inst = tiny();
+        let t = inst.trivial_cover_size();
+        // first-set rule: u0->S0, u1->S0, u2->S1, u3->S2 => 3 sets
+        assert_eq!(t, 3);
+        assert!(t <= inst.n());
+    }
+
+    #[test]
+    fn reverse_adjacency_is_sorted() {
+        let mut b = InstanceBuilder::new(4, 3);
+        b.add_set_elems(3, [0, 1]);
+        b.add_set_elems(1, [0, 2]);
+        b.add_set_elems(0, [1, 2]);
+        b.add_set_elems(2, [2]);
+        let inst = b.build().unwrap();
+        for u in 0..inst.n() {
+            let sets = inst.sets_containing(ElemId(u as u32));
+            let mut sorted = sets.to_vec();
+            sorted.sort();
+            assert_eq!(sets, &sorted[..]);
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Instance and stream (de)serialization.
+//!
+//! Two plain-text formats, chosen for interoperability with the practical
+//! set-cover literature the paper cites (§1.3 — Cormode et al., Barlow et
+//! al. evaluate on edge-list benchmark files):
+//!
+//! ## `.sc` — set-list format
+//!
+//! ```text
+//! c optional comment lines
+//! p setcover <m> <n>
+//! s <set-id> <elem> <elem> ...
+//! ```
+//!
+//! One `s` line per (non-empty) set; ids are zero-based. Sets may repeat
+//! across lines (contents are merged).
+//!
+//! ## `.scs` — stream format
+//!
+//! ```text
+//! c optional comment lines
+//! p setstream <m> <n> <num-edges>
+//! e <set-id> <elem-id>
+//! ```
+//!
+//! One `e` line per stream token, **in arrival order** — this serializes
+//! a concrete edge-arrival stream, not just the instance, so experiments
+//! on a fixed adversarial order can be exchanged between implementations.
+//!
+//! Both readers validate against the declared dimensions and report line
+//! numbers in errors; the stream reader preserves order and tolerates
+//! duplicate edges (the robustness suite covers solver behaviour on
+//! them).
+
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+
+use crate::ids::{ElemId, SetId};
+use crate::instance::{Edge, InstanceBuilder, SetCoverInstance};
+
+/// Errors produced by the readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Syntax or semantic problem at a specific line (1-based).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parsed data does not form a feasible instance.
+    Invalid(crate::error::CoreError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            IoError::Invalid(e) => write!(f, "invalid instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse { line, message: message.into() }
+}
+
+/// Serialize an instance in `.sc` set-list format.
+pub fn write_instance<W: Write>(inst: &SetCoverInstance, mut w: W) -> Result<(), IoError> {
+    writeln!(w, "c edge-arrival-setcover instance")?;
+    writeln!(w, "p setcover {} {}", inst.m(), inst.n())?;
+    let mut line = String::new();
+    for s in 0..inst.m() as u32 {
+        let elems = inst.set(SetId(s));
+        if elems.is_empty() {
+            continue;
+        }
+        line.clear();
+        let _ = write!(line, "s {s}");
+        for u in elems {
+            let _ = write!(line, " {}", u.0);
+        }
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Parse an instance from `.sc` set-list format.
+pub fn read_instance<R: BufRead>(r: R) -> Result<SetCoverInstance, IoError> {
+    let mut header: Option<(usize, usize)> = None;
+    let mut builder: Option<InstanceBuilder> = None;
+    for (idx, line) in r.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p ") {
+            if header.is_some() {
+                return Err(parse_err(lineno, "duplicate problem line"));
+            }
+            let mut it = rest.split_whitespace();
+            if it.next() != Some("setcover") {
+                return Err(parse_err(lineno, "expected `p setcover <m> <n>`"));
+            }
+            let m: usize = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| parse_err(lineno, "bad m"))?;
+            let n: usize = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| parse_err(lineno, "bad n"))?;
+            header = Some((m, n));
+            builder = Some(InstanceBuilder::new(m, n));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("s ") {
+            let b = builder
+                .as_mut()
+                .ok_or_else(|| parse_err(lineno, "`s` line before problem line"))?;
+            let mut it = rest.split_whitespace();
+            let s: u32 = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| parse_err(lineno, "bad set id"))?;
+            for tok in it {
+                let u: u32 =
+                    tok.parse().map_err(|_| parse_err(lineno, format!("bad element `{tok}`")))?;
+                b.add_edge(SetId(s), ElemId(u));
+            }
+            continue;
+        }
+        return Err(parse_err(lineno, format!("unrecognized line `{line}`")));
+    }
+    let b = builder.ok_or_else(|| parse_err(0, "missing problem line"))?;
+    b.build().map_err(IoError::Invalid)
+}
+
+/// Serialize a concrete stream (ordered edges) in `.scs` format.
+pub fn write_stream<W: Write>(
+    m: usize,
+    n: usize,
+    edges: &[Edge],
+    mut w: W,
+) -> Result<(), IoError> {
+    writeln!(w, "c edge-arrival-setcover stream (order is significant)")?;
+    writeln!(w, "p setstream {m} {n} {}", edges.len())?;
+    for e in edges {
+        writeln!(w, "e {} {}", e.set.0, e.elem.0)?;
+    }
+    Ok(())
+}
+
+/// A parsed stream: dimensions plus the edge sequence in arrival order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedStream {
+    /// Declared number of sets.
+    pub m: usize,
+    /// Declared universe size.
+    pub n: usize,
+    /// Edges in arrival order (duplicates preserved).
+    pub edges: Vec<Edge>,
+}
+
+impl ParsedStream {
+    /// Build the underlying instance (deduplicating edges). Fails if some
+    /// element never appears (the stream's instance would be infeasible).
+    pub fn to_instance(&self) -> Result<SetCoverInstance, IoError> {
+        let mut b = InstanceBuilder::new(self.m, self.n).with_edge_capacity(self.edges.len());
+        for e in &self.edges {
+            b.add_edge(e.set, e.elem);
+        }
+        b.build().map_err(IoError::Invalid)
+    }
+}
+
+/// Parse a `.scs` stream file.
+pub fn read_stream<R: BufRead>(r: R) -> Result<ParsedStream, IoError> {
+    let mut parsed: Option<ParsedStream> = None;
+    let mut declared_edges = 0usize;
+    for (idx, line) in r.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p ") {
+            if parsed.is_some() {
+                return Err(parse_err(lineno, "duplicate problem line"));
+            }
+            let mut it = rest.split_whitespace();
+            if it.next() != Some("setstream") {
+                return Err(parse_err(lineno, "expected `p setstream <m> <n> <edges>`"));
+            }
+            let m: usize = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| parse_err(lineno, "bad m"))?;
+            let n: usize = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| parse_err(lineno, "bad n"))?;
+            declared_edges = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| parse_err(lineno, "bad edge count"))?;
+            parsed = Some(ParsedStream { m, n, edges: Vec::with_capacity(declared_edges) });
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("e ") {
+            let p = parsed
+                .as_mut()
+                .ok_or_else(|| parse_err(lineno, "`e` line before problem line"))?;
+            let mut it = rest.split_whitespace();
+            let s: u32 = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| parse_err(lineno, "bad set id"))?;
+            let u: u32 = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| parse_err(lineno, "bad element id"))?;
+            if s as usize >= p.m {
+                return Err(parse_err(lineno, format!("set id {s} >= m = {}", p.m)));
+            }
+            if u as usize >= p.n {
+                return Err(parse_err(lineno, format!("element id {u} >= n = {}", p.n)));
+            }
+            p.edges.push(Edge { set: SetId(s), elem: ElemId(u) });
+            continue;
+        }
+        return Err(parse_err(lineno, format!("unrecognized line `{line}`")));
+    }
+    let p = parsed.ok_or_else(|| parse_err(0, "missing problem line"))?;
+    if p.edges.len() != declared_edges {
+        return Err(parse_err(
+            0,
+            format!("declared {declared_edges} edges, found {}", p.edges.len()),
+        ));
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{order_edges, StreamOrder};
+
+    fn tiny() -> SetCoverInstance {
+        let mut b = InstanceBuilder::new(3, 4);
+        b.add_set_elems(0, [0, 1]);
+        b.add_set_elems(1, [1, 2]);
+        b.add_set_elems(2, [2, 3]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn instance_roundtrip() {
+        let inst = tiny();
+        let mut buf = Vec::new();
+        write_instance(&inst, &mut buf).unwrap();
+        let back = read_instance(&buf[..]).unwrap();
+        assert_eq!(back.m(), inst.m());
+        assert_eq!(back.n(), inst.n());
+        assert_eq!(back.edge_vec(), inst.edge_vec());
+    }
+
+    #[test]
+    fn instance_format_is_stable() {
+        let mut buf = Vec::new();
+        write_instance(&tiny(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("p setcover 3 4"));
+        assert!(text.contains("s 0 0 1"));
+        assert!(text.contains("s 2 2 3"));
+    }
+
+    #[test]
+    fn stream_roundtrip_preserves_order_and_duplicates() {
+        let inst = tiny();
+        let mut edges = order_edges(&inst, StreamOrder::Interleaved);
+        edges.push(edges[0]); // inject a duplicate
+        let mut buf = Vec::new();
+        write_stream(inst.m(), inst.n(), &edges, &mut buf).unwrap();
+        let back = read_stream(&buf[..]).unwrap();
+        assert_eq!(back.m, 3);
+        assert_eq!(back.n, 4);
+        assert_eq!(back.edges, edges);
+        // The instance view deduplicates.
+        let again = back.to_instance().unwrap();
+        assert_eq!(again.edge_vec(), inst.edge_vec());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "c hello\n\np setcover 2 2\nc mid comment\ns 0 0\ns 1 1\n";
+        let inst = read_instance(text.as_bytes()).unwrap();
+        assert_eq!(inst.m(), 2);
+        assert_eq!(inst.num_edges(), 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "p setcover 2 2\nx what\n";
+        match read_instance(bad.as_bytes()) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let bad = "s 0 1\n";
+        assert!(matches!(read_instance(bad.as_bytes()), Err(IoError::Parse { line: 1, .. })));
+        let bad = "p setstream 2 2 5\ne 0 0\n";
+        assert!(matches!(read_stream(bad.as_bytes()), Err(IoError::Parse { .. })));
+    }
+
+    #[test]
+    fn stream_rejects_out_of_range_ids() {
+        let bad = "p setstream 2 2 1\ne 5 0\n";
+        match read_stream(bad.as_bytes()) {
+            Err(IoError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains(">= m"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_parsed_instance_is_rejected() {
+        let text = "p setcover 1 3\ns 0 0 2\n"; // element 1 uncovered
+        assert!(matches!(read_instance(text.as_bytes()), Err(IoError::Invalid(_))));
+    }
+
+    #[test]
+    fn display_of_errors() {
+        let e = parse_err(7, "boom");
+        assert_eq!(e.to_string(), "line 7: boom");
+    }
+}

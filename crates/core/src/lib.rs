@@ -1,0 +1,67 @@
+//! # setcover-core
+//!
+//! Core types for the **one-pass edge-arrival streaming Set Cover** problem,
+//! as studied by Khanna, Konrad and Alexandru,
+//! *"Set Cover in the One-pass Edge-arrival Streaming Model"*, PODS 2023.
+//!
+//! In this model a Set Cover instance over a universe `U` of size `n` and a
+//! family `S = {S_1, ..., S_m}` of `m` subsets of `U` arrives as a stream of
+//! *edges* `(S, u)`, each indicating that element `u` is contained in set
+//! `S`. Equivalently, the instance is a bipartite graph `G = (S, U, E)` with
+//! `(S_i, u) ∈ E` iff `u ∈ S_i` (paper §2), and the stream is a permutation
+//! of `E`.
+//!
+//! This crate provides the *substrate* every algorithm in the companion
+//! crates builds on:
+//!
+//! * [`instance::SetCoverInstance`] — an immutable, validated instance with
+//!   its bipartite representation;
+//! * [`stream`] — edge streams and arrival-order adapters (adversarial
+//!   permutations, uniformly random order, set-arrival emulation, ...);
+//! * [`cover::Cover`] — a solution: a subfamily of sets plus the *cover
+//!   certificate* `C : U → T` required by the problem definition, and
+//!   verification against the instance;
+//! * [`solver`] — the [`solver::StreamingSetCover`] trait implemented by all
+//!   one-pass algorithms, and drivers that run a solver over a stream;
+//! * [`space::SpaceMeter`] — machine-word space accounting used to validate
+//!   the paper's space bounds empirically;
+//! * [`rng`] — deterministic, seedable randomness including the `Coin(p)`
+//!   primitive of Algorithm 2;
+//! * [`math`] — integer/floating helpers (`isqrt`, `ilog2`, threshold
+//!   schedules) shared by the algorithm crates;
+//! * [`io`] — plain-text instance (`.sc`) and ordered-stream (`.scs`)
+//!   formats for exchanging workloads with other implementations.
+//!
+//! ## Conventions
+//!
+//! * Elements and sets are dense `u32` indices wrapped in newtypes
+//!   ([`ids::ElemId`], [`ids::SetId`]).
+//! * Every element is contained in at least one set (paper §2 assumes
+//!   feasibility); [`instance::InstanceBuilder::build`] enforces this.
+//! * "Space" is counted in machine words of live algorithmic state; see
+//!   [`space`] for the exact accounting rules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cover;
+pub mod error;
+pub mod ids;
+pub mod instance;
+pub mod io;
+pub mod math;
+pub mod rng;
+pub mod solver;
+pub mod space;
+pub mod stream;
+
+pub use cover::{Cover, CoverStats};
+pub use error::CoreError;
+pub use ids::{ElemId, SetId};
+pub use instance::{Edge, InstanceBuilder, InstanceStats, SetCoverInstance};
+pub use solver::{
+    run_multipass, run_streaming, MultiPassOutcome, MultiPassSetCover, OfflineSetCover,
+    RunOutcome, StreamingSetCover,
+};
+pub use space::{SpaceMeter, SpaceReport};
+pub use stream::{EdgeStream, StreamOrder};

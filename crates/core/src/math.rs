@@ -1,0 +1,175 @@
+//! Integer and floating-point helpers shared by the algorithm crates.
+//!
+//! The paper's parameter schedules are built from `√n`, `log m`, `log n`
+//! and powers of two; these helpers centralize the (floor/ceil) conventions
+//! so every crate computes them identically.
+
+/// Floor integer square root: the largest `r` with `r² ≤ x`.
+pub fn isqrt(x: usize) -> usize {
+    if x == 0 {
+        return 0;
+    }
+    let mut r = (x as f64).sqrt() as usize;
+    // Correct any floating error in either direction. checked_mul (not
+    // saturating_mul) so that x near usize::MAX cannot loop: a saturated
+    // product compares `<= x` forever.
+    while r.checked_mul(r).is_none_or(|sq| sq > x) {
+        r -= 1;
+    }
+    while (r + 1).checked_mul(r + 1).is_some_and(|sq| sq <= x) {
+        r += 1;
+    }
+    r
+}
+
+/// Ceiling integer square root: the smallest `r` with `r² ≥ x`.
+pub fn isqrt_ceil(x: usize) -> usize {
+    let r = isqrt(x);
+    if r * r == x {
+        r
+    } else {
+        r + 1
+    }
+}
+
+/// `⌊log₂ x⌋` for `x ≥ 1`.
+pub fn ilog2_floor(x: usize) -> u32 {
+    debug_assert!(x >= 1);
+    usize::BITS - 1 - x.leading_zeros()
+}
+
+/// `⌈log₂ x⌉` for `x ≥ 1`.
+pub fn ilog2_ceil(x: usize) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        ilog2_floor(x - 1) + 1
+    }
+}
+
+/// Natural-base `log₂` as a float, with `log2f(0) = 0` for convenience in
+/// threshold formulas (the paper always has `m, n ≥ 2` in its regimes).
+pub fn log2f(x: usize) -> f64 {
+    if x == 0 {
+        0.0
+    } else {
+        (x as f64).log2()
+    }
+}
+
+/// Natural logarithm as a float, `lnf(0) = 0`.
+pub fn lnf(x: usize) -> f64 {
+    if x == 0 {
+        0.0
+    } else {
+        (x as f64).ln()
+    }
+}
+
+/// `log₂(m)` raised to integer power `e` — the paper's poly-log threshold
+/// building block (`log⁶ m`, `log⁹ m`, ...).
+pub fn polylog(m: usize, e: u32) -> f64 {
+    log2f(m).powi(e as i32)
+}
+
+/// The approximation ratio of a cover of size `got` against a reference
+/// value `opt` (the planted optimum or a lower bound on OPT). Returns
+/// `f64::INFINITY` when `opt == 0`.
+pub fn approx_ratio(got: usize, opt: usize) -> f64 {
+    if opt == 0 {
+        f64::INFINITY
+    } else {
+        got as f64 / opt as f64
+    }
+}
+
+/// Multiplicative Chernoff upper-tail margin: a bound `μ + δ` such that a
+/// sum of independent Bernoulli variables with mean `μ` exceeds it with
+/// probability at most `fail`. Uses the sub-Gaussian/sub-Poisson form
+/// `δ = √(3 μ ln(1/fail)) + 3 ln(1/fail)`, valid for all `μ ≥ 0`.
+///
+/// Statistical tests use this to pick tolerances that virtually never
+/// produce false failures under a pinned seed.
+pub fn chernoff_upper(mu: f64, fail: f64) -> f64 {
+    let l = (1.0 / fail).ln().max(0.0);
+    mu + (3.0 * mu * l).sqrt() + 3.0 * l
+}
+
+/// Chernoff lower-tail margin: a bound `μ − δ` that is undershot with
+/// probability at most `fail` (clamped at 0).
+pub fn chernoff_lower(mu: f64, fail: f64) -> f64 {
+    let l = (1.0 / fail).ln().max(0.0);
+    (mu - (2.0 * mu * l).sqrt()).max(0.0)
+}
+
+/// Harmonic number `H(k) = 1 + 1/2 + ... + 1/k`; `H(0) = 0`. The greedy
+/// algorithm's classic guarantee is `H(max |S|) ≤ ln n + 1`.
+pub fn harmonic(k: usize) -> f64 {
+    (1..=k).map(|i| 1.0 / i as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_exact_squares() {
+        for r in 0..200usize {
+            assert_eq!(isqrt(r * r), r);
+            assert_eq!(isqrt_ceil(r * r), r);
+        }
+    }
+
+    #[test]
+    fn isqrt_between_squares() {
+        assert_eq!(isqrt(0), 0);
+        assert_eq!(isqrt(1), 1);
+        assert_eq!(isqrt(2), 1);
+        assert_eq!(isqrt(3), 1);
+        assert_eq!(isqrt(8), 2);
+        assert_eq!(isqrt_ceil(8), 3);
+        assert_eq!(isqrt(usize::MAX), 4294967295);
+    }
+
+    #[test]
+    fn ilog2_conventions() {
+        assert_eq!(ilog2_floor(1), 0);
+        assert_eq!(ilog2_floor(2), 1);
+        assert_eq!(ilog2_floor(3), 1);
+        assert_eq!(ilog2_floor(1024), 10);
+        assert_eq!(ilog2_ceil(1), 0);
+        assert_eq!(ilog2_ceil(2), 1);
+        assert_eq!(ilog2_ceil(3), 2);
+        assert_eq!(ilog2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn polylog_matches_powf() {
+        let v = polylog(1024, 3);
+        assert!((v - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approx_ratio_edge_cases() {
+        assert_eq!(approx_ratio(10, 5), 2.0);
+        assert!(approx_ratio(1, 0).is_infinite());
+    }
+
+    #[test]
+    fn chernoff_margins_bracket_mean() {
+        let mu = 100.0;
+        assert!(chernoff_upper(mu, 1e-9) > mu);
+        assert!(chernoff_lower(mu, 1e-9) < mu);
+        assert!(chernoff_lower(mu, 1e-9) >= 0.0);
+        assert!(chernoff_lower(0.5, 1e-9) >= 0.0);
+    }
+
+    #[test]
+    fn harmonic_values() {
+        assert_eq!(harmonic(0), 0.0);
+        assert!((harmonic(1) - 1.0).abs() < 1e-12);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+        // H(k) ~ ln k + γ
+        assert!((harmonic(100_000) - (100_000f64.ln() + 0.5772)).abs() < 1e-3);
+    }
+}

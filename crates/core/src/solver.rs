@@ -1,0 +1,258 @@
+//! Solver traits and the streaming driver.
+//!
+//! All one-pass algorithms implement [`StreamingSetCover`]: they are
+//! constructed with the instance's public parameters (`m`, `n`, and the
+//! stream length `N` — §4.1 argues knowing `N` is w.l.o.g. via parallel
+//! guessing, which [`crate::solver`]-level wrappers in `setcover-algos`
+//! implement), consume edges one at a time, and finalize into a
+//! [`Cover`].
+//!
+//! Offline baselines (greedy, exact-by-construction references) implement
+//! [`OfflineSetCover`] and see the whole instance.
+
+use std::time::{Duration, Instant};
+
+use crate::cover::Cover;
+use crate::instance::{Edge, SetCoverInstance};
+use crate::space::SpaceReport;
+use crate::stream::EdgeStream;
+
+/// A one-pass edge-arrival streaming Set Cover algorithm.
+pub trait StreamingSetCover {
+    /// Stable algorithm name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Consume the next edge of the stream.
+    fn process_edge(&mut self, e: Edge);
+
+    /// The stream has ended: run post-processing (patching) and emit the
+    /// cover with its certificate.
+    fn finalize(&mut self) -> Cover;
+
+    /// Space accounting for the run so far (peak live words).
+    fn space(&self) -> SpaceReport;
+}
+
+/// A multi-pass edge-arrival streaming Set Cover algorithm.
+///
+/// The paper's related work (§1, [Bateni–Esfandiari–Mirrokni]) trades
+/// passes for approximation: `p` passes over the same stream admit
+/// `O(p·n^{1/p})`-style factors. Implementors see the stream `passes()`
+/// times; [`run_multipass`] drives the loop and allows early exit.
+pub trait MultiPassSetCover {
+    /// Stable algorithm name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Maximum number of passes the algorithm may take.
+    fn max_passes(&self) -> usize;
+
+    /// Called before pass `pass` (0-based). Return `false` to stop early
+    /// (e.g. everything is already covered).
+    fn begin_pass(&mut self, pass: usize) -> bool;
+
+    /// Consume the next edge of the current pass.
+    fn process_edge(&mut self, e: Edge);
+
+    /// All passes done (or stopped early): emit the cover.
+    fn finalize(&mut self) -> Cover;
+
+    /// Space accounting (peak live words across all passes).
+    fn space(&self) -> SpaceReport;
+}
+
+/// Outcome of a multi-pass run.
+#[derive(Debug, Clone)]
+pub struct MultiPassOutcome {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// The produced cover.
+    pub cover: Cover,
+    /// Peak space accounting.
+    pub space: SpaceReport,
+    /// Passes actually performed.
+    pub passes_used: usize,
+    /// Total edges consumed across all passes.
+    pub edges_processed: usize,
+    /// Wall-clock time over all passes.
+    pub elapsed: Duration,
+}
+
+/// Drive a multi-pass solver over a replayable edge sequence.
+pub fn run_multipass<A: MultiPassSetCover>(mut solver: A, edges: &[Edge]) -> MultiPassOutcome {
+    let start = Instant::now();
+    let mut passes_used = 0usize;
+    let mut processed = 0usize;
+    for pass in 0..solver.max_passes() {
+        if !solver.begin_pass(pass) {
+            break;
+        }
+        passes_used += 1;
+        for &e in edges {
+            solver.process_edge(e);
+        }
+        processed += edges.len();
+    }
+    let cover = solver.finalize();
+    MultiPassOutcome {
+        algorithm: solver.name(),
+        cover,
+        space: solver.space(),
+        passes_used,
+        edges_processed: processed,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// An offline (whole-instance) Set Cover algorithm.
+pub trait OfflineSetCover {
+    /// Stable algorithm name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Solve the instance.
+    fn solve(&self, inst: &SetCoverInstance) -> Cover;
+}
+
+/// The result of driving a streaming solver over a stream.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// The produced cover (verify with [`Cover::verify`]).
+    pub cover: Cover,
+    /// Peak space accounting.
+    pub space: SpaceReport,
+    /// Number of edges consumed.
+    pub edges_processed: usize,
+    /// Wall-clock time spent in `process_edge` + `finalize`.
+    pub elapsed: Duration,
+}
+
+impl RunOutcome {
+    /// Throughput in edges per second (0 if the run was too fast to time).
+    pub fn edges_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.edges_processed as f64 / secs
+        }
+    }
+}
+
+/// Drive `solver` over `stream` to completion.
+pub fn run_streaming<A: StreamingSetCover, S: EdgeStream>(
+    mut solver: A,
+    mut stream: S,
+) -> RunOutcome {
+    let start = Instant::now();
+    let mut edges = 0usize;
+    while let Some(e) = stream.next_edge() {
+        solver.process_edge(e);
+        edges += 1;
+    }
+    let cover = solver.finalize();
+    RunOutcome {
+        algorithm: solver.name(),
+        cover,
+        space: solver.space(),
+        edges_processed: edges,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Drive `solver` over an edge slice (convenience for replayed streams).
+pub fn run_on_edges<A: StreamingSetCover>(mut solver: A, edges: &[Edge]) -> RunOutcome {
+    let start = Instant::now();
+    for &e in edges {
+        solver.process_edge(e);
+    }
+    let cover = solver.finalize();
+    RunOutcome {
+        algorithm: solver.name(),
+        cover,
+        space: solver.space(),
+        edges_processed: edges.len(),
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::PartialCertificate;
+    use crate::ids::{ElemId, SetId};
+    use crate::instance::InstanceBuilder;
+    use crate::stream::{stream_of, StreamOrder};
+
+    /// A toy solver: remembers the first set seen for each element and
+    /// patches everything — the "trivial" baseline.
+    struct FirstSeen {
+        first: Vec<Option<SetId>>,
+    }
+
+    impl FirstSeen {
+        fn new(n: usize) -> Self {
+            FirstSeen { first: vec![None; n] }
+        }
+    }
+
+    impl StreamingSetCover for FirstSeen {
+        fn name(&self) -> &'static str {
+            "first-seen"
+        }
+        fn process_edge(&mut self, e: Edge) {
+            let slot = &mut self.first[e.elem.index()];
+            if slot.is_none() {
+                *slot = Some(e.set);
+            }
+        }
+        fn finalize(&mut self) -> Cover {
+            let pc = PartialCertificate::new(self.first.len());
+            let first = std::mem::take(&mut self.first);
+            let cert = pc.finish_with(|u| first[u.index()]);
+            Cover::from_certificate(cert)
+        }
+        fn space(&self) -> SpaceReport {
+            SpaceReport::empty()
+        }
+    }
+
+    #[test]
+    fn driver_runs_to_completion_and_verifies() {
+        let mut b = InstanceBuilder::new(3, 4);
+        b.add_set_elems(0, [0, 1]);
+        b.add_set_elems(1, [1, 2]);
+        b.add_set_elems(2, [2, 3]);
+        let inst = b.build().unwrap();
+
+        for order in [StreamOrder::SetArrival, StreamOrder::Uniform(5), StreamOrder::Interleaved]
+        {
+            let out = run_streaming(FirstSeen::new(inst.n()), stream_of(&inst, order));
+            assert_eq!(out.edges_processed, inst.num_edges());
+            out.cover.verify(&inst).unwrap();
+            assert_eq!(out.algorithm, "first-seen");
+        }
+    }
+
+    #[test]
+    fn run_on_edges_matches_stream_run() {
+        let mut b = InstanceBuilder::new(2, 2);
+        b.add_set_elems(0, [0]);
+        b.add_set_elems(1, [1]);
+        let inst = b.build().unwrap();
+        let edges = inst.edge_vec();
+        let a = run_on_edges(FirstSeen::new(inst.n()), &edges);
+        let b2 = run_streaming(FirstSeen::new(inst.n()), stream_of(&inst, StreamOrder::SetArrival));
+        assert_eq!(a.cover, b2.cover);
+        assert_eq!(a.edges_processed, b2.edges_processed);
+    }
+
+    #[test]
+    fn outcome_reports_throughput() {
+        let mut b = InstanceBuilder::new(1, 1);
+        b.add_edge(SetId(0), ElemId(0));
+        let inst = b.build().unwrap();
+        let out = run_on_edges(FirstSeen::new(1), &inst.edge_vec());
+        assert!(out.edges_per_sec() >= 0.0);
+    }
+}

@@ -1,0 +1,314 @@
+//! Machine-word space accounting.
+//!
+//! The paper's results are space bounds — Õ(m), Õ(m/√n), Õ(mn/α²) words —
+//! so the reproduction must *measure* space, not just wall-clock time.
+//!
+//! ## Accounting rules
+//!
+//! * The unit is one machine word (one `O(log(mn))`-bit register in the
+//!   paper's RAM model): a counter, an id, a level, a map entry component.
+//! * Algorithms charge the meter when live state grows and release when it
+//!   shrinks; [`SpaceMeter`] tracks the peak.
+//! * A hash-map entry of `k` word-sized fields is charged `k + 1` words
+//!   (one word of bucket overhead) — close enough to compare asymptotics.
+//! * Per the paper's conventions, the *output* (the solution `Sol` of up to
+//!   `Õ(√n)` or `n` sets, and the certificate) and the per-element arrays
+//!   explicitly allowed by the algorithms (mark bits `O(n)`, first-set map
+//!   `Õ(n)`) are charged by the algorithms that use them — the interesting
+//!   comparisons (Õ(m) vs Õ(m/√n) vs Õ(mn/α²)) are all about the per-set
+//!   state, which dominates in the regime `m = Ω̃(n²)`.
+//!
+//! Components can be labelled so experiment reports can break the peak down
+//! by data structure.
+
+use std::fmt;
+
+/// A labelled component of an algorithm's live state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpaceComponent {
+    /// Per-set counters or degrees (e.g. KK's uncovered-degrees, Algorithm
+    /// 1's per-batch counters `C[S]`).
+    Counters,
+    /// Level maps (Algorithm 2's `L`).
+    Levels,
+    /// Marked/covered element bookkeeping (`O(n)` bits ≈ `n/64` words).
+    Marks,
+    /// First-set / patching map `R(u)` (`Õ(n)`).
+    FirstSet,
+    /// The solution under construction and certificates.
+    Solution,
+    /// Tracked special sets (`Q̃`, `Q̃'`) of Algorithm 1.
+    TrackedSets,
+    /// Tracked edges (`T`) of Algorithm 1.
+    TrackedEdges,
+    /// Stored sub-instance edges (element sampling) or whole sets
+    /// (set-arrival baselines).
+    StoredEdges,
+    /// Anything else.
+    Other,
+}
+
+impl SpaceComponent {
+    /// All components, for report iteration.
+    pub const ALL: [SpaceComponent; 9] = [
+        SpaceComponent::Counters,
+        SpaceComponent::Levels,
+        SpaceComponent::Marks,
+        SpaceComponent::FirstSet,
+        SpaceComponent::Solution,
+        SpaceComponent::TrackedSets,
+        SpaceComponent::TrackedEdges,
+        SpaceComponent::StoredEdges,
+        SpaceComponent::Other,
+    ];
+
+    /// Stable short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpaceComponent::Counters => "counters",
+            SpaceComponent::Levels => "levels",
+            SpaceComponent::Marks => "marks",
+            SpaceComponent::FirstSet => "first-set",
+            SpaceComponent::Solution => "solution",
+            SpaceComponent::TrackedSets => "tracked-sets",
+            SpaceComponent::TrackedEdges => "tracked-edges",
+            SpaceComponent::StoredEdges => "stored-edges",
+            SpaceComponent::Other => "other",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            SpaceComponent::Counters => 0,
+            SpaceComponent::Levels => 1,
+            SpaceComponent::Marks => 2,
+            SpaceComponent::FirstSet => 3,
+            SpaceComponent::Solution => 4,
+            SpaceComponent::TrackedSets => 5,
+            SpaceComponent::TrackedEdges => 6,
+            SpaceComponent::StoredEdges => 7,
+            SpaceComponent::Other => 8,
+        }
+    }
+}
+
+/// Tracks current and peak words of live algorithmic state, per component.
+#[derive(Debug, Clone, Default)]
+pub struct SpaceMeter {
+    current: [usize; 9],
+    peak_by_comp: [usize; 9],
+    current_total: usize,
+    peak_total: usize,
+}
+
+impl SpaceMeter {
+    /// A fresh meter with zero usage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `words` words of state were allocated in `comp`.
+    #[inline]
+    pub fn charge(&mut self, comp: SpaceComponent, words: usize) {
+        let i = comp.idx();
+        self.current[i] += words;
+        self.current_total += words;
+        if self.current[i] > self.peak_by_comp[i] {
+            self.peak_by_comp[i] = self.current[i];
+        }
+        if self.current_total > self.peak_total {
+            self.peak_total = self.current_total;
+        }
+    }
+
+    /// Record that `words` words of state in `comp` were freed.
+    ///
+    /// Releasing more than is held saturates at zero (and debug-asserts),
+    /// so accounting bugs surface in tests without poisoning release runs.
+    #[inline]
+    pub fn release(&mut self, comp: SpaceComponent, words: usize) {
+        let i = comp.idx();
+        debug_assert!(self.current[i] >= words, "space underflow in {}", comp.name());
+        let w = words.min(self.current[i]);
+        self.current[i] -= w;
+        self.current_total -= w;
+    }
+
+    /// Set the absolute current usage of a component (charging or releasing
+    /// the difference). Convenient for structures whose size is recomputed.
+    pub fn set(&mut self, comp: SpaceComponent, words: usize) {
+        let cur = self.current[comp.idx()];
+        if words > cur {
+            self.charge(comp, words - cur);
+        } else {
+            self.release(comp, cur - words);
+        }
+    }
+
+    /// Current total live words.
+    pub fn current_words(&self) -> usize {
+        self.current_total
+    }
+
+    /// Current live words in one component.
+    pub fn current_of(&self, comp: SpaceComponent) -> usize {
+        self.current[comp.idx()]
+    }
+
+    /// Peak total live words observed so far.
+    pub fn peak_words(&self) -> usize {
+        self.peak_total
+    }
+
+    /// Freeze into a report.
+    pub fn report(&self) -> SpaceReport {
+        SpaceReport {
+            peak_words: self.peak_total,
+            peak_by_component: SpaceComponent::ALL
+                .iter()
+                .map(|c| (*c, self.peak_by_comp[c.idx()]))
+                .filter(|(_, w)| *w > 0)
+                .collect(),
+        }
+    }
+}
+
+/// Immutable space summary attached to a run outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceReport {
+    /// Peak total live words over the run.
+    pub peak_words: usize,
+    /// Per-component peaks (components with zero usage omitted). Component
+    /// peaks may not sum to `peak_words`: they can occur at different times.
+    pub peak_by_component: Vec<(SpaceComponent, usize)>,
+}
+
+impl SpaceReport {
+    /// An empty report (e.g. for offline baselines where space is not the
+    /// quantity of interest).
+    pub fn empty() -> Self {
+        SpaceReport { peak_words: 0, peak_by_component: Vec::new() }
+    }
+
+    /// Peak words excluding the components the paper grants "for free" in
+    /// all algorithms (per-element `O(n)`/`Õ(n)` state: marks, first-set
+    /// map, solution/certificate). This isolates the per-set state the
+    /// theorems actually bound (Õ(m) vs Õ(m/√n) vs Õ(mn/α²)).
+    pub fn algorithmic_peak_words(&self) -> usize {
+        self.peak_by_component
+            .iter()
+            .filter(|(c, _)| {
+                !matches!(
+                    c,
+                    SpaceComponent::Marks | SpaceComponent::FirstSet | SpaceComponent::Solution
+                )
+            })
+            .map(|(_, w)| *w)
+            .sum()
+    }
+}
+
+impl fmt::Display for SpaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peak {} words (", self.peak_words)?;
+        for (i, (c, w)) in self.peak_by_component.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name(), w)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Words needed for a bitset over `n` items (rounded up to whole words).
+pub fn bitset_words(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+/// Accounting cost of one hash-map entry holding `fields` word-sized values.
+pub fn map_entry_words(fields: usize) -> usize {
+    fields + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_release_tracks_peak() {
+        let mut m = SpaceMeter::new();
+        m.charge(SpaceComponent::Counters, 100);
+        m.charge(SpaceComponent::Levels, 50);
+        assert_eq!(m.current_words(), 150);
+        assert_eq!(m.peak_words(), 150);
+        m.release(SpaceComponent::Counters, 100);
+        assert_eq!(m.current_words(), 50);
+        assert_eq!(m.peak_words(), 150, "peak must persist");
+        m.charge(SpaceComponent::Counters, 60);
+        assert_eq!(m.peak_words(), 150, "110 < old peak");
+        m.charge(SpaceComponent::Counters, 200);
+        assert_eq!(m.peak_words(), 310);
+    }
+
+    #[test]
+    fn set_adjusts_in_both_directions() {
+        let mut m = SpaceMeter::new();
+        m.set(SpaceComponent::TrackedEdges, 40);
+        assert_eq!(m.current_of(SpaceComponent::TrackedEdges), 40);
+        m.set(SpaceComponent::TrackedEdges, 10);
+        assert_eq!(m.current_of(SpaceComponent::TrackedEdges), 10);
+        assert_eq!(m.peak_words(), 40);
+    }
+
+    #[test]
+    fn report_breaks_down_components() {
+        let mut m = SpaceMeter::new();
+        m.charge(SpaceComponent::Marks, 2);
+        m.charge(SpaceComponent::Counters, 7);
+        let r = m.report();
+        assert_eq!(r.peak_words, 9);
+        assert!(r.peak_by_component.contains(&(SpaceComponent::Marks, 2)));
+        assert!(r.peak_by_component.contains(&(SpaceComponent::Counters, 7)));
+        assert_eq!(r.peak_by_component.len(), 2);
+    }
+
+    #[test]
+    fn algorithmic_peak_excludes_free_components() {
+        let mut m = SpaceMeter::new();
+        m.charge(SpaceComponent::Marks, 100);
+        m.charge(SpaceComponent::FirstSet, 200);
+        m.charge(SpaceComponent::Solution, 50);
+        m.charge(SpaceComponent::Counters, 30);
+        m.charge(SpaceComponent::TrackedEdges, 5);
+        let r = m.report();
+        assert_eq!(r.algorithmic_peak_words(), 35);
+        assert_eq!(r.peak_words, 385);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(bitset_words(0), 0);
+        assert_eq!(bitset_words(1), 1);
+        assert_eq!(bitset_words(64), 1);
+        assert_eq!(bitset_words(65), 2);
+        assert_eq!(map_entry_words(2), 3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut m = SpaceMeter::new();
+        m.charge(SpaceComponent::Counters, 3);
+        let s = m.report().to_string();
+        assert!(s.contains("peak 3 words"));
+        assert!(s.contains("counters 3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "space underflow")]
+    #[cfg(debug_assertions)]
+    fn release_underflow_debug_asserts() {
+        let mut m = SpaceMeter::new();
+        m.release(SpaceComponent::Counters, 1);
+    }
+}

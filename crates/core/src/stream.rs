@@ -1,0 +1,356 @@
+//! Edge streams and arrival-order adapters.
+//!
+//! A one-pass algorithm observes the edge set `E` of the instance in some
+//! order. The paper distinguishes **adversarially ordered** streams (the
+//! algorithm must work for *every* permutation; Theorems 1, 2, 4) and
+//! **random order** streams (the permutation is uniform; Theorem 3).
+//!
+//! An adversary is not a constructive object, so experiments exercise a
+//! portfolio of concrete orders that are known to stress streaming set-cover
+//! algorithms in different ways (see [`StreamOrder`]):
+//!
+//! * [`StreamOrder::SetArrival`] — all edges of a set are contiguous. This
+//!   emulates the classical set-arrival model inside the edge-arrival model
+//!   and is the *easiest* order for degree-counting algorithms.
+//! * [`StreamOrder::Interleaved`] — round-robin across sets, so every set is
+//!   spread over the whole stream. This is the order the paper's
+//!   introduction identifies as the key difficulty of the edge-arrival
+//!   model ("sets may be spread out over the input stream").
+//! * [`StreamOrder::ElementGrouped`] — all edges of an element are
+//!   contiguous; stresses covered-element bookkeeping.
+//! * [`StreamOrder::Uniform`] — a uniformly random permutation (Theorem 3's
+//!   model), from a seeded PRNG for reproducibility.
+//! * [`StreamOrder::GreedyTrap`] — small sets first, large sets last, each
+//!   set contiguous; lures eager algorithms into committing to poor sets.
+
+use rand::seq::SliceRandom;
+
+use crate::instance::{Edge, SetCoverInstance};
+use crate::rng::seeded_rng;
+
+/// A one-pass source of edges.
+///
+/// Implementors yield each edge of the instance exactly once. The driver
+/// ([`crate::solver::run_streaming`]) pulls edges until exhaustion.
+pub trait EdgeStream {
+    /// The next edge, or `None` when the stream is exhausted.
+    fn next_edge(&mut self) -> Option<Edge>;
+
+    /// Total number of edges this stream will yield, when known. All
+    /// built-in streams know their length (`N` in the paper; Algorithm 1
+    /// assumes `N` is known, which §4.1 argues is w.l.o.g.).
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// An [`EdgeStream`] over a materialized edge vector.
+#[derive(Debug, Clone)]
+pub struct VecStream {
+    edges: Vec<Edge>,
+    pos: usize,
+}
+
+impl VecStream {
+    /// Wrap an edge vector.
+    pub fn new(edges: Vec<Edge>) -> Self {
+        VecStream { edges, pos: 0 }
+    }
+
+    /// The underlying edges (in stream order), e.g. for replay.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+}
+
+impl EdgeStream for VecStream {
+    #[inline]
+    fn next_edge(&mut self) -> Option<Edge> {
+        let e = self.edges.get(self.pos).copied();
+        self.pos += 1;
+        e
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.edges.len())
+    }
+}
+
+/// Arrival orders used in experiments and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOrder {
+    /// Sets arrive one after another with all their elements (set-arrival
+    /// emulation), sets in index order.
+    SetArrival,
+    /// Sets arrive contiguously but in a seeded random set order.
+    SetArrivalShuffled(u64),
+    /// Round-robin across sets: the `r`-th elements of all (remaining) sets
+    /// arrive in round `r`. Maximally spreads each set over the stream.
+    Interleaved,
+    /// All edges of element `0`, then element `1`, ... (reverse grouping).
+    ElementGrouped,
+    /// Uniformly random permutation with the given seed (Theorem 3 model).
+    Uniform(u64),
+    /// Sets arrive contiguously, smallest sets first; within ties, by index.
+    /// Adversarial for eager/greedy inclusion rules.
+    GreedyTrap,
+    /// Semi-random: the set-arrival (adversarial) order, shuffled within
+    /// consecutive blocks of `block` edges. `block = 1` is fully
+    /// adversarial; `block ≥ N` is a uniformly random permutation of the
+    /// set-arrival order. Interpolates between the two models for
+    /// robustness sweeps (how much randomness does Theorem 3's algorithm
+    /// actually need?).
+    BlockShuffled {
+        /// Shuffle window length in edges.
+        block: usize,
+        /// Shuffle seed.
+        seed: u64,
+    },
+}
+
+impl StreamOrder {
+    /// Short stable name for reports and CSV output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StreamOrder::SetArrival => "set-arrival",
+            StreamOrder::SetArrivalShuffled(_) => "set-arrival-shuffled",
+            StreamOrder::Interleaved => "interleaved",
+            StreamOrder::ElementGrouped => "element-grouped",
+            StreamOrder::Uniform(_) => "uniform-random",
+            StreamOrder::GreedyTrap => "greedy-trap",
+            StreamOrder::BlockShuffled { .. } => "block-shuffled",
+        }
+    }
+
+    /// Whether this order is (a sample from) the random-order model.
+    pub fn is_random(&self) -> bool {
+        matches!(self, StreamOrder::Uniform(_))
+    }
+}
+
+/// Materialize the instance's edges in the given arrival order.
+pub fn order_edges(inst: &SetCoverInstance, order: StreamOrder) -> Vec<Edge> {
+    match order {
+        StreamOrder::SetArrival => inst.edge_vec(),
+        StreamOrder::SetArrivalShuffled(seed) => {
+            let mut rng = seeded_rng(seed);
+            let mut set_ids: Vec<u32> = (0..inst.m() as u32).collect();
+            set_ids.shuffle(&mut rng);
+            let mut out = Vec::with_capacity(inst.num_edges());
+            for s in set_ids {
+                let sid = crate::ids::SetId(s);
+                out.extend(inst.set(sid).iter().map(|&u| Edge { set: sid, elem: u }));
+            }
+            out
+        }
+        StreamOrder::Interleaved => {
+            let mut out = Vec::with_capacity(inst.num_edges());
+            let mut round = 0usize;
+            loop {
+                let mut emitted = false;
+                for s in 0..inst.m() as u32 {
+                    let sid = crate::ids::SetId(s);
+                    let elems = inst.set(sid);
+                    if let Some(&u) = elems.get(round) {
+                        out.push(Edge { set: sid, elem: u });
+                        emitted = true;
+                    }
+                }
+                if !emitted {
+                    break;
+                }
+                round += 1;
+            }
+            out
+        }
+        StreamOrder::ElementGrouped => {
+            let mut out = Vec::with_capacity(inst.num_edges());
+            for u in 0..inst.n() as u32 {
+                let uid = crate::ids::ElemId(u);
+                out.extend(inst.sets_containing(uid).iter().map(|&s| Edge { set: s, elem: uid }));
+            }
+            out
+        }
+        StreamOrder::Uniform(seed) => {
+            let mut edges = inst.edge_vec();
+            let mut rng = seeded_rng(seed);
+            edges.shuffle(&mut rng);
+            edges
+        }
+        StreamOrder::GreedyTrap => {
+            let mut set_ids: Vec<u32> = (0..inst.m() as u32).collect();
+            set_ids.sort_by_key(|&s| (inst.set_size(crate::ids::SetId(s)), s));
+            let mut out = Vec::with_capacity(inst.num_edges());
+            for s in set_ids {
+                let sid = crate::ids::SetId(s);
+                out.extend(inst.set(sid).iter().map(|&u| Edge { set: sid, elem: u }));
+            }
+            out
+        }
+        StreamOrder::BlockShuffled { block, seed } => {
+            let mut edges = order_edges(inst, StreamOrder::SetArrival);
+            let mut rng = seeded_rng(seed);
+            let block = block.max(1);
+            for chunk in edges.chunks_mut(block) {
+                chunk.shuffle(&mut rng);
+            }
+            edges
+        }
+    }
+}
+
+/// Materialize an ordered [`VecStream`] for the instance.
+pub fn stream_of(inst: &SetCoverInstance, order: StreamOrder) -> VecStream {
+    VecStream::new(order_edges(inst, order))
+}
+
+/// The adversarial order portfolio used by experiments: every deterministic
+/// order plus one shuffled-set-arrival sample.
+pub fn adversarial_portfolio(seed: u64) -> Vec<StreamOrder> {
+    vec![
+        StreamOrder::SetArrival,
+        StreamOrder::SetArrivalShuffled(seed),
+        StreamOrder::Interleaved,
+        StreamOrder::ElementGrouped,
+        StreamOrder::GreedyTrap,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    fn inst() -> SetCoverInstance {
+        let mut b = InstanceBuilder::new(3, 5);
+        b.add_set_elems(0, [0, 1, 2, 3, 4]);
+        b.add_set_elems(1, [0, 2]);
+        b.add_set_elems(2, [4]);
+        b.build().unwrap()
+    }
+
+    fn is_permutation(inst: &SetCoverInstance, edges: &[Edge]) -> bool {
+        let mut a = edges.to_vec();
+        a.sort();
+        a.dedup();
+        a.len() == inst.num_edges() && a == inst.edge_vec()
+    }
+
+    #[test]
+    fn all_orders_are_permutations() {
+        let inst = inst();
+        for order in [
+            StreamOrder::SetArrival,
+            StreamOrder::SetArrivalShuffled(7),
+            StreamOrder::Interleaved,
+            StreamOrder::ElementGrouped,
+            StreamOrder::Uniform(42),
+            StreamOrder::GreedyTrap,
+            StreamOrder::BlockShuffled { block: 3, seed: 1 },
+            StreamOrder::BlockShuffled { block: 1000, seed: 1 },
+        ] {
+            let edges = order_edges(&inst, order);
+            assert!(is_permutation(&inst, &edges), "order {:?} lost edges", order);
+        }
+    }
+
+    #[test]
+    fn block_shuffled_interpolates() {
+        let inst = inst();
+        // block = 1: exactly the set-arrival order.
+        let b1 = order_edges(&inst, StreamOrder::BlockShuffled { block: 1, seed: 7 });
+        assert_eq!(b1, order_edges(&inst, StreamOrder::SetArrival));
+        // block >= N: a (seeded) permutation of everything; overwhelmingly
+        // different from set-arrival for this instance.
+        let big = order_edges(
+            &inst,
+            StreamOrder::BlockShuffled { block: inst.num_edges(), seed: 7 },
+        );
+        assert_ne!(big, b1);
+        // Deterministic per seed.
+        assert_eq!(
+            big,
+            order_edges(&inst, StreamOrder::BlockShuffled { block: inst.num_edges(), seed: 7 })
+        );
+        assert_eq!(StreamOrder::BlockShuffled { block: 4, seed: 0 }.name(), "block-shuffled");
+    }
+
+    #[test]
+    fn set_arrival_groups_sets_contiguously() {
+        let inst = inst();
+        let edges = order_edges(&inst, StreamOrder::SetArrival);
+        // After the first edge of set s appears, no edge of an earlier-seen
+        // different set may appear again.
+        let mut seen_done: Vec<bool> = vec![false; inst.m()];
+        let mut current: Option<u32> = None;
+        for e in &edges {
+            match current {
+                Some(c) if c == e.set.0 => {}
+                _ => {
+                    if let Some(c) = current {
+                        seen_done[c as usize] = true;
+                    }
+                    assert!(!seen_done[e.set.index()], "set revisited");
+                    current = Some(e.set.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_spreads_sets() {
+        let inst = inst();
+        let edges = order_edges(&inst, StreamOrder::Interleaved);
+        // Round-robin: first |active sets| edges are the first elements of
+        // each set.
+        assert_eq!(edges[0].set, crate::ids::SetId(0));
+        assert_eq!(edges[1].set, crate::ids::SetId(1));
+        assert_eq!(edges[2].set, crate::ids::SetId(2));
+        assert!(is_permutation(&inst, &edges));
+    }
+
+    #[test]
+    fn uniform_is_seeded_deterministic() {
+        let inst = inst();
+        let a = order_edges(&inst, StreamOrder::Uniform(9));
+        let b = order_edges(&inst, StreamOrder::Uniform(9));
+        let c = order_edges(&inst, StreamOrder::Uniform(10));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn greedy_trap_orders_small_sets_first() {
+        let inst = inst();
+        let edges = order_edges(&inst, StreamOrder::GreedyTrap);
+        assert_eq!(edges[0].set, crate::ids::SetId(2)); // size 1
+        assert_eq!(edges[1].set, crate::ids::SetId(1)); // size 2
+        assert_eq!(edges.last().unwrap().set, crate::ids::SetId(0)); // size 5
+    }
+
+    #[test]
+    fn vec_stream_yields_all_edges_once() {
+        let inst = inst();
+        let mut s = stream_of(&inst, StreamOrder::SetArrival);
+        assert_eq!(s.len_hint(), Some(inst.num_edges()));
+        let mut count = 0;
+        while s.next_edge().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, inst.num_edges());
+        assert!(s.next_edge().is_none());
+    }
+
+    #[test]
+    fn portfolio_contains_no_random_order() {
+        for o in adversarial_portfolio(1) {
+            assert!(!o.is_random());
+        }
+    }
+
+    #[test]
+    fn order_names_are_stable() {
+        assert_eq!(StreamOrder::Uniform(3).name(), "uniform-random");
+        assert_eq!(StreamOrder::Interleaved.name(), "interleaved");
+    }
+}

@@ -1,0 +1,137 @@
+//! "Blog watch" coverage workloads.
+//!
+//! Saha and Getoor's multi-topic blog-watch application (paper §1.3
+//! references [22]) motivates streaming coverage problems: `m` blogs
+//! (sets) each cover some topics (elements); topics have skewed
+//! popularity, and a few *aggregator* blogs cover many topics while a long
+//! tail of niche blogs covers few. We model this with a planted layer of
+//! aggregators (guaranteeing a small cover and feasibility) plus a heavy
+//! tail of niche blogs whose topics are drawn from a popularity
+//! distribution.
+
+use rand::seq::SliceRandom;
+use rand::RngExt;
+
+use setcover_core::rng::{derive_seed, seeded_rng};
+use setcover_core::{InstanceBuilder, SetId};
+
+use crate::{OptHint, Workload};
+
+/// Configuration for [`blog_watch`].
+#[derive(Debug, Clone, Copy)]
+pub struct BlogWatchConfig {
+    /// Number of topics (universe size `n`).
+    pub topics: usize,
+    /// Number of blogs (sets `m`).
+    pub blogs: usize,
+    /// Number of aggregator blogs; together they cover all topics.
+    pub aggregators: usize,
+    /// Topics per niche blog.
+    pub niche_topics: usize,
+    /// Popularity skew for niche blog topic selection (Zipf exponent).
+    pub skew: f64,
+}
+
+impl BlogWatchConfig {
+    /// A reasonable default shape: ~1% aggregators, 5 topics per niche
+    /// blog, moderate skew.
+    pub fn default_shape(topics: usize, blogs: usize) -> Self {
+        BlogWatchConfig {
+            topics,
+            blogs,
+            aggregators: (blogs / 100).max(2).min(blogs),
+            niche_topics: 5.min(topics),
+            skew: 1.0,
+        }
+    }
+}
+
+/// Generate a blog-watch workload. Deterministic in `(config, seed)`.
+pub fn blog_watch(config: &BlogWatchConfig, seed: u64) -> Workload {
+    let BlogWatchConfig { topics, blogs, aggregators, niche_topics, skew } = *config;
+    assert!(aggregators >= 1 && aggregators <= blogs);
+    assert!(niche_topics >= 1 && niche_topics <= topics);
+    let mut rng = seeded_rng(derive_seed(seed, 0x424c_4f47)); // "BLOG"
+
+    // Aggregators partition the topic space (cover of size `aggregators`).
+    let mut topic_perm: Vec<u32> = (0..topics as u32).collect();
+    topic_perm.shuffle(&mut rng);
+    let mut blog_ids: Vec<u32> = (0..blogs as u32).collect();
+    blog_ids.shuffle(&mut rng);
+
+    let block = topics.div_ceil(aggregators);
+    let mut b = InstanceBuilder::new(blogs, topics);
+    for (a, chunk) in topic_perm.chunks(block).enumerate() {
+        b.add_set_elems(blog_ids[a], chunk.iter().copied());
+    }
+
+    // Popularity weights over topics for niche blogs.
+    let mut cum = Vec::with_capacity(topics);
+    let mut total = 0.0f64;
+    for r in 0..topics {
+        total += 1.0 / ((r + 1) as f64).powf(skew);
+        cum.push(total);
+    }
+
+    for &blog in blog_ids.iter().take(blogs).skip(aggregators) {
+        for _ in 0..niche_topics {
+            let x = rng.random::<f64>() * total;
+            let rank = cum.partition_point(|&c| c < x).min(topics - 1);
+            b.add_edge(SetId(blog), topic_perm[rank].into());
+        }
+    }
+
+    Workload {
+        label: format!("blog-watch(topics={topics},blogs={blogs},agg={aggregators})"),
+        instance: b.build().expect("aggregators guarantee feasibility"),
+        opt: OptHint::UpperBound(aggregators),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcover_core::ElemId;
+
+    #[test]
+    fn aggregators_guarantee_feasibility() {
+        let w = blog_watch(&BlogWatchConfig::default_shape(500, 300), 1);
+        for u in 0..w.instance.n() as u32 {
+            assert!(w.instance.elem_degree(ElemId(u)) >= 1);
+        }
+        assert_eq!(w.opt, OptHint::UpperBound(3));
+    }
+
+    #[test]
+    fn niche_blogs_are_small() {
+        let cfg = BlogWatchConfig { topics: 200, blogs: 100, aggregators: 4, niche_topics: 3, skew: 1.2 };
+        let w = blog_watch(&cfg, 2);
+        let mut big = 0;
+        for s in 0..100u32 {
+            if w.instance.set_size(SetId(s)) > 3 {
+                big += 1;
+            }
+        }
+        assert!(big <= 4, "only aggregators may exceed niche size, got {big}");
+    }
+
+    #[test]
+    fn default_shape_is_sane() {
+        let c = BlogWatchConfig::default_shape(1000, 5000);
+        assert_eq!(c.aggregators, 50);
+        assert_eq!(c.niche_topics, 5);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = BlogWatchConfig::default_shape(100, 60);
+        assert_eq!(
+            blog_watch(&cfg, 9).instance.edge_vec(),
+            blog_watch(&cfg, 9).instance.edge_vec()
+        );
+        assert_ne!(
+            blog_watch(&cfg, 9).instance.edge_vec(),
+            blog_watch(&cfg, 10).instance.edge_vec()
+        );
+    }
+}

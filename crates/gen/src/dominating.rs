@@ -1,0 +1,162 @@
+//! Dominating Set instances (`m = n`).
+//!
+//! Streaming Dominating Set — the problem the KK-algorithm was designed
+//! for [Khanna–Konrad, ITCS'22] — is the special case of edge-arrival Set
+//! Cover where the sets are the *closed neighborhoods* `N[v] = {v} ∪ N(v)`
+//! of a graph's vertices: set `v` covers element `u` iff `u = v` or
+//! `{u, v}` is an edge. Each graph edge `{u, v}` yields the two stream
+//! tuples `(N[u], v)` and `(N[v], u)`, and every vertex yields `(N[v], v)`.
+//!
+//! Two graph models are provided: Erdős–Rényi `G(n, p)` and a planted-hub
+//! model where `opt` hubs dominate everything (so OPT is known).
+
+use rand::seq::SliceRandom;
+use rand::RngExt;
+
+use setcover_core::rng::{derive_seed, seeded_rng};
+use setcover_core::{InstanceBuilder, SetId};
+
+use crate::{OptHint, Workload};
+
+/// Build a Dominating Set instance from an explicit edge list on `n`
+/// vertices. Self-loops are implied (every vertex dominates itself).
+pub fn from_graph_edges(n: usize, edges: &[(u32, u32)]) -> Workload {
+    let mut b = InstanceBuilder::new(n, n);
+    for v in 0..n as u32 {
+        b.add_edge(SetId(v), v.into());
+    }
+    for &(u, v) in edges {
+        b.add_edge(SetId(u), v.into());
+        b.add_edge(SetId(v), u.into());
+    }
+    Workload {
+        label: format!("dominating(n={n},edges={})", edges.len()),
+        instance: b.build().expect("self-loops guarantee feasibility"),
+        opt: OptHint::Unknown,
+    }
+}
+
+/// An Erdős–Rényi `G(n, p)` Dominating Set instance.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Workload {
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = seeded_rng(derive_seed(seed, 0x0047_4e50)); // "GNP"
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if setcover_core::rng::coin(&mut rng, p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    let mut w = from_graph_edges(n, &edges);
+    w.label = format!("dominating-gnp(n={n},p={p})");
+    w
+}
+
+/// A planted-hub Dominating Set instance: `opt` hub vertices partition the
+/// remaining vertices into their neighborhoods, plus `extra_edges` random
+/// non-hub edges as noise. The hubs dominate everything, so OPT ≤ opt
+/// (and OPT = opt when `extra_edges` keeps non-hub degrees below the hub
+/// block size — the hint is reported as an upper bound regardless).
+pub fn planted_hubs(n: usize, opt: usize, extra_edges: usize, seed: u64) -> Workload {
+    assert!(opt >= 1 && opt <= n);
+    let mut rng = seeded_rng(derive_seed(seed, 0x4855_4253)); // "HUBS"
+    let mut vertices: Vec<u32> = (0..n as u32).collect();
+    vertices.shuffle(&mut rng);
+    let hubs = &vertices[..opt];
+    let rest = &vertices[opt..];
+
+    let mut edges = Vec::new();
+    // Assign each non-hub to a random hub.
+    for &v in rest {
+        let h = hubs[rng.random_range(0..opt)];
+        edges.push((h, v));
+    }
+    // Noise edges between random vertex pairs.
+    for _ in 0..extra_edges {
+        let a = rng.random_range(0..n as u32);
+        let mut b = rng.random_range(0..n as u32);
+        while b == a {
+            b = rng.random_range(0..n as u32);
+        }
+        edges.push((a.min(b), a.max(b)));
+    }
+
+    let mut w = from_graph_edges(n, &edges);
+    w.label = format!("dominating-hubs(n={n},opt={opt})");
+    w.opt = OptHint::UpperBound(opt);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcover_core::ElemId;
+
+    #[test]
+    fn dominating_has_m_equal_n() {
+        let w = gnp(40, 0.1, 1);
+        assert_eq!(w.instance.m(), 40);
+        assert_eq!(w.instance.n(), 40);
+    }
+
+    #[test]
+    fn every_vertex_dominates_itself() {
+        let w = gnp(25, 0.05, 2);
+        for v in 0..25u32 {
+            assert!(w.instance.contains(SetId(v), ElemId(v)));
+        }
+    }
+
+    #[test]
+    fn graph_edges_are_symmetric() {
+        let w = from_graph_edges(5, &[(0, 1), (2, 3)]);
+        assert!(w.instance.contains(SetId(0), ElemId(1)));
+        assert!(w.instance.contains(SetId(1), ElemId(0)));
+        assert!(w.instance.contains(SetId(2), ElemId(3)));
+        assert!(w.instance.contains(SetId(3), ElemId(2)));
+        assert!(!w.instance.contains(SetId(0), ElemId(2)));
+    }
+
+    #[test]
+    fn planted_hubs_dominate_everything() {
+        let w = planted_hubs(200, 8, 50, 3);
+        assert_eq!(w.opt, OptHint::UpperBound(8));
+        // The hint implies a cover of size 8 exists: check by collecting
+        // hub neighborhoods. We recover hubs as the sets of size > 1 noise
+        // aside — instead, simply verify a greedy-style argument: the
+        // instance is feasible and every element has degree >= 1 (its own
+        // loop).
+        for u in 0..200u32 {
+            assert!(w.instance.elem_degree(ElemId(u)) >= 1);
+        }
+        // There must exist 8 sets covering all: the hubs. Find them by
+        // checking that some choice of 8 sets covers the universe — here we
+        // exploit construction: sets with the 8 largest sizes are the hubs
+        // w.h.p. at this noise level.
+        let mut sizes: Vec<(usize, u32)> =
+            (0..200u32).map(|s| (w.instance.set_size(SetId(s)), s)).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let mut covered = [false; 200];
+        for &(_, s) in sizes.iter().take(8) {
+            for &u in w.instance.set(SetId(s)) {
+                covered[u.index()] = true;
+            }
+        }
+        let cov = covered.iter().filter(|&&c| c).count();
+        assert!(cov >= 195, "top-8 sets cover only {cov}/200");
+    }
+
+    #[test]
+    fn gnp_extreme_probabilities() {
+        let w0 = gnp(10, 0.0, 1);
+        assert_eq!(w0.instance.num_edges(), 10); // only self-loops
+        let w1 = gnp(10, 1.0, 1);
+        assert_eq!(w1.instance.num_edges(), 10 + 10 * 9); // complete graph
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(gnp(30, 0.2, 7).instance.edge_vec(), gnp(30, 0.2, 7).instance.edge_vec());
+    }
+}

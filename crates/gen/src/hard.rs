@@ -1,0 +1,145 @@
+//! Stress instances targeting specific algorithmic mechanisms.
+//!
+//! Theory lower bounds live in [`crate::lowerbound`]; this module holds
+//! *mechanism traps* — instances engineered so a particular rule of a
+//! particular algorithm is the binding constraint. They are used by the
+//! ablation experiments and the robustness tests.
+
+use rand::seq::SliceRandom;
+use rand::RngExt;
+
+use setcover_core::math::isqrt;
+use setcover_core::rng::{derive_seed, seeded_rng};
+use setcover_core::{InstanceBuilder, SetId};
+
+use crate::{OptHint, Workload};
+
+/// A trap for the KK-algorithm's level rule: all decoys have size exactly
+/// `√n − 1`, one short of the level width, so their uncovered-degree
+/// counters can *never* trigger an inclusion — only the `opt` planted
+/// blocks (size `n/opt`, well above `√n`) are samplable. KK's output is
+/// then governed purely by how fast the planted sets cross levels, making
+/// the `2^i·√n/m` inclusion schedule the measured object.
+pub fn kk_level_trap(n: usize, m: usize, opt: usize, seed: u64) -> Workload {
+    assert!(opt >= 1 && m > opt);
+    let decoy = isqrt(n).saturating_sub(1).max(1);
+    assert!(n / opt > decoy, "planted blocks must exceed the trap size");
+    let mut rng = seeded_rng(derive_seed(seed, 0x4b4b_5452)); // "KKTR"
+
+    let mut elems: Vec<u32> = (0..n as u32).collect();
+    elems.shuffle(&mut rng);
+    let mut ids: Vec<u32> = (0..m as u32).collect();
+    ids.shuffle(&mut rng);
+
+    let block = n.div_ceil(opt);
+    let mut b = InstanceBuilder::new(m, n);
+    for (i, chunk) in elems.chunks(block).enumerate() {
+        b.add_set_elems(ids[i], chunk.iter().copied());
+    }
+    for &sid in ids.iter().take(m).skip(opt) {
+        for _ in 0..decoy {
+            let u = rng.random_range(0..n as u32);
+            b.add_edge(SetId(sid), u.into());
+        }
+    }
+    Workload {
+        label: format!("kk-level-trap(n={n},m={m},opt={opt},decoy={decoy})"),
+        instance: b.build().expect("planted blocks guarantee feasibility"),
+        opt: OptHint::Exact(opt),
+    }
+}
+
+/// Degree-spike instances: `spikes` designated elements appear in *every*
+/// set (degree `m`), the rest follow a planted structure. Stresses the
+/// covered-element fast path of every solver and, specifically, Algorithm
+/// 1's epoch-0 high-degree detection (degree `≥ 1.1·m/√n` is guaranteed
+/// by construction for the spikes).
+pub fn degree_spike(n: usize, m: usize, opt: usize, spikes: usize, seed: u64) -> Workload {
+    assert!(spikes < n && opt >= 1 && m >= opt);
+    let mut rng = seeded_rng(derive_seed(seed, 0x5350_494b)); // "SPIK"
+
+    let mut elems: Vec<u32> = (0..n as u32).collect();
+    elems.shuffle(&mut rng);
+    let (spike_elems, rest) = elems.split_at(spikes);
+
+    let block = rest.len().div_ceil(opt).max(1);
+    let mut b = InstanceBuilder::new(m, n);
+    // Planted blocks over the non-spike elements.
+    for (i, chunk) in rest.chunks(block).enumerate() {
+        b.add_set_elems(i as u32, chunk.iter().copied());
+    }
+    // Every set contains every spike element.
+    for s in 0..m as u32 {
+        for &u in spike_elems {
+            b.add_edge(SetId(s), u.into());
+        }
+        // Decoys get a little random fill too.
+        if s as usize >= opt {
+            for _ in 0..4 {
+                let u = rest[rng.random_range(0..rest.len())];
+                b.add_edge(SetId(s), u.into());
+            }
+        }
+    }
+    Workload {
+        label: format!("degree-spike(n={n},m={m},spikes={spikes})"),
+        instance: b.build().expect("blocks + spikes cover everything"),
+        // The planted blocks cover rest; any single set covers all spikes.
+        opt: OptHint::UpperBound(opt.max(1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcover_core::ElemId;
+
+    #[test]
+    fn kk_trap_decoys_sit_below_level_width() {
+        let w = kk_level_trap(400, 800, 5, 1);
+        let inst = &w.instance;
+        let width = isqrt(400); // 20
+        let mut big = 0;
+        for s in 0..inst.m() as u32 {
+            let sz = inst.set_size(SetId(s));
+            if sz >= width {
+                big += 1;
+                assert!(sz >= 400 / 5, "only planted blocks may reach the width");
+            }
+        }
+        assert_eq!(big, 5);
+        assert_eq!(w.opt, OptHint::Exact(5));
+    }
+
+    #[test]
+    fn kk_trap_is_feasible_and_deterministic() {
+        let a = kk_level_trap(100, 50, 4, 9);
+        for u in 0..100u32 {
+            assert!(a.instance.elem_degree(ElemId(u)) >= 1);
+        }
+        let b = kk_level_trap(100, 50, 4, 9);
+        assert_eq!(a.instance.edge_vec(), b.instance.edge_vec());
+    }
+
+    #[test]
+    fn degree_spike_spikes_have_degree_m() {
+        let w = degree_spike(200, 60, 8, 3, 2);
+        let inst = &w.instance;
+        let mut full_degree = 0;
+        for u in 0..inst.n() as u32 {
+            if inst.elem_degree(ElemId(u)) == inst.m() {
+                full_degree += 1;
+            }
+        }
+        assert_eq!(full_degree, 3, "exactly the spikes have degree m");
+    }
+
+    #[test]
+    fn degree_spike_is_feasible() {
+        let w = degree_spike(120, 40, 6, 2, 3);
+        for u in 0..w.instance.n() as u32 {
+            assert!(w.instance.elem_degree(ElemId(u)) >= 1);
+        }
+        assert_eq!(w.opt, OptHint::UpperBound(6));
+    }
+}

@@ -1,0 +1,85 @@
+//! # setcover-gen
+//!
+//! Workload and hard-instance generators for edge-arrival streaming Set
+//! Cover experiments.
+//!
+//! All generators are deterministic given a seed and return a [`Workload`]:
+//! the instance plus whatever is known about its optimum (planted covers
+//! give exact optima; random workloads give bounds). Reference optima are
+//! what the experiment harness divides by when reporting approximation
+//! ratios, so their provenance matters and is carried in [`OptHint`].
+//!
+//! Generators:
+//! * [`planted`] — instances with a planted optimum cover (the workhorse
+//!   for approximation-ratio experiments; OPT is known by construction);
+//! * [`uniform`] — Erdős–Rényi-style random bipartite instances;
+//! * [`zipf`] — skewed (power-law) element degrees, the shape of real
+//!   coverage data (URL/blog-topic workloads of [Saha–Getoor; Barlow et
+//!   al.]);
+//! * [`lowerbound`] — the Lemma 1 set family with small pairwise
+//!   intersections and the Theorem 2 hard instances built from t-party Set
+//!   Disjointness;
+//! * [`dominating`] — Dominating Set instances (`m = n`), the special case
+//!   that motivated the KK-algorithm [Khanna–Konrad ITCS'22];
+//! * [`hard`] — mechanism traps (KK level trap, degree spikes) for
+//!   ablations and robustness tests;
+//! * [`coverage`] — max-coverage-style "blog watch" workloads;
+//! * [`web`] — double power-law "web crawl" workloads (the shape of the
+//!   practical systems in §1.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod dominating;
+pub mod hard;
+pub mod lowerbound;
+pub mod planted;
+pub mod uniform;
+pub mod web;
+pub mod zipf;
+
+use setcover_core::SetCoverInstance;
+
+/// What is known about the optimum cover size of a generated instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptHint {
+    /// The exact optimum (by construction).
+    Exact(usize),
+    /// A cover of this size exists by construction, so `OPT ≤` this value.
+    /// Ratios computed against it are lower bounds on the true achieved
+    /// ratio; EXPERIMENTS.md states this wherever it is used.
+    UpperBound(usize),
+    /// Nothing is known; the harness falls back to the greedy cover size
+    /// as a reference.
+    Unknown,
+}
+
+impl OptHint {
+    /// The reference value to divide by when computing ratios, if any.
+    pub fn reference(&self) -> Option<usize> {
+        match self {
+            OptHint::Exact(k) | OptHint::UpperBound(k) => Some(*k),
+            OptHint::Unknown => None,
+        }
+    }
+}
+
+/// A generated instance together with its optimum information and a
+/// human-readable label for reports.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The instance.
+    pub instance: SetCoverInstance,
+    /// What is known about OPT.
+    pub opt: OptHint,
+    /// Short label, e.g. `planted(n=1024,m=65536,opt=32)`.
+    pub label: String,
+}
+
+impl Workload {
+    /// The reference optimum for ratio computation, falling back to 1.
+    pub fn opt_reference(&self) -> usize {
+        self.opt.reference().unwrap_or(1).max(1)
+    }
+}

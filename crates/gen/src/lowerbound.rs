@@ -1,0 +1,274 @@
+//! The Lemma 1 set family and Theorem 2 hard instances.
+//!
+//! Lemma 1 (paper §3): for `t ≤ n` and `m = poly(n)` there exists a family
+//! `T_1, ..., T_m ⊆ [n]`, each of size `s = √(n·t)`, with partitions
+//! `T_i = T_i^1 ∪̇ ... ∪̇ T_i^t` into parts of size `s/t = √(n/t)`, such
+//! that every *part* of one set intersects every *other set* in only
+//! `O(log n)` elements. The proof is probabilistic — random sets work with
+//! non-zero probability — and that is exactly how we construct the family;
+//! [`LbFamily::max_part_intersection_sampled`] empirically validates the
+//! property (experiment E-F4).
+//!
+//! Theorem 2 builds a hard Set Cover distribution from this family plus a
+//! t-party Set Disjointness instance: party `p` contributes the partial
+//! sets `T_b^p` for every `b` in its disjointness set `S_p`, and the last
+//! party forks `m` parallel runs, adding the complement `[n] \ T_j` in run
+//! `j`. The reduction itself (parties, forking, the OPT₀ test) lives in
+//! `setcover-comm`; this module provides the combinatorial objects.
+//!
+//! For integrality we round the part size to `⌊√(n/t)⌋ (≥ 1)` and the set
+//! size to `part · t`; the asymptotics are unaffected.
+
+use rand::RngExt;
+
+use setcover_core::math::isqrt;
+use setcover_core::rng::{derive_seed, seeded_rng};
+
+/// Configuration of a Lemma 1 family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LbFamilyConfig {
+    /// Universe size `n`.
+    pub n: usize,
+    /// Family size `m`.
+    pub m: usize,
+    /// Number of parties / parts per set `t` (must satisfy `1 ≤ t ≤ n`).
+    pub t: usize,
+}
+
+impl LbFamilyConfig {
+    /// Part size `⌊√(n/t)⌋`, at least 1.
+    pub fn part_size(&self) -> usize {
+        isqrt(self.n / self.t).max(1)
+    }
+
+    /// Set size `part_size · t ≈ √(n·t)`.
+    pub fn set_size(&self) -> usize {
+        self.part_size() * self.t
+    }
+}
+
+/// A concrete Lemma 1 family: `m` sets, each stored as `t` consecutive
+/// parts of `part_size` elements.
+#[derive(Debug, Clone)]
+pub struct LbFamily {
+    config: LbFamilyConfig,
+    /// `elems[i]` holds set `T_i` as `t` consecutive parts.
+    elems: Vec<Vec<u32>>,
+}
+
+impl LbFamily {
+    /// Sample a random family per Lemma 1's probabilistic construction.
+    /// Deterministic in `(config, seed)`.
+    pub fn generate(config: LbFamilyConfig, seed: u64) -> Self {
+        assert!(config.t >= 1 && config.t <= config.n, "need 1 <= t <= n");
+        assert!(config.set_size() <= config.n, "set size exceeds universe");
+        let mut rng = seeded_rng(derive_seed(seed, 0x004c_4246_414d)); // "LBFAM"
+        let s = config.set_size();
+        let mut elems = Vec::with_capacity(config.m);
+        let mut mark = vec![false; config.n];
+        for _ in 0..config.m {
+            // Rejection-sample s distinct elements (s = √(nt) ≪ n).
+            let mut set = Vec::with_capacity(s);
+            while set.len() < s {
+                let u = rng.random_range(0..config.n as u32);
+                if !mark[u as usize] {
+                    mark[u as usize] = true;
+                    set.push(u);
+                }
+            }
+            for &u in &set {
+                mark[u as usize] = false;
+            }
+            // The sample is already uniformly ordered, so consecutive
+            // chunks form a uniformly random partition into parts.
+            elems.push(set);
+        }
+        LbFamily { config, elems }
+    }
+
+    /// The configuration used to build this family.
+    pub fn config(&self) -> LbFamilyConfig {
+        self.config
+    }
+
+    /// The full set `T_i` (all `t` parts, unsorted).
+    pub fn set(&self, i: usize) -> &[u32] {
+        &self.elems[i]
+    }
+
+    /// The part `T_i^r` (0-based `r < t`).
+    pub fn part(&self, i: usize, r: usize) -> &[u32] {
+        let p = self.config.part_size();
+        &self.elems[i][r * p..(r + 1) * p]
+    }
+
+    /// The complement `[n] \ T_i`, sorted ascending — the set the last
+    /// party injects in parallel run `i`.
+    pub fn complement(&self, i: usize) -> Vec<u32> {
+        let mut in_set = vec![false; self.config.n];
+        for &u in self.set(i) {
+            in_set[u as usize] = true;
+        }
+        (0..self.config.n as u32).filter(|&u| !in_set[u as usize]).collect()
+    }
+
+    /// `|T_i^r ∩ T_j|` for one triple (the Lemma 1 quantity).
+    pub fn part_intersection(&self, i: usize, r: usize, j: usize) -> usize {
+        let mut in_j = vec![false; self.config.n];
+        for &u in self.set(j) {
+            in_j[u as usize] = true;
+        }
+        self.part(i, r).iter().filter(|&&u| in_j[u as usize]).count()
+    }
+
+    /// The maximum `|T_i^r ∩ T_j|` over `pairs` random triples `(i, r, j)`
+    /// with `i ≠ j`. Lemma 1 predicts `O(log n)`; the experiment harness
+    /// compares the returned value against `c·log n`.
+    pub fn max_part_intersection_sampled(&self, pairs: usize, seed: u64) -> usize {
+        if self.config.m < 2 {
+            return 0;
+        }
+        let mut rng = seeded_rng(derive_seed(seed, 0x004c_4243_484b)); // "LBCHK"
+        let mut in_j = vec![0u32; self.config.n]; // generation-stamped marks
+        let mut generation = 0u32;
+        let mut max = 0usize;
+        for _ in 0..pairs {
+            let i = rng.random_range(0..self.config.m);
+            let mut j = rng.random_range(0..self.config.m);
+            while j == i {
+                j = rng.random_range(0..self.config.m);
+            }
+            let r = rng.random_range(0..self.config.t);
+            generation += 1;
+            for &u in self.set(j) {
+                in_j[u as usize] = generation;
+            }
+            let inter =
+                self.part(i, r).iter().filter(|&&u| in_j[u as usize] == generation).count();
+            max = max.max(inter);
+        }
+        max
+    }
+
+    /// Exhaustive maximum `|T_i^r ∩ T_j|` over all triples — `O(m²·t·part)`
+    /// work, for tests on small families only.
+    pub fn max_part_intersection_exhaustive(&self) -> usize {
+        let mut max = 0;
+        for i in 0..self.config.m {
+            for j in 0..self.config.m {
+                if i == j {
+                    continue;
+                }
+                for r in 0..self.config.t {
+                    max = max.max(self.part_intersection(i, r, j));
+                }
+            }
+        }
+        max
+    }
+
+    /// Lower bound `OPT₀` on the optimum in the *pairwise disjoint* case of
+    /// run `j` (paper, Theorem 2 proof): the `s` elements of `T_j` must be
+    /// covered by at most one part `T_j^k` (covering `s/t`) plus sets
+    /// intersecting `T_j` in at most `maxint` elements each.
+    pub fn disjoint_case_opt_lower(&self, maxint: usize) -> usize {
+        let s = self.config.set_size();
+        let rest = s - self.config.part_size();
+        rest.div_ceil(maxint.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LbFamily {
+        LbFamily::generate(LbFamilyConfig { n: 400, m: 30, t: 4 }, 11)
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let f = small();
+        let cfg = f.config();
+        assert_eq!(cfg.part_size(), 10); // sqrt(400/4) = 10
+        assert_eq!(cfg.set_size(), 40); // 10 * 4 = sqrt(400*4)
+        for i in 0..cfg.m {
+            assert_eq!(f.set(i).len(), 40);
+            for r in 0..cfg.t {
+                assert_eq!(f.part(i, r).len(), 10);
+            }
+        }
+    }
+
+    #[test]
+    fn parts_partition_each_set() {
+        let f = small();
+        for i in 0..f.config().m {
+            let mut all: Vec<u32> = f.set(i).to_vec();
+            all.sort_unstable();
+            let before = all.len();
+            all.dedup();
+            assert_eq!(all.len(), before, "set {i} has duplicate elements");
+            let mut from_parts: Vec<u32> = (0..f.config().t)
+                .flat_map(|r| f.part(i, r).iter().copied())
+                .collect();
+            from_parts.sort_unstable();
+            assert_eq!(all, from_parts);
+        }
+    }
+
+    #[test]
+    fn complement_partitions_universe() {
+        let f = small();
+        let comp = f.complement(3);
+        assert_eq!(comp.len(), 400 - 40);
+        let mut union: Vec<u32> = comp;
+        union.extend_from_slice(f.set(3));
+        union.sort_unstable();
+        let expect: Vec<u32> = (0..400).collect();
+        assert_eq!(union, expect);
+    }
+
+    #[test]
+    fn pairwise_part_intersections_are_logarithmic() {
+        // Lemma 1: E|T_i^r ∩ T_j| = s²/(n·t) = 1; O(log n) w.h.p.
+        let f = small();
+        let max = f.max_part_intersection_exhaustive();
+        // log2(400) ≈ 8.6; allow a generous constant.
+        assert!(max <= 26, "max pairwise part intersection {max} too large");
+    }
+
+    #[test]
+    fn sampled_check_is_bounded_by_exhaustive() {
+        let f = small();
+        let samp = f.max_part_intersection_sampled(500, 3);
+        let exact = f.max_part_intersection_exhaustive();
+        assert!(samp <= exact);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = LbFamilyConfig { n: 100, m: 10, t: 4 };
+        let a = LbFamily::generate(cfg, 5);
+        let b = LbFamily::generate(cfg, 5);
+        for i in 0..10 {
+            assert_eq!(a.set(i), b.set(i));
+        }
+    }
+
+    #[test]
+    fn opt_lower_bound_formula() {
+        let f = small();
+        // s = 40, part = 10, maxint = 5 -> ceil(30/5) = 6
+        assert_eq!(f.disjoint_case_opt_lower(5), 6);
+        assert_eq!(f.disjoint_case_opt_lower(0), 30); // clamped divisor
+    }
+
+    #[test]
+    fn part_size_never_zero() {
+        let cfg = LbFamilyConfig { n: 4, m: 2, t: 4 };
+        assert_eq!(cfg.part_size(), 1);
+        let f = LbFamily::generate(cfg, 1);
+        assert_eq!(f.set(0).len(), 4);
+    }
+}

@@ -1,0 +1,219 @@
+//! Instances with a planted optimum cover.
+//!
+//! The universe is partitioned into `opt` blocks; one *planted* set covers
+//! each block exactly, so a cover of size `opt` exists. The remaining
+//! `m − opt` sets are *decoys* with uniformly random elements. When every
+//! decoy is no larger than the largest block, any cover needs at least
+//! `n / ⌈n/opt⌉ ≈ opt` sets, and we cap decoy sizes so that the planted
+//! value is the exact optimum (see [`PlantedConfig::exact`]).
+//!
+//! Planted instances are the workhorse of the approximation-ratio
+//! experiments (E-T1, E-F1..F3 in DESIGN.md): the denominator of every
+//! reported ratio is known by construction rather than estimated.
+
+use rand::seq::SliceRandom;
+use rand::RngExt;
+
+use setcover_core::rng::{derive_seed, seeded_rng};
+use setcover_core::{InstanceBuilder, SetId};
+
+use crate::{OptHint, Workload};
+
+/// Configuration for [`planted`].
+#[derive(Debug, Clone)]
+pub struct PlantedConfig {
+    /// Universe size `n`.
+    pub n: usize,
+    /// Number of sets `m` (must be `>= opt`).
+    pub opt: usize,
+    /// Planted optimum: number of blocks / planted sets.
+    pub m: usize,
+    /// Decoy set size range `[lo, hi]`, inclusive. When `hi` is at most the
+    /// block size `⌈n/opt⌉`, the planted cover is exactly optimal.
+    pub decoy_size: (usize, usize),
+    /// Shuffle set ids so planted sets are not a recognizable prefix.
+    pub shuffle_ids: bool,
+}
+
+impl PlantedConfig {
+    /// A configuration whose planted cover is provably the exact optimum:
+    /// decoys are capped at the block size.
+    pub fn exact(n: usize, m: usize, opt: usize) -> Self {
+        assert!(opt >= 1 && opt <= n, "need 1 <= opt <= n");
+        assert!(m >= opt, "need m >= opt");
+        let block = n.div_ceil(opt);
+        PlantedConfig {
+            n,
+            m,
+            opt,
+            decoy_size: (1.max(block / 4), block),
+            shuffle_ids: true,
+        }
+    }
+
+    /// Like [`exact`](Self::exact) but with a custom decoy size range;
+    /// if `hi` exceeds the block size the optimum is only an upper bound.
+    pub fn with_decoy_size(mut self, lo: usize, hi: usize) -> Self {
+        assert!(1 <= lo && lo <= hi && hi <= self.n);
+        self.decoy_size = (lo, hi);
+        self
+    }
+}
+
+/// A planted workload, exposing which sets form the planted optimum.
+#[derive(Debug, Clone)]
+pub struct PlantedInstance {
+    /// The generated workload (instance + opt hint + label).
+    pub workload: Workload,
+    /// Ids of the planted (optimal) sets after id shuffling.
+    pub planted_sets: Vec<SetId>,
+}
+
+/// Generate a planted instance. Deterministic in `(config, seed)`.
+pub fn planted(config: &PlantedConfig, seed: u64) -> PlantedInstance {
+    let PlantedConfig { n, m, opt, decoy_size: (dlo, dhi), shuffle_ids } = *config;
+    assert!(opt >= 1 && m >= opt && n >= opt);
+
+    let mut rng = seeded_rng(derive_seed(seed, xp_lanted()));
+
+    // Permute the universe so blocks are random element subsets.
+    let mut elems: Vec<u32> = (0..n as u32).collect();
+    elems.shuffle(&mut rng);
+
+    // Assign set ids: a random injection of [m] if shuffling.
+    let mut ids: Vec<u32> = (0..m as u32).collect();
+    if shuffle_ids {
+        ids.shuffle(&mut rng);
+    }
+
+    let block = n.div_ceil(opt);
+    let mut builder = InstanceBuilder::new(m, n);
+    let mut planted_sets = Vec::with_capacity(opt);
+    for (b, chunk) in elems.chunks(block).enumerate() {
+        let sid = ids[b];
+        planted_sets.push(SetId(sid));
+        builder.add_set_elems(sid, chunk.iter().copied());
+    }
+
+    // Decoys: uniform random elements, sizes uniform in [dlo, dhi].
+    for &sid in ids.iter().take(m).skip(opt) {
+        let size = if dlo == dhi { dlo } else { rng.random_range(dlo..=dhi) };
+        for _ in 0..size {
+            let u = rng.random_range(0..n as u32);
+            builder.add_edge(SetId(sid), u.into());
+        }
+    }
+
+    let instance = builder.build().expect("planted construction is always feasible");
+    let opt_hint = if dhi <= block { OptHint::Exact(opt) } else { OptHint::UpperBound(opt) };
+    planted_sets.sort_unstable();
+    PlantedInstance {
+        workload: Workload {
+            label: format!("planted(n={n},m={m},opt={opt})"),
+            instance,
+            opt: opt_hint,
+        },
+        planted_sets,
+    }
+}
+
+// Salt for seed derivation; spelled as a function to keep the call site
+// readable without a stray constant.
+#[inline]
+fn xp_lanted() -> u64 {
+    0x0050_4c41_4e54_4544 // "PLANTED"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcover_core::ElemId;
+
+    #[test]
+    fn planted_sets_cover_universe_disjointly() {
+        let p = planted(&PlantedConfig::exact(100, 40, 10), 7);
+        let inst = &p.workload.instance;
+        assert_eq!(p.planted_sets.len(), 10);
+        let mut covered = vec![0usize; inst.n()];
+        for &s in &p.planted_sets {
+            for &u in inst.set(s) {
+                covered[u.index()] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "planted blocks must partition U");
+    }
+
+    #[test]
+    fn exact_config_caps_decoys_at_block_size() {
+        let cfg = PlantedConfig::exact(100, 200, 10);
+        let p = planted(&cfg, 3);
+        let inst = &p.workload.instance;
+        let block = 10;
+        for s in 0..inst.m() as u32 {
+            let sid = SetId(s);
+            if !p.planted_sets.contains(&sid) {
+                assert!(inst.set_size(sid) <= block, "decoy exceeds block size");
+            }
+        }
+        assert_eq!(p.workload.opt, OptHint::Exact(10));
+    }
+
+    #[test]
+    fn opt_is_truly_optimal_for_exact_config() {
+        // Lower bound argument: every set has size <= block, so any cover
+        // needs >= n / block = opt sets.
+        let p = planted(&PlantedConfig::exact(64, 128, 8), 11);
+        let inst = &p.workload.instance;
+        let max_size = (0..inst.m() as u32).map(|s| inst.set_size(SetId(s))).max().unwrap();
+        assert!(max_size <= 8);
+        // n / max_size >= 8 = opt
+        assert!(inst.n().div_ceil(max_size) >= 8);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = PlantedConfig::exact(50, 80, 5);
+        let a = planted(&cfg, 9);
+        let b = planted(&cfg, 9);
+        assert_eq!(a.planted_sets, b.planted_sets);
+        assert_eq!(a.workload.instance.num_edges(), b.workload.instance.num_edges());
+        let c = planted(&cfg, 10);
+        // Different seed should (overwhelmingly) give different decoys.
+        assert!(
+            a.workload.instance.edge_vec() != c.workload.instance.edge_vec()
+                || a.planted_sets != c.planted_sets
+        );
+    }
+
+    #[test]
+    fn shuffled_ids_spread_planted_sets() {
+        let cfg = PlantedConfig::exact(256, 512, 16);
+        let p = planted(&cfg, 42);
+        // With overwhelming probability the planted ids are not 0..16.
+        let prefix: Vec<SetId> = (0..16).map(SetId).collect();
+        assert_ne!(p.planted_sets, prefix);
+    }
+
+    #[test]
+    fn oversized_decoys_yield_upper_bound_hint() {
+        let cfg = PlantedConfig::exact(100, 50, 10).with_decoy_size(1, 50);
+        let p = planted(&cfg, 1);
+        assert_eq!(p.workload.opt, OptHint::UpperBound(10));
+    }
+
+    #[test]
+    fn every_element_has_positive_degree() {
+        let p = planted(&PlantedConfig::exact(333, 777, 21), 5);
+        let inst = &p.workload.instance;
+        for u in 0..inst.n() as u32 {
+            assert!(inst.elem_degree(ElemId(u)) >= 1);
+        }
+    }
+
+    #[test]
+    fn label_mentions_parameters() {
+        let p = planted(&PlantedConfig::exact(10, 20, 2), 0);
+        assert_eq!(p.workload.label, "planted(n=10,m=20,opt=2)");
+        assert_eq!(p.workload.opt_reference(), 2);
+    }
+}

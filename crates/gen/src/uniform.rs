@@ -1,0 +1,123 @@
+//! Erdős–Rényi-style uniform random bipartite instances.
+//!
+//! Every set draws a size from a configured range and fills it with
+//! uniformly random elements. Elements left uncovered after all sets are
+//! drawn are patched into random sets so the instance stays feasible (§2
+//! assumes feasibility). OPT is unknown — the harness uses the greedy cover
+//! as the reference — so these workloads exercise robustness and
+//! throughput rather than tight ratio claims.
+
+use rand::RngExt;
+
+use setcover_core::rng::{derive_seed, seeded_rng};
+use setcover_core::{InstanceBuilder, SetId};
+
+use crate::{OptHint, Workload};
+
+/// Configuration for [`uniform`].
+#[derive(Debug, Clone, Copy)]
+pub struct UniformConfig {
+    /// Universe size `n`.
+    pub n: usize,
+    /// Number of sets `m`.
+    pub m: usize,
+    /// Inclusive set size range.
+    pub set_size: (usize, usize),
+}
+
+impl UniformConfig {
+    /// Sets of a fixed size.
+    pub fn fixed(n: usize, m: usize, size: usize) -> Self {
+        UniformConfig { n, m, set_size: (size, size) }
+    }
+
+    /// Sets with sizes uniform in `[lo, hi]`.
+    pub fn ranged(n: usize, m: usize, lo: usize, hi: usize) -> Self {
+        assert!(1 <= lo && lo <= hi && hi <= n);
+        UniformConfig { n, m, set_size: (lo, hi) }
+    }
+}
+
+/// Generate a uniform random instance. Deterministic in `(config, seed)`.
+pub fn uniform(config: &UniformConfig, seed: u64) -> Workload {
+    let UniformConfig { n, m, set_size: (lo, hi) } = *config;
+    assert!(m >= 1 && n >= 1 && lo >= 1 && hi >= lo && hi <= n);
+    let mut rng = seeded_rng(derive_seed(seed, 0x0055_4e49_464f_524d)); // "UNIFORM"
+
+    let mut builder = InstanceBuilder::new(m, n);
+    let mut covered = vec![false; n];
+    for s in 0..m as u32 {
+        let size = if lo == hi { lo } else { rng.random_range(lo..=hi) };
+        for _ in 0..size {
+            let u = rng.random_range(0..n as u32);
+            covered[u as usize] = true;
+            builder.add_edge(SetId(s), u.into());
+        }
+    }
+    // Patch uncovered elements into random sets for feasibility.
+    for (u, c) in covered.iter().enumerate() {
+        if !c {
+            let s = rng.random_range(0..m as u32);
+            builder.add_edge(SetId(s), (u as u32).into());
+        }
+    }
+
+    Workload {
+        label: format!("uniform(n={n},m={m},size={lo}..={hi})"),
+        instance: builder.build().expect("patched uniform instance is feasible"),
+        opt: OptHint::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcover_core::ElemId;
+
+    #[test]
+    fn generates_feasible_instance() {
+        let w = uniform(&UniformConfig::ranged(200, 50, 2, 20), 1);
+        let inst = &w.instance;
+        assert_eq!(inst.n(), 200);
+        assert_eq!(inst.m(), 50);
+        for u in 0..inst.n() as u32 {
+            assert!(inst.elem_degree(ElemId(u)) >= 1);
+        }
+    }
+
+    #[test]
+    fn fixed_sizes_respected_up_to_dedup_and_patching() {
+        let w = uniform(&UniformConfig::fixed(1000, 30, 10), 2);
+        let patched: usize = (0..30u32).map(|s| w.instance.set_size(SetId(s))).sum();
+        for s in 0..30u32 {
+            let sz = w.instance.set_size(SetId(s));
+            // Duplicates shrink; feasibility patching grows each set by a
+            // Binomial(~n·e^{-0.3}, 1/m) share — bound it with a generous
+            // Chernoff margin rather than the bare mean.
+            let mean_patch = 1000.0 * (-0.3f64).exp() / 30.0;
+            let bound = 10.0 + setcover_core::math::chernoff_upper(mean_patch, 1e-9);
+            assert!(sz >= 1 && (sz as f64) <= bound, "set {s} size {sz} above {bound}");
+        }
+        // Totals are conserved: base draws + one edge per patched element.
+        assert!(patched <= 30 * 10 + 1000);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = UniformConfig::ranged(100, 40, 1, 10);
+        assert_eq!(uniform(&cfg, 5).instance.edge_vec(), uniform(&cfg, 5).instance.edge_vec());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = UniformConfig::ranged(100, 40, 1, 10);
+        assert_ne!(uniform(&cfg, 5).instance.edge_vec(), uniform(&cfg, 6).instance.edge_vec());
+    }
+
+    #[test]
+    fn opt_is_unknown() {
+        let w = uniform(&UniformConfig::fixed(10, 5, 2), 0);
+        assert_eq!(w.opt, OptHint::Unknown);
+        assert_eq!(w.opt_reference(), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Web-scale crawl workloads: double power laws.
+//!
+//! The practical set-cover systems the paper cites (§1.3 — Cormode,
+//! Karloff and Wirth's disk-based greedy; Stergiou and Tsioutsiouliklis'
+//! "Set Cover at Web Scale") run on crawl-shaped data where *both*
+//! marginals are heavy-tailed: set sizes follow a power law (a few huge
+//! hosts, a long tail of small ones) and element frequencies follow a
+//! power law (a few URLs/features appear everywhere). This generator
+//! produces that double-Zipf shape with a planted feasibility spine, so
+//! streaming experiments can be run on realistic-looking inputs with a
+//! known cover bound.
+
+use rand::seq::SliceRandom;
+use rand::RngExt;
+
+use setcover_core::rng::{derive_seed, seeded_rng};
+use setcover_core::{InstanceBuilder, SetId};
+
+use crate::{OptHint, Workload};
+
+/// Configuration for [`web_crawl`].
+#[derive(Debug, Clone, Copy)]
+pub struct WebConfig {
+    /// Universe size `n` (URLs / features).
+    pub n: usize,
+    /// Number of sets `m` (hosts / documents).
+    pub m: usize,
+    /// Set-size power-law exponent (sizes ∝ rank^(−beta)); larger = more
+    /// skew. Typical crawls: ~1.
+    pub beta: f64,
+    /// Element-popularity power-law exponent. Typical: ~0.8–1.2.
+    pub theta: f64,
+    /// Largest set size (the head of the size distribution).
+    pub max_set_size: usize,
+    /// Number of spine sets that partition the universe (feasibility +
+    /// a known cover of this size... the spine sets are the `opt` hint).
+    pub spine: usize,
+}
+
+impl WebConfig {
+    /// A crawl-ish default: head set of ~n/8, exponents ≈ 1.
+    pub fn crawl(n: usize, m: usize) -> Self {
+        WebConfig {
+            n,
+            m,
+            beta: 1.0,
+            theta: 1.0,
+            max_set_size: (n / 8).max(4),
+            spine: ((n as f64).sqrt() as usize).max(2),
+        }
+    }
+}
+
+/// Generate a double-power-law instance. Deterministic in `(config, seed)`.
+pub fn web_crawl(config: &WebConfig, seed: u64) -> Workload {
+    let WebConfig { n, m, beta, theta, max_set_size, spine } = *config;
+    assert!(spine >= 1 && spine <= m && spine <= n);
+    assert!(max_set_size >= 1 && max_set_size <= n);
+    let mut rng = seeded_rng(derive_seed(seed, 0x0057_4542)); // "WEB"
+
+    // Element popularity CDF (rank -> weight), with random relabelling.
+    let mut cum = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for r in 0..n {
+        total += 1.0 / ((r + 1) as f64).powf(theta);
+        cum.push(total);
+    }
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    label.shuffle(&mut rng);
+
+    let mut ids: Vec<u32> = (0..m as u32).collect();
+    ids.shuffle(&mut rng);
+
+    let mut b = InstanceBuilder::new(m, n);
+
+    // Spine: `spine` sets partition the universe (feasibility + known
+    // cover).
+    let mut elems: Vec<u32> = (0..n as u32).collect();
+    elems.shuffle(&mut rng);
+    let block = n.div_ceil(spine);
+    for (i, chunk) in elems.chunks(block).enumerate() {
+        b.add_set_elems(ids[i], chunk.iter().copied());
+    }
+
+    // Tail: power-law sizes, power-law element draws.
+    for (rank, &sid) in ids.iter().enumerate().skip(spine) {
+        let size = ((max_set_size as f64 / ((rank - spine + 1) as f64).powf(beta)).ceil()
+            as usize)
+            .clamp(1, max_set_size);
+        for _ in 0..size {
+            let x = rng.random::<f64>() * total;
+            let r = cum.partition_point(|&c| c < x).min(n - 1);
+            b.add_edge(SetId(sid), label[r].into());
+        }
+    }
+
+    Workload {
+        label: format!("web-crawl(n={n},m={m},beta={beta},theta={theta})"),
+        instance: b.build().expect("spine guarantees feasibility"),
+        opt: OptHint::UpperBound(spine),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcover_core::ElemId;
+
+    #[test]
+    fn generates_feasible_instance() {
+        let w = web_crawl(&WebConfig::crawl(500, 400), 1);
+        for u in 0..w.instance.n() as u32 {
+            assert!(w.instance.elem_degree(ElemId(u)) >= 1);
+        }
+        assert_eq!(w.opt, OptHint::UpperBound(22)); // √500 = 22
+    }
+
+    #[test]
+    fn set_sizes_are_heavy_tailed() {
+        let w = web_crawl(&WebConfig::crawl(1000, 800), 2);
+        let mut sizes: Vec<usize> =
+            (0..w.instance.m() as u32).map(|s| w.instance.set_size(SetId(s))).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        // Head much larger than median.
+        let head = sizes[0];
+        let median = sizes[sizes.len() / 2];
+        assert!(
+            head >= 10 * median.max(1),
+            "no size skew: head {head}, median {median}"
+        );
+        // And a long tail of tiny sets.
+        let tiny = sizes.iter().filter(|&&s| s <= 2).count();
+        assert!(tiny >= w.instance.m() / 4, "tail too small: {tiny}");
+    }
+
+    #[test]
+    fn element_popularity_is_heavy_tailed() {
+        let w = web_crawl(&WebConfig::crawl(800, 1000), 3);
+        let st = w.instance.stats();
+        assert!(
+            st.max_elem_degree as f64 >= 8.0 * st.avg_elem_degree,
+            "no popularity skew: max {} vs avg {:.1}",
+            st.max_elem_degree,
+            st.avg_elem_degree
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = WebConfig::crawl(200, 150);
+        assert_eq!(web_crawl(&cfg, 9).instance.edge_vec(), web_crawl(&cfg, 9).instance.edge_vec());
+        assert_ne!(web_crawl(&cfg, 9).instance.edge_vec(), web_crawl(&cfg, 10).instance.edge_vec());
+    }
+}

@@ -1,0 +1,67 @@
+//! The headline of the paper in one program: with only Õ(m/√n) memory,
+//! Algorithm 1 solves edge-arrival Set Cover well **when the stream is in
+//! random order** (Theorem 3) — a space budget that Theorem 2 proves is
+//! impossible for adversarial orders. The KK-algorithm needs the full
+//! Õ(m) budget but is order-robust (Theorem 1).
+//!
+//! Run with: `cargo run -p setcover-bench --release --example adversarial_vs_random`
+
+use setcover_algos::{KkSolver, RandomOrderConfig, RandomOrderSolver};
+use setcover_core::math::isqrt;
+use setcover_core::solver::run_streaming;
+use setcover_core::stream::{stream_of, StreamOrder};
+use setcover_gen::planted::{planted, PlantedConfig};
+
+fn main() {
+    let (n, m, opt) = (1024, 65_536, 16);
+    let p = planted(&PlantedConfig::exact(n, m, opt), 11);
+    let inst = &p.workload.instance;
+    println!(
+        "planted instance: n = {n}, m = {m}, OPT = {opt}, N = {} edges",
+        inst.num_edges()
+    );
+    println!("√n = {}, m/√n = {}\n", isqrt(n), m / isqrt(n));
+
+    println!("{:<24} {:>10} {:>16} {:>8}", "run", "cover", "space (words)", "valid");
+    for (label, order) in [
+        ("random order", StreamOrder::Uniform(3)),
+        ("adversarial interleave", StreamOrder::Interleaved),
+    ] {
+        // Algorithm 1 at the Õ(m/√n) budget.
+        let ro = run_streaming(
+            RandomOrderSolver::new(
+                inst.m(),
+                inst.n(),
+                inst.num_edges(),
+                RandomOrderConfig::practical(),
+                5,
+            ),
+            stream_of(inst, order),
+        );
+        let valid = ro.cover.verify(inst).is_ok();
+        println!(
+            "{:<24} {:>10} {:>16} {:>8}",
+            format!("alg-1 / {label}"),
+            ro.cover.size(),
+            ro.space.algorithmic_peak_words(),
+            valid
+        );
+
+        // KK at the Õ(m) budget.
+        let kk = run_streaming(KkSolver::new(inst.m(), inst.n(), 5), stream_of(inst, order));
+        let valid = kk.cover.verify(inst).is_ok();
+        println!(
+            "{:<24} {:>10} {:>16} {:>8}",
+            format!("kk    / {label}"),
+            kk.cover.size(),
+            kk.space.algorithmic_peak_words(),
+            valid
+        );
+    }
+
+    println!(
+        "\nAlgorithm 1 runs in a fraction of KK's memory. Its quality guarantee only\n\
+         holds on random orders — Theorem 2 shows *no* algorithm can match it\n\
+         adversarially at that budget. Run the `separation` binary for the full sweep."
+    );
+}

@@ -1,0 +1,84 @@
+//! Blog-watch coverage: pick a small reading list of blogs that together
+//! cover every topic — the application Saha and Getoor used to motivate
+//! streaming coverage problems (paper §1.3, [22]).
+//!
+//! Each blog (set) covers some topics (elements); (blog, topic) pairs
+//! arrive one at a time as crawl results — exactly the edge-arrival
+//! model, where a blog's topics dribble in over the whole crawl rather
+//! than arriving together. We compare edge-arrival algorithms with the
+//! set-arrival threshold algorithm that *needs* grouped input.
+//!
+//! Run with: `cargo run -p setcover-bench --release --example blog_watch`
+
+use setcover_algos::{
+    greedy_cover, AdversarialConfig, AdversarialSolver, KkSolver, SetArrivalThresholdSolver,
+};
+use setcover_core::solver::run_streaming;
+use setcover_core::stream::{stream_of, StreamOrder};
+use setcover_gen::coverage::{blog_watch, BlogWatchConfig};
+
+fn main() {
+    let cfg = BlogWatchConfig {
+        topics: 1500,
+        blogs: 8000,
+        aggregators: 12,
+        niche_topics: 5,
+        skew: 1.1,
+    };
+    let w = blog_watch(&cfg, 7);
+    let inst = &w.instance;
+    println!("{}: N = {} crawl records", w.label, inst.num_edges());
+    println!("a reading list of {} aggregator blogs covers everything\n", cfg.aggregators);
+
+    let greedy = greedy_cover(inst);
+    println!("offline greedy reading list:       {:>5} blogs", greedy.size());
+
+    // The realistic crawl order: (blog, topic) records interleaved.
+    let crawl = StreamOrder::Uniform(21);
+
+    let kk = run_streaming(KkSolver::new(inst.m(), inst.n(), 1), stream_of(inst, crawl));
+    kk.cover.verify(inst).expect("valid");
+    println!(
+        "kk (edge-arrival):                 {:>5} blogs, {} words",
+        kk.cover.size(),
+        kk.space.peak_words
+    );
+
+    let adv = run_streaming(
+        AdversarialSolver::new(inst.m(), inst.n(), AdversarialConfig::sqrt_n(inst.n()), 2),
+        stream_of(inst, crawl),
+    );
+    adv.cover.verify(inst).expect("valid");
+    println!(
+        "algorithm 2 (low space):           {:>5} blogs, {} words",
+        adv.cover.size(),
+        adv.space.peak_words
+    );
+
+    // The set-arrival algorithm mis-handles interleaved crawls...
+    let sa_interleaved = run_streaming(
+        SetArrivalThresholdSolver::new(inst.m(), inst.n()),
+        stream_of(inst, crawl),
+    );
+    sa_interleaved.cover.verify(inst).expect("valid");
+    println!(
+        "set-arrival alg on crawl order:    {:>5} blogs  <- needs grouped input",
+        sa_interleaved.cover.size()
+    );
+
+    // ...but is fine when each blog's topics arrive together.
+    let sa_grouped = run_streaming(
+        SetArrivalThresholdSolver::new(inst.m(), inst.n()),
+        stream_of(inst, StreamOrder::SetArrival),
+    );
+    sa_grouped.cover.verify(inst).expect("valid");
+    println!(
+        "set-arrival alg on grouped order:  {:>5} blogs",
+        sa_grouped.cover.size()
+    );
+
+    println!(
+        "\nEdge-arrival algorithms handle the realistic interleaved crawl; the classic\n\
+         set-arrival algorithm collapses on it — the gap this paper's model addresses."
+    );
+}

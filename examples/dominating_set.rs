@@ -1,0 +1,82 @@
+//! Streaming Dominating Set — the problem that motivated the
+//! KK-algorithm [Khanna–Konrad, ITCS'22] and the special case `m = n` of
+//! edge-arrival Set Cover: set `v` is the closed neighborhood `N[v]`, and
+//! each graph edge `{u, v}` contributes the stream tuples `(N[u], v)` and
+//! `(N[v], u)`.
+//!
+//! We build a planted-hub graph (a few hubs dominate everything), stream
+//! its edges adversarially and randomly, and compare the KK-algorithm
+//! against offline greedy and the patch-everything baseline.
+//!
+//! Run with: `cargo run -p setcover-bench --release --example dominating_set`
+
+use setcover_algos::{greedy_cover, DominatingSetStream, FirstSetSolver, KkSolver};
+use setcover_core::solver::run_streaming;
+use setcover_core::stream::{stream_of, StreamOrder};
+use setcover_gen::dominating::planted_hubs;
+
+fn main() {
+    let n = 2000;
+    let hubs = 10;
+    let noise_edges = 6000;
+    let w = planted_hubs(n, hubs, noise_edges, 99);
+    let inst = &w.instance;
+    println!("{}: N = {} stream tuples", w.label, inst.num_edges());
+    println!("planted dominating set size: {hubs}\n");
+
+    let greedy = greedy_cover(inst);
+    println!("offline greedy:        {:>5} sets (reference)", greedy.size());
+
+    for order in [StreamOrder::Uniform(5), StreamOrder::Interleaved, StreamOrder::GreedyTrap] {
+        let kk = run_streaming(KkSolver::new(inst.m(), inst.n(), 3), stream_of(inst, order));
+        kk.cover.verify(inst).expect("valid dominating set");
+        println!(
+            "kk on {:<16} {:>5} sets, peak space {} words (m = {})",
+            format!("{}:", order.name()),
+            kk.cover.size(),
+            kk.space.peak_words,
+            inst.m()
+        );
+    }
+
+    let fs = run_streaming(
+        FirstSetSolver::new(inst.m(), inst.n()),
+        stream_of(inst, StreamOrder::Uniform(5)),
+    );
+    fs.cover.verify(inst).expect("valid");
+    println!("first-set baseline:    {:>5} sets", fs.cover.size());
+
+    // The graph-native facade: feed raw graph edges, no set-cover
+    // translation in user code. (A dense-ish graph: KK's level rule
+    // needs neighborhoods of size ≳ √n to engage.)
+    let n_graph = 500usize;
+    let mut graph: Vec<(u32, u32)> = (1..n_graph as u32).map(|v| (v / 2, v)).collect();
+    let mut x = 1u64;
+    for _ in 0..10_000 {
+        // Tiny LCG for reproducible chords without pulling in rand here.
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let a = ((x >> 33) as u32) % n_graph as u32;
+        let b = ((x >> 13) as u32) % n_graph as u32;
+        if a != b {
+            graph.push((a.min(b), a.max(b)));
+        }
+    }
+    let mut ds = DominatingSetStream::kk(n_graph, 13);
+    for &(u, v) in &graph {
+        ds.observe_edge(u, v);
+    }
+    let d = ds.finalize();
+    d.verify(n_graph, &graph).expect("valid dominating set");
+    println!(
+        "\nfacade on a {}-vertex graph ({} edges): {} dominators (vertex 0 dominated by {})",
+        n_graph,
+        graph.len(),
+        d.size(),
+        d.dominator_of(0)
+    );
+
+    println!(
+        "\nEvery streaming output is a verified dominating set; KK stays within its\n\
+         Õ(√n)-factor of the planted optimum on every arrival order."
+    );
+}

@@ -1,0 +1,53 @@
+//! Quickstart: build an edge-arrival Set Cover instance, stream it through
+//! the KK-algorithm, and verify the produced cover.
+//!
+//! Run with: `cargo run -p setcover-bench --release --example quickstart`
+
+use setcover_algos::KkSolver;
+use setcover_core::solver::run_streaming;
+use setcover_core::stream::{stream_of, StreamOrder};
+use setcover_core::{ElemId, InstanceBuilder, SetId};
+
+fn main() {
+    // A small instance: 6 sets over a universe of 12 elements.
+    // S0 and S1 form the optimal cover; the rest are partial overlaps.
+    let mut builder = InstanceBuilder::new(6, 12);
+    builder.add_set_elems(0, 0..6); // covers the first half
+    builder.add_set_elems(1, 6..12); // covers the second half
+    builder.add_set_elems(2, [0, 2, 4]);
+    builder.add_set_elems(3, [1, 3, 5]);
+    builder.add_set_elems(4, [6, 8, 10]);
+    builder.add_set_elems(5, [7, 9, 11]);
+    let instance = builder.build().expect("valid instance");
+
+    println!(
+        "instance: m = {} sets, n = {} elements, N = {} edges",
+        instance.m(),
+        instance.n(),
+        instance.num_edges()
+    );
+
+    // Stream the edges in a uniformly random order (the tuples (S, u)
+    // arrive one at a time — the edge-arrival model).
+    let stream = stream_of(&instance, StreamOrder::Uniform(42));
+
+    // The KK-algorithm: Õ(√n)-approximation in Õ(m) space (Theorem 1).
+    let solver = KkSolver::new(instance.m(), instance.n(), 7);
+    let outcome = run_streaming(solver, stream);
+
+    // Every element has a certified covering set.
+    outcome.cover.verify(&instance).expect("cover must be valid");
+
+    println!("cover: {} sets {:?}", outcome.cover.size(), outcome.cover.sets());
+    println!("peak space: {}", outcome.space);
+    for u in [ElemId(0), ElemId(7)] {
+        let w: SetId = outcome.cover.witness(u).unwrap();
+        println!("element {u} is covered by {w}");
+    }
+    println!(
+        "processed {} edges in {:.2?} ({:.1} k edges/s)",
+        outcome.edges_processed,
+        outcome.elapsed,
+        outcome.edges_per_sec() / 1e3
+    );
+}

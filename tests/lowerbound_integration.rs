@@ -1,0 +1,136 @@
+//! Integration tests for the Theorem 2 machinery: the reduction game with
+//! both eligible solvers, promise-instance properties at scale, and the
+//! simple t-party protocol's guarantees.
+
+use setcover_algos::{AdversarialConfig, AdversarialSolver, KkSolver};
+use setcover_comm::disjointness::{DisjCase, DisjointnessInstance};
+use setcover_comm::reduction::{run_reduction, ReductionOutcome};
+use setcover_comm::simple_protocol::{
+    assign_sets_round_robin, run_simple_protocol, split_instance_across_parties,
+};
+use setcover_gen::lowerbound::{LbFamily, LbFamilyConfig};
+use setcover_gen::planted::{planted, PlantedConfig};
+
+fn game(case: DisjCase, seed: u64) -> (ReductionOutcome, DisjointnessInstance) {
+    let cfg = LbFamilyConfig { n: 4096, m: 101, t: 8 };
+    let fam = LbFamily::generate(cfg, seed);
+    let disj = DisjointnessInstance::generate(101, 8, case, seed);
+    assert!(disj.verify_promise());
+    let maxint = fam.max_part_intersection_sampled(400, seed).max(1);
+    let out = run_reduction(&fam, &disj, maxint, |m, n| KkSolver::new(m, n, seed));
+    (out, disj)
+}
+
+#[test]
+fn reduction_distinguishes_over_multiple_seeds() {
+    // Calibrate on seeds 100.. and evaluate on 0..3: the gap must let a
+    // fixed threshold classify all evaluation instances.
+    let cal_i = game(DisjCase::UniquelyIntersecting, 100).0.best_estimate;
+    let cal_d = game(DisjCase::PairwiseDisjoint, 100).0.best_estimate;
+    assert!(cal_i < cal_d, "no gap at calibration: {cal_i} vs {cal_d}");
+    let threshold = (cal_i + cal_d) / 2;
+
+    for seed in 0..3u64 {
+        let (oi, di) = game(DisjCase::UniquelyIntersecting, seed);
+        assert!(oi.correct(threshold, DisjCase::UniquelyIntersecting), "seed {seed}");
+        // The best run is the common index.
+        assert_eq!(oi.best_run as u32, di.intersection.unwrap(), "seed {seed}");
+        let (od, _) = game(DisjCase::PairwiseDisjoint, seed);
+        assert!(od.correct(threshold, DisjCase::PairwiseDisjoint), "seed {seed}");
+    }
+}
+
+#[test]
+fn reduction_works_with_algorithm_2_as_the_streaming_algorithm() {
+    let cfg = LbFamilyConfig { n: 4096, m: 101, t: 8 };
+    let fam = LbFamily::generate(cfg, 7);
+    let maxint = fam.max_part_intersection_sampled(400, 7).max(1);
+
+    let run = |case| {
+        let disj = DisjointnessInstance::generate(101, 8, case, 7);
+        run_reduction(&fam, &disj, maxint, |m, n| {
+            // Algorithm 2 with α = 2√n — the low-space regime.
+            AdversarialSolver::new(m, n, AdversarialConfig::sqrt_n(4096), 7)
+        })
+        .best_estimate
+    };
+    let inter = run(DisjCase::UniquelyIntersecting);
+    let disj = run(DisjCase::PairwiseDisjoint);
+    // Algorithm 2 also separates the cases (its D-levels pick the full
+    // T_{b*} with high probability once it accumulates promotions).
+    assert!(
+        inter < disj,
+        "algorithm 2 shows no gap: intersecting {inter} vs disjoint {disj}"
+    );
+}
+
+#[test]
+fn family_scales_preserve_lemma1() {
+    for (n, m, t) in [(1024usize, 51usize, 4usize), (4096, 101, 8)] {
+        let fam = LbFamily::generate(LbFamilyConfig { n, m, t }, 3);
+        let max = fam.max_part_intersection_sampled(1500, 9);
+        let log_n = setcover_core::math::log2f(n);
+        assert!(
+            (max as f64) <= 3.0 * log_n,
+            "n={n}: max intersection {max} above 3·log₂n = {:.1}",
+            3.0 * log_n
+        );
+    }
+}
+
+#[test]
+fn simple_protocol_meets_its_bound_on_split_inputs() {
+    let p = planted(&PlantedConfig::exact(900, 1800, 10), 5);
+    let inst = &p.workload.instance;
+    for t in [2usize, 3, 6, 9] {
+        let parties = split_instance_across_parties(inst, t);
+        let out = run_simple_protocol(inst.n(), &parties);
+        // Coverage check.
+        let mut covered = vec![false; inst.n()];
+        for &s in &out.cover_sets {
+            for &u in inst.set(s) {
+                covered[u.index()] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "t={t}: not a cover");
+        // Ratio bound 2√(nt) per the protocol's analysis.
+        let bound = 2.0 * ((inst.n() * t) as f64).sqrt();
+        let ratio = out.cover_size() as f64 / 10.0;
+        assert!(ratio <= bound, "t={t}: ratio {ratio} above {bound}");
+        // Message size Õ(n), not Θ(m).
+        assert!(out.messages.max_message_words() <= 4 * inst.n());
+    }
+}
+
+#[test]
+fn simple_protocol_on_whole_set_assignment_acts_like_sqrt_n() {
+    let p = planted(&PlantedConfig::exact(400, 800, 10), 6);
+    let inst = &p.workload.instance;
+    let parties = assign_sets_round_robin(inst, 4);
+    let out = run_simple_protocol(inst.n(), &parties);
+    let mut covered = vec![false; inst.n()];
+    for &s in &out.cover_sets {
+        for &u in inst.set(s) {
+            covered[u.index()] = true;
+        }
+    }
+    assert!(covered.iter().all(|&c| c));
+    // Whole sets are easier than split sets: threshold √(n/t) = 10 and
+    // planted sets of size 40 get picked as wholes.
+    assert!(out.cover_size() as f64 / 10.0 <= 2.0 * (400f64).sqrt());
+}
+
+#[test]
+fn message_sizes_reflect_algorithm_state() {
+    let cfg = LbFamilyConfig { n: 1024, m: 51, t: 4 };
+    let fam = LbFamily::generate(cfg, 8);
+    let disj = DisjointnessInstance::generate(51, 4, DisjCase::PairwiseDisjoint, 8);
+    let maxint = 5;
+    let out = run_reduction(&fam, &disj, maxint, |m, n| KkSolver::new(m, n, 9));
+    assert_eq!(out.messages.len(), 4);
+    // KK forwards Θ(m_instance + n) words at every boundary.
+    for h in &out.messages.handoffs {
+        assert!(h.state_words >= 52, "party {} state too small", h.from_party);
+    }
+    assert!(out.messages.total_words() >= out.messages.max_message_words());
+}

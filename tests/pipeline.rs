@@ -1,0 +1,136 @@
+//! End-to-end pipeline tests: every generator → every arrival order →
+//! every streaming algorithm → verified cover.
+
+use setcover_algos::{
+    AdversarialConfig, AdversarialSolver, ElementSamplingConfig, ElementSamplingSolver,
+    FirstSetSolver, KkSolver, RandomOrderConfig, RandomOrderSolver, SetArrivalThresholdSolver,
+    StoreAllSolver,
+};
+use setcover_core::solver::{run_on_edges, RunOutcome};
+use setcover_core::stream::{order_edges, StreamOrder};
+use setcover_core::{Edge, SetCoverInstance};
+use setcover_gen::coverage::{blog_watch, BlogWatchConfig};
+use setcover_gen::dominating::{gnp, planted_hubs};
+use setcover_gen::planted::{planted, PlantedConfig};
+use setcover_gen::uniform::{uniform, UniformConfig};
+use setcover_gen::web::{web_crawl, WebConfig};
+use setcover_gen::zipf::{zipf, ZipfConfig};
+use setcover_gen::Workload;
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        planted(&PlantedConfig::exact(120, 480, 10), 1).workload,
+        uniform(&UniformConfig::ranged(150, 90, 2, 15), 2),
+        zipf(&ZipfConfig { n: 140, m: 80, set_size: 6, theta: 1.2 }, 3),
+        blog_watch(&BlogWatchConfig::default_shape(130, 70), 4),
+        gnp(60, 0.08, 5),
+        planted_hubs(90, 6, 120, 6),
+        web_crawl(&WebConfig::crawl(160, 120), 7),
+    ]
+}
+
+fn orders() -> Vec<StreamOrder> {
+    vec![
+        StreamOrder::SetArrival,
+        StreamOrder::SetArrivalShuffled(9),
+        StreamOrder::Interleaved,
+        StreamOrder::ElementGrouped,
+        StreamOrder::Uniform(10),
+        StreamOrder::GreedyTrap,
+    ]
+}
+
+fn all_solvers_run(inst: &SetCoverInstance, edges: &[Edge], seed: u64) -> Vec<RunOutcome> {
+    let (m, n) = (inst.m(), inst.n());
+    let nn = inst.num_edges();
+    vec![
+        run_on_edges(KkSolver::new(m, n, seed), edges),
+        run_on_edges(
+            AdversarialSolver::new(m, n, AdversarialConfig::sqrt_n(n), seed),
+            edges,
+        ),
+        run_on_edges(
+            RandomOrderSolver::new(m, n, nn, RandomOrderConfig::practical(), seed),
+            edges,
+        ),
+        run_on_edges(
+            ElementSamplingSolver::new(
+                m,
+                n,
+                ElementSamplingConfig::for_alpha(8.0, m, 1.0),
+                seed,
+            ),
+            edges,
+        ),
+        run_on_edges(SetArrivalThresholdSolver::new(m, n), edges),
+        run_on_edges(FirstSetSolver::new(m, n), edges),
+        run_on_edges(StoreAllSolver::new(m, n), edges),
+    ]
+}
+
+#[test]
+fn every_algorithm_covers_every_workload_on_every_order() {
+    for (wi, w) in workloads().into_iter().enumerate() {
+        let inst = &w.instance;
+        for order in orders() {
+            let edges = order_edges(inst, order);
+            assert_eq!(edges.len(), inst.num_edges(), "{}: order lost edges", w.label);
+            for out in all_solvers_run(inst, &edges, 31 + wi as u64) {
+                out.cover.verify(inst).unwrap_or_else(|e| {
+                    panic!("{} on {} / {:?}: {e}", out.algorithm, w.label, order)
+                });
+                assert!(
+                    out.cover.size() <= inst.n(),
+                    "{} on {}: cover {} exceeds n = {}",
+                    out.algorithm,
+                    w.label,
+                    out.cover.size(),
+                    inst.n()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn store_all_is_the_quality_ceiling() {
+    // The unbounded-memory baseline (offline greedy over the replayed
+    // stream) should never lose badly to any bounded-memory solver.
+    let w = planted(&PlantedConfig::exact(200, 800, 10), 7).workload;
+    let inst = &w.instance;
+    let edges = order_edges(inst, StreamOrder::Uniform(8));
+    let outs = all_solvers_run(inst, &edges, 77);
+    let store_all = outs.iter().find(|o| o.algorithm == "store-all-greedy").unwrap();
+    for out in &outs {
+        assert!(
+            store_all.cover.size() <= out.cover.size() + 2,
+            "store-all ({}) worse than {} ({})",
+            store_all.cover.size(),
+            out.algorithm,
+            out.cover.size()
+        );
+    }
+}
+
+#[test]
+fn planted_optimum_is_achievable_by_offline_greedy() {
+    let p = planted(&PlantedConfig::exact(300, 900, 15), 9);
+    let inst = &p.workload.instance;
+    let greedy = setcover_algos::greedy_cover(inst);
+    greedy.verify(inst).unwrap();
+    // Greedy finds the planted partition up to its harmonic factor; on
+    // disjoint-block plants it is typically exactly optimal.
+    assert!(greedy.size() <= 15 * 3);
+    assert!(greedy.size() >= 15, "cannot beat the exact optimum");
+}
+
+#[test]
+fn outcomes_report_consistent_metadata() {
+    let w = planted(&PlantedConfig::exact(64, 128, 8), 2).workload;
+    let inst = &w.instance;
+    let edges = order_edges(inst, StreamOrder::SetArrival);
+    for out in all_solvers_run(inst, &edges, 5) {
+        assert_eq!(out.edges_processed, inst.num_edges(), "{}", out.algorithm);
+        assert!(!out.algorithm.is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Space-accounting integration tests: the measured peaks must reflect
+//! the paper's asymptotic separations on one shared instance.
+
+use setcover_algos::{
+    AdversarialConfig, AdversarialSolver, BestOfK, ElementSamplingConfig,
+    ElementSamplingSolver, KkSolver, RandomOrderConfig, RandomOrderSolver,
+};
+use setcover_core::math::isqrt;
+use setcover_core::solver::run_on_edges;
+use setcover_core::space::SpaceComponent;
+use setcover_core::stream::{order_edges, StreamOrder};
+use setcover_gen::planted::{planted, PlantedConfig};
+
+/// One shared instance in the Theorem 3 regime m = Ω̃(n²).
+fn fixture() -> (setcover_core::SetCoverInstance, usize, usize) {
+    let n = 256;
+    let m = n * n / 8; // 8192
+    let p = planted(&PlantedConfig::exact(n, m, 8), 3);
+    (p.workload.instance, m, n)
+}
+
+#[test]
+fn space_ordering_matches_table_1() {
+    let (inst, m, n) = fixture();
+    let edges = order_edges(&inst, StreamOrder::Uniform(5));
+
+    let kk = run_on_edges(KkSolver::new(m, n, 1), &edges);
+    let alg2 = run_on_edges(
+        AdversarialSolver::new(m, n, AdversarialConfig::sqrt_n(n), 1),
+        &edges,
+    );
+    let alg1 = run_on_edges(
+        RandomOrderSolver::new(m, n, edges.len(), RandomOrderConfig::practical(), 1),
+        &edges,
+    );
+    let es = run_on_edges(
+        ElementSamplingSolver::new(
+            m,
+            n,
+            ElementSamplingConfig::for_alpha(isqrt(n) as f64 / 2.0, m, 1.0),
+            1,
+        ),
+        &edges,
+    );
+
+    let kk_w = kk.space.algorithmic_peak_words();
+    let alg2_w = alg2.space.algorithmic_peak_words();
+    let alg1_w = alg1.space.algorithmic_peak_words();
+    let es_w = es.space.algorithmic_peak_words();
+
+    // Table 1 ordering at alpha = Θ(√n):
+    //   element-sampling (mn/α) > kk (m) > alg2 (mn/α²) and alg1 (m/√n).
+    assert!(es_w > kk_w, "element-sampling {es_w} !> kk {kk_w}");
+    assert!(kk_w > alg2_w, "kk {kk_w} !> alg2 {alg2_w}");
+    assert!(kk_w > alg1_w, "kk {kk_w} !> alg1 {alg1_w}");
+    // KK is exactly m counters.
+    assert_eq!(kk_w, m);
+    // Alg 1's per-set state is m/√n + n (epoch-0 element counters).
+    assert!(alg1_w <= m / isqrt(n) + n + 200, "alg1 {alg1_w} above budget");
+}
+
+#[test]
+fn component_breakdown_distinguishes_structures() {
+    let (inst, m, n) = fixture();
+    let edges = order_edges(&inst, StreamOrder::Uniform(7));
+
+    let kk = run_on_edges(KkSolver::new(m, n, 2), &edges);
+    let comps: Vec<_> = kk.space.peak_by_component.iter().map(|(c, _)| *c).collect();
+    assert!(comps.contains(&SpaceComponent::Counters));
+    assert!(comps.contains(&SpaceComponent::Marks));
+    assert!(comps.contains(&SpaceComponent::FirstSet));
+
+    let alg2 = run_on_edges(
+        AdversarialSolver::new(m, n, AdversarialConfig::sqrt_n(n), 2),
+        &edges,
+    );
+    let has_levels = alg2
+        .space
+        .peak_by_component
+        .iter()
+        .any(|(c, w)| *c == SpaceComponent::Levels && *w > 0);
+    assert!(has_levels, "algorithm 2 must charge its level map");
+
+    let alg1 = run_on_edges(
+        RandomOrderSolver::new(m, n, edges.len(), RandomOrderConfig::practical(), 2),
+        &edges,
+    );
+    let has_tracked = alg1
+        .space
+        .peak_by_component
+        .iter()
+        .any(|(c, _)| matches!(c, SpaceComponent::TrackedSets | SpaceComponent::TrackedEdges));
+    assert!(has_tracked, "algorithm 1 must charge its tracked structures");
+}
+
+#[test]
+fn algorithm2_space_shrinks_quadratically_ish_in_alpha() {
+    let (inst, m, n) = fixture();
+    let edges = order_edges(&inst, StreamOrder::Interleaved);
+    let level_words = |alpha: f64| {
+        let out = run_on_edges(
+            AdversarialSolver::new(m, n, AdversarialConfig::with_alpha(alpha), 3),
+            &edges,
+        );
+        out.space
+            .peak_by_component
+            .iter()
+            .find(|(c, _)| *c == SpaceComponent::Levels)
+            .map(|(_, w)| *w)
+            .unwrap_or(0)
+    };
+    let w16 = level_words(16.0);
+    let w64 = level_words(64.0);
+    let w256 = level_words(256.0);
+    assert!(w16 > w64 && w64 > w256, "no monotone decay: {w16}, {w64}, {w256}");
+    // 4x alpha should shrink the map by clearly more than 2x.
+    assert!(w16 as f64 / w64 as f64 > 2.0, "decay too slow: {w16} -> {w64}");
+}
+
+#[test]
+fn element_sampling_space_tracks_rho() {
+    let (inst, m, n) = fixture();
+    let edges = order_edges(&inst, StreamOrder::Uniform(9));
+    let stored = |rho: f64| {
+        let out = run_on_edges(
+            ElementSamplingSolver::new(m, n, ElementSamplingConfig { rho, alpha: 16.0 }, 4),
+            &edges,
+        );
+        out.space
+            .peak_by_component
+            .iter()
+            .find(|(c, _)| *c == SpaceComponent::StoredEdges)
+            .map(|(_, w)| *w)
+            .unwrap_or(0)
+    };
+    let lo = stored(0.1);
+    let hi = stored(0.8);
+    assert!(lo > 0);
+    assert!(hi > 4 * lo, "stored edges should scale ~linearly with rho: {lo} vs {hi}");
+}
+
+#[test]
+fn best_of_k_space_is_additive() {
+    let (inst, m, n) = fixture();
+    let edges = order_edges(&inst, StreamOrder::Uniform(11));
+    let single = run_on_edges(KkSolver::new(m, n, 5), &edges).space.peak_words;
+    let tripled =
+        run_on_edges(BestOfK::new(3, |i| KkSolver::new(m, n, 5 + i as u64)), &edges)
+            .space
+            .peak_words;
+    assert!(tripled >= 3 * m);
+    assert!(tripled >= 2 * single, "copies must not share state");
+}
