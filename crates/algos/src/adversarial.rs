@@ -41,7 +41,9 @@ pub struct AdversarialConfig {
 impl AdversarialConfig {
     /// The paper's recommended minimum, `α = 2√n`.
     pub fn sqrt_n(n: usize) -> Self {
-        AdversarialConfig { alpha: 2.0 * (n as f64).sqrt().max(1.0) }
+        AdversarialConfig {
+            alpha: 2.0 * (n as f64).sqrt().max(1.0),
+        }
     }
 
     /// An explicit α.
@@ -195,7 +197,8 @@ impl StreamingSetCover for AdversarialSolver {
             self.promotions += 1;
             let entry = self.levels.entry(e.set.0).or_insert(0);
             if *entry == 0 {
-                self.meter.charge(SpaceComponent::Levels, map_entry_words(2));
+                self.meter
+                    .charge(SpaceComponent::Levels, map_entry_words(2));
             }
             *entry += 1;
             let level = *entry;
@@ -241,12 +244,7 @@ mod tests {
         orders.push(StreamOrder::Uniform(3));
         for order in orders {
             let out = run_streaming(
-                AdversarialSolver::new(
-                    inst.m(),
-                    inst.n(),
-                    AdversarialConfig::sqrt_n(inst.n()),
-                    7,
-                ),
+                AdversarialSolver::new(inst.m(), inst.n(), AdversarialConfig::sqrt_n(inst.n()), 7),
                 stream_of(inst, order),
             );
             out.cover.verify(inst).unwrap();
@@ -264,17 +262,18 @@ mod tests {
         for e in setcover_core::stream::order_edges(inst, StreamOrder::Interleaved) {
             solver.process_edge(e);
         }
-        let upper = setcover_core::math::chernoff_upper(
-            inst.num_edges() as f64 / (2.0 * 16.0),
-            1e-9,
-        );
+        let upper =
+            setcover_core::math::chernoff_upper(inst.num_edges() as f64 / (2.0 * 16.0), 1e-9);
         assert!(
             (solver.promotions() as f64) <= upper,
             "promotions {} above Chernoff bound {upper}",
             solver.promotions()
         );
         assert!(solver.levels_len() <= solver.promotions() as usize);
-        assert!(solver.levels_len() < inst.m() / 4, "level map close to Θ(m)");
+        assert!(
+            solver.levels_len() < inst.m() / 4,
+            "level map close to Θ(m)"
+        );
     }
 
     #[test]
@@ -300,7 +299,10 @@ mod tests {
         };
         let lo = run(16.0);
         let hi = run(256.0);
-        assert!(hi < lo, "levels space should shrink with alpha: {hi} !< {lo}");
+        assert!(
+            hi < lo,
+            "levels space should shrink with alpha: {hi} !< {lo}"
+        );
     }
 
     #[test]
@@ -327,7 +329,10 @@ mod tests {
         // Expected ratio O(alpha log m); the trivial ratio is n/OPT = 50.
         // Generous envelope: stay below the trivial patch-everything size.
         assert!(out.cover.size() <= inst.n(), "cover exceeds trivial bound");
-        assert!(ratio <= alpha * 3.0, "ratio {ratio} far above alpha scale {alpha}");
+        assert!(
+            ratio <= alpha * 3.0,
+            "ratio {ratio} far above alpha scale {alpha}"
+        );
     }
 
     #[test]
@@ -336,7 +341,10 @@ mod tests {
         let solver = AdversarialSolver::new(m, 100, AdversarialConfig::with_alpha(50.0), 77);
         // |D0| ~ Binomial(m, 50/m); Chernoff-bounded around 50.
         let d0 = solver.solution_len();
-        assert!((15..=120).contains(&d0), "|D0| = {d0} implausible for mean 50");
+        assert!(
+            (15..=120).contains(&d0),
+            "|D0| = {d0} implausible for mean 50"
+        );
     }
 
     #[test]

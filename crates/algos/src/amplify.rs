@@ -29,7 +29,9 @@ impl<A: StreamingSetCover> BestOfK<A> {
     /// Build from a factory called with copy indices `0..k`.
     pub fn new<F: FnMut(usize) -> A>(k: usize, mut factory: F) -> Self {
         assert!(k >= 1);
-        BestOfK { copies: (0..k).map(&mut factory).collect() }
+        BestOfK {
+            copies: (0..k).map(&mut factory).collect(),
+        }
     }
 
     /// Number of copies.
@@ -67,7 +69,10 @@ impl<A: StreamingSetCover> StreamingSetCover for BestOfK<A> {
                 *by.entry(comp).or_default() += w;
             }
         }
-        SpaceReport { peak_words: peak, peak_by_component: by.into_iter().collect() }
+        SpaceReport {
+            peak_words: peak,
+            peak_by_component: by.into_iter().collect(),
+        }
     }
 }
 
@@ -149,7 +154,10 @@ impl StreamingSetCover for NGuessing {
                 *by.entry(comp).or_default() += w;
             }
         }
-        SpaceReport { peak_words: peak, peak_by_component: by.into_iter().collect() }
+        SpaceReport {
+            peak_words: peak,
+            peak_by_component: by.into_iter().collect(),
+        }
     }
 }
 

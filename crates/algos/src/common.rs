@@ -28,7 +28,11 @@ impl MarkSet {
     /// An empty mark set over `n` elements; charges the meter once.
     pub fn new(n: usize, meter: &mut SpaceMeter) -> Self {
         meter.charge(SpaceComponent::Marks, bitset_words(n));
-        MarkSet { bits: vec![0; bitset_words(n)], marked: 0, n }
+        MarkSet {
+            bits: vec![0; bitset_words(n)],
+            marked: 0,
+            n,
+        }
     }
 
     /// Mark element `u`; returns `true` if it was previously unmarked.
@@ -85,7 +89,9 @@ impl FirstSetMap {
     /// An empty map over `n` elements; charges the meter once.
     pub fn new(n: usize, meter: &mut SpaceMeter) -> Self {
         meter.charge(SpaceComponent::FirstSet, n);
-        FirstSetMap { first: vec![None; n] }
+        FirstSetMap {
+            first: vec![None; n],
+        }
     }
 
     /// Record `R(u) ← s` if `R(u) = ⊥`.

@@ -49,7 +49,10 @@ impl DominatingSet {
     /// edges; `n` is the vertex count.
     pub fn verify(&self, n: usize, edges: &[(u32, u32)]) -> Result<(), String> {
         if self.dominator.len() != n {
-            return Err(format!("witness table has {} entries, graph has {n}", self.dominator.len()));
+            return Err(format!(
+                "witness table has {} entries, graph has {n}",
+                self.dominator.len()
+            ));
         }
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
         for &(a, b) in edges {
@@ -88,7 +91,11 @@ impl DominatingSetStream<KkSolver> {
 impl<A: StreamingSetCover> DominatingSetStream<A> {
     /// Wrap an inner solver built for an `n × n` instance.
     pub fn with_solver(n: usize, inner: A) -> Self {
-        DominatingSetStream { inner, n, seen_vertex: vec![false; n] }
+        DominatingSetStream {
+            inner,
+            n,
+            seen_vertex: vec![false; n],
+        }
     }
 
     /// Announce a vertex (emits its self-domination tuple). Idempotent.
@@ -98,7 +105,10 @@ impl<A: StreamingSetCover> DominatingSetStream<A> {
         assert!((v as usize) < self.n, "vertex {v} out of range");
         if !self.seen_vertex[v as usize] {
             self.seen_vertex[v as usize] = true;
-            self.inner.process_edge(Edge { set: SetId(v), elem: ElemId(v) });
+            self.inner.process_edge(Edge {
+                set: SetId(v),
+                elem: ElemId(v),
+            });
         }
     }
 
@@ -107,15 +117,24 @@ impl<A: StreamingSetCover> DominatingSetStream<A> {
     pub fn observe_edge(&mut self, u: u32, v: u32) {
         self.observe_vertex(u);
         self.observe_vertex(v);
-        self.inner.process_edge(Edge { set: SetId(u), elem: ElemId(v) });
-        self.inner.process_edge(Edge { set: SetId(v), elem: ElemId(u) });
+        self.inner.process_edge(Edge {
+            set: SetId(u),
+            elem: ElemId(v),
+        });
+        self.inner.process_edge(Edge {
+            set: SetId(v),
+            elem: ElemId(u),
+        });
     }
 
     /// Finish: every vertex of the graph must have been observed (alone
     /// or via an edge).
     pub fn finalize(&mut self) -> DominatingSet {
         for (v, &s) in self.seen_vertex.iter().enumerate() {
-            assert!(s, "vertex {v} never observed; announce isolated vertices explicitly");
+            assert!(
+                s,
+                "vertex {v} never observed; announce isolated vertices explicitly"
+            );
         }
         let cover = self.inner.finalize();
         DominatingSet {
@@ -221,7 +240,11 @@ mod tests {
         d.verify(n, &edges).unwrap();
         let sqrt_n = setcover_core::math::isqrt(n) as f64;
         let envelope = (sqrt_n * setcover_core::math::log2f(n)).ceil() as usize;
-        assert!(d.size() <= envelope, "{} above √n·log n = {envelope}", d.size());
+        assert!(
+            d.size() <= envelope,
+            "{} above √n·log n = {envelope}",
+            d.size()
+        );
         // And the center must be in the set (it dominates someone).
         assert!(d.vertices().contains(&0));
     }

@@ -167,7 +167,10 @@ impl StreamingSetCover for ElementSamplingSolver {
             // Pick the set covering the most uncovered sampled elements.
             let mut best: Option<(usize, u32)> = None;
             for s in 0..self.m {
-                let gain = self.projections[s].iter().filter(|u| uncovered[u.index()]).count();
+                let gain = self.projections[s]
+                    .iter()
+                    .filter(|u| uncovered[u.index()])
+                    .count();
                 if gain > 0 && best.is_none_or(|(bg, _)| gain > bg) {
                     best = Some((gain, s as u32));
                 }
@@ -209,8 +212,11 @@ mod tests {
     fn produces_valid_cover() {
         let p = planted(&PlantedConfig::exact(200, 800, 10), 1);
         let inst = &p.workload.instance;
-        for order in [StreamOrder::Uniform(2), StreamOrder::Interleaved, StreamOrder::SetArrival]
-        {
+        for order in [
+            StreamOrder::Uniform(2),
+            StreamOrder::Interleaved,
+            StreamOrder::SetArrival,
+        ] {
             let out = run_streaming(
                 ElementSamplingSolver::new(
                     inst.m(),
@@ -257,7 +263,10 @@ mod tests {
                 inst.n(),
                 // rho = 1 stores everything; alpha = sqrt(n) sets the pick
                 // threshold to n/alpha = sqrt(n).
-                ElementSamplingConfig { rho: 1.0, alpha: (inst.n() as f64).sqrt() },
+                ElementSamplingConfig {
+                    rho: 1.0,
+                    alpha: (inst.n() as f64).sqrt(),
+                },
                 4,
             ),
             stream_of(inst, StreamOrder::Uniform(5)),
@@ -269,8 +278,16 @@ mod tests {
         // sqrt(n) envelope and far below patch-everything (n/OPT = 15).
         let ratio = out.cover.size() as f64 / 10.0;
         let sqrt_n = (inst.n() as f64).sqrt();
-        assert!(ratio <= 1.5 * sqrt_n, "ratio {ratio} above 1.5*sqrt(n) = {}", 1.5 * sqrt_n);
-        assert!(out.cover.size() < inst.n() / 2, "cover {} not sublinear", out.cover.size());
+        assert!(
+            ratio <= 1.5 * sqrt_n,
+            "ratio {ratio} above 1.5*sqrt(n) = {}",
+            1.5 * sqrt_n
+        );
+        assert!(
+            out.cover.size() < inst.n() / 2,
+            "cover {} not sublinear",
+            out.cover.size()
+        );
     }
 
     #[test]
@@ -278,7 +295,10 @@ mod tests {
         let s = ElementSamplingSolver::new(
             1000,
             400,
-            ElementSamplingConfig { rho: 0.5, alpha: 20.0 },
+            ElementSamplingConfig {
+                rho: 0.5,
+                alpha: 20.0,
+            },
             0,
         );
         assert_eq!(s.threshold(), 10); // 0.5*400/20

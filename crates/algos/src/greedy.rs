@@ -66,9 +66,14 @@ pub fn greedy_cover(inst: &SetCoverInstance) -> Cover {
         }
     }
 
-    debug_assert_eq!(covered_count, n, "feasible instances are fully covered by greedy");
-    let cert: Vec<SetId> =
-        certificate.into_iter().map(|c| c.expect("greedy covers everything")).collect();
+    debug_assert_eq!(
+        covered_count, n,
+        "feasible instances are fully covered by greedy"
+    );
+    let cert: Vec<SetId> = certificate
+        .into_iter()
+        .map(|c| c.expect("greedy covers everything"))
+        .collect();
     Cover::new(chosen, cert)
 }
 
@@ -121,8 +126,8 @@ mod tests {
         // never more.
         let inst = build(
             &[
-                &[0, 1, 2, 3, 4, 5, 6, 7],  // big set
-                &[0, 1, 2, 3],              // halves
+                &[0, 1, 2, 3, 4, 5, 6, 7], // big set
+                &[0, 1, 2, 3],             // halves
                 &[4, 5, 6, 7],
             ],
             8,
@@ -169,7 +174,12 @@ mod tests {
         cover.verify(inst).unwrap();
         let bound =
             (20.0 * setcover_core::math::harmonic(inst.stats().max_set_size)).ceil() as usize;
-        assert!(cover.size() <= bound, "greedy {} exceeds H-bound {}", cover.size(), bound);
+        assert!(
+            cover.size() <= bound,
+            "greedy {} exceeds H-bound {}",
+            cover.size(),
+            bound
+        );
     }
 
     #[test]

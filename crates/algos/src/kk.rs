@@ -44,7 +44,10 @@ impl KkConfig {
     /// The paper's parameters for universe size `n`: width `√n`,
     /// multiplier 1.
     pub fn paper(n: usize) -> Self {
-        KkConfig { level_width: isqrt(n).max(1), inclusion_mult: 1.0 }
+        KkConfig {
+            level_width: isqrt(n).max(1),
+            inclusion_mult: 1.0,
+        }
     }
 
     /// Custom level width (used by ablation benches).
@@ -131,7 +134,12 @@ impl KkSolver {
     /// tests check this decay empirically.
     pub fn level_histogram(&self) -> Vec<usize> {
         let w = self.config.level_width.max(1);
-        let max_level = self.degree.iter().map(|&d| d as usize / w).max().unwrap_or(0);
+        let max_level = self
+            .degree
+            .iter()
+            .map(|&d| d as usize / w)
+            .max()
+            .unwrap_or(0);
         let mut hist = vec![0usize; max_level + 1];
         for &d in &self.degree {
             hist[d as usize / w] += 1;
@@ -204,8 +212,7 @@ mod tests {
         let mut orders = adversarial_portfolio(5);
         orders.push(StreamOrder::Uniform(6));
         for order in orders {
-            let out =
-                run_streaming(KkSolver::new(inst.m(), inst.n(), 7), stream_of(inst, order));
+            let out = run_streaming(KkSolver::new(inst.m(), inst.n(), 7), stream_of(inst, order));
             out.cover.verify(inst).unwrap();
         }
     }
@@ -239,10 +246,13 @@ mod tests {
         let p = planted(&PlantedConfig::exact(400, 2000, 10), 11);
         let inst = &p.workload.instance;
         let mut worst: f64 = 0.0;
-        for (i, order) in
-            [StreamOrder::Interleaved, StreamOrder::Uniform(8), StreamOrder::GreedyTrap]
-                .into_iter()
-                .enumerate()
+        for (i, order) in [
+            StreamOrder::Interleaved,
+            StreamOrder::Uniform(8),
+            StreamOrder::GreedyTrap,
+        ]
+        .into_iter()
+        .enumerate()
         {
             let out = run_streaming(
                 KkSolver::new(inst.m(), inst.n(), 100 + i as u64),
@@ -252,7 +262,10 @@ mod tests {
             worst = worst.max(approx_ratio(out.cover.size(), 10));
         }
         let sqrt_n = 20.0;
-        assert!(worst <= 3.0 * sqrt_n, "worst ratio {worst} far above √n scale");
+        assert!(
+            worst <= 3.0 * sqrt_n,
+            "worst ratio {worst} far above √n scale"
+        );
     }
 
     #[test]

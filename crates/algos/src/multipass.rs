@@ -197,7 +197,10 @@ mod tests {
         // Analysis bound: O(p·n^{1/(p+1)})·OPT.
         let bound = 2.0 * passes * (inst.n() as f64).powf(1.0 / (passes + 1.0));
         let ratio = approx_ratio(out.cover.size(), 12);
-        assert!(ratio <= bound, "ratio {ratio} above p·n^(1/(p+1)) bound {bound}");
+        assert!(
+            ratio <= bound,
+            "ratio {ratio} above p·n^(1/(p+1)) bound {bound}"
+        );
         // And clearly better than the single-pass sieve on the same input.
         let single = run_multipass(MultiPassSieve::new(inst.m(), inst.n(), 1), &edges);
         assert!(out.cover.size() <= single.cover.size());
@@ -226,7 +229,11 @@ mod tests {
         let edges = order_edges(&inst, StreamOrder::SetArrival);
         let out = run_multipass(MultiPassSieve::new(3, 50, 6), &edges);
         out.cover.verify(&inst).unwrap();
-        assert!(out.passes_used < 6, "should stop early, used {}", out.passes_used);
+        assert!(
+            out.passes_used < 6,
+            "should stop early, used {}",
+            out.passes_used
+        );
         assert_eq!(out.cover.size(), 1);
     }
 

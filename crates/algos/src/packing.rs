@@ -144,7 +144,9 @@ mod tests {
         let mut b = InstanceBuilder::new(1, 2);
         b.add_set_elems(0, [0, 1]);
         let inst = b.build().unwrap();
-        let fake = Packing { members: vec![ElemId(0), ElemId(1)] };
+        let fake = Packing {
+            members: vec![ElemId(0), ElemId(1)],
+        };
         assert!(fake.verify(&inst).is_err());
     }
 }

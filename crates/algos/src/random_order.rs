@@ -284,13 +284,7 @@ impl RandomOrderSolver {
     /// Create a solver for an instance with `m` sets, `n` elements, and a
     /// stream length estimate `n_est` (§4.1: `N` known is w.l.o.g.;
     /// [`crate::amplify::NGuessing`] supplies the parallel guesses).
-    pub fn new(
-        m: usize,
-        n: usize,
-        n_est: usize,
-        config: RandomOrderConfig,
-        seed: u64,
-    ) -> Self {
+    pub fn new(m: usize, n: usize, n_est: usize, config: RandomOrderConfig, seed: u64) -> Self {
         assert!(m >= 1 && n >= 1 && n_est >= 1);
         let mut meter = SpaceMeter::new();
         let marked = MarkSet::new(n, &mut meter);
@@ -301,7 +295,11 @@ impl RandomOrderSolver {
         let log_n = log2f(n).max(1.0);
         let sqrt_n = isqrt(n).max(1) as f64;
 
-        let num_batches = config.num_batches.unwrap_or_else(|| isqrt(n).max(1)).min(m).max(1);
+        let num_batches = config
+            .num_batches
+            .unwrap_or_else(|| isqrt(n).max(1))
+            .min(m)
+            .max(1);
         let batch_size = m.div_ceil(num_batches);
 
         // K = ½log n − 3 log log m − 2, clamped to [1, ·] and to the edge
@@ -311,11 +309,13 @@ impl RandomOrderSolver {
         let epochs = config
             .epochs_override
             .unwrap_or_else(|| ((log_m - 0.5 * log_n).floor() as i64).max(1) as u32);
-        let mut k_max = config.k_override.unwrap_or_else(|| (k_formula.floor() as i64).max(1) as u32);
+        let mut k_max = config
+            .k_override
+            .unwrap_or_else(|| (k_formula.floor() as i64).max(1) as u32);
         // ℓ_i = mult · 2^i · N̂ / (n · log m), at least 1.
         let len_for = |i: u32| -> usize {
-            let l = config.subepoch_len_mult * 2f64.powi(i as i32) * n_est as f64
-                / (n as f64 * log_m);
+            let l =
+                config.subepoch_len_mult * 2f64.powi(i as i32) * n_est as f64 / (n as f64 * log_m);
             (l.floor() as usize).max(1)
         };
         let budget = n_est / 2;
@@ -346,11 +346,11 @@ impl RandomOrderSolver {
         // Epoch 0: prefix length Θ(√n·N·log m / m), element-count
         // detection threshold 1.085·C·log m (degree ≥ 1.1·m/√n appears
         // ≈ 1.1·C·log m times in the prefix; Lemma 6's epoch-0 case).
-        let epoch0_len = ((config.epoch0_mult * config.c * sqrt_n * n_est as f64 * log_m
-            / m as f64)
-            .floor() as usize)
-            .min(n_est / 4)
-            .max(1);
+        let epoch0_len =
+            ((config.epoch0_mult * config.c * sqrt_n * n_est as f64 * log_m / m as f64).floor()
+                as usize)
+                .min(n_est / 4)
+                .max(1);
         let mark0_threshold = 1.085 * config.c * log_m * config.epoch0_mult;
 
         // Epoch-0 pre-sampling: each set w.p. p0 = C·√n·log m / m.
@@ -421,7 +421,12 @@ impl RandomOrderSolver {
         solver.probe = probe;
         if let Some(p) = &mut solver.probe {
             for s in solver.sol.members() {
-                p.sol_events.push(SolEvent { set: *s, edge_index: 0, i: 0, j: 0 });
+                p.sol_events.push(SolEvent {
+                    set: *s,
+                    edge_index: 0,
+                    i: 0,
+                    j: 0,
+                });
             }
         }
         solver
@@ -499,9 +504,10 @@ impl RandomOrderSolver {
         let mut marked0 = 0usize;
         for u in 0..self.n {
             if self.elem_counts[u] as f64 >= self.mark0_threshold
-                && self.marked.mark(setcover_core::ElemId(u as u32)) {
-                    marked0 += 1;
-                }
+                && self.marked.mark(setcover_core::ElemId(u as u32))
+            {
+                marked0 += 1;
+            }
         }
         self.elem_counts = Vec::new();
         self.meter.release(SpaceComponent::Counters, self.n);
@@ -528,16 +534,18 @@ impl RandomOrderSolver {
         let threshold = self.mark_threshold(i);
         let mut marked_by_tracking = 0usize;
         for (&u, &cnt) in &self.t_counts {
-            if cnt as f64 >= threshold
-                && self.marked.mark(setcover_core::ElemId(u)) {
-                    marked_by_tracking += 1;
-                }
+            if cnt as f64 >= threshold && self.marked.mark(setcover_core::ElemId(u)) {
+                marked_by_tracking += 1;
+            }
         }
         // Release T and swap Q̃ ← Q̃'.
-        self.meter
-            .release(SpaceComponent::TrackedEdges, self.t_counts.len() * map_entry_words(2));
+        self.meter.release(
+            SpaceComponent::TrackedEdges,
+            self.t_counts.len() * map_entry_words(2),
+        );
         self.t_counts.clear();
-        self.meter.release(SpaceComponent::TrackedSets, self.tracked.len());
+        self.meter
+            .release(SpaceComponent::TrackedSets, self.tracked.len());
         self.tracked = std::mem::take(&mut self.tracked_next);
 
         if let Some(p) = &mut self.probe {
@@ -550,7 +558,8 @@ impl RandomOrderSolver {
     /// Start algorithm `A⁽ⁱ⁾`: draw the initial tracked sample `Q̃` with
     /// probability `q₀` per set (line 10).
     fn start_algorithm(&mut self, _i: u32) {
-        self.meter.release(SpaceComponent::TrackedSets, self.tracked.len());
+        self.meter
+            .release(SpaceComponent::TrackedSets, self.tracked.len());
         self.tracked.clear();
         let q0 = self.config.q0.unwrap_or(1.0 / self.n as f64);
         for s in 0..self.m as u32 {
@@ -558,7 +567,8 @@ impl RandomOrderSolver {
                 self.tracked.insert(s);
             }
         }
-        self.meter.charge(SpaceComponent::TrackedSets, self.tracked.len());
+        self.meter
+            .charge(SpaceComponent::TrackedSets, self.tracked.len());
     }
 
     fn begin_epoch_probe(&mut self, i: u32, j: u32) {
@@ -600,7 +610,11 @@ impl RandomOrderSolver {
                     } else if i < self.k_max {
                         self.start_algorithm(i + 1);
                         self.begin_epoch_probe(i + 1, 1);
-                        self.phase = Phase::Main { i: i + 1, j: 1, k: 0 };
+                        self.phase = Phase::Main {
+                            i: i + 1,
+                            j: 1,
+                            k: 0,
+                        };
                         self.start_subepoch(i + 1);
                     } else {
                         self.phase = Phase::Tail;
@@ -625,7 +639,8 @@ impl RandomOrderSolver {
         if self.tracked.contains(&e.set.0) {
             let entry = self.t_counts.entry(e.elem.0).or_insert(0);
             if *entry == 0 {
-                self.meter.charge(SpaceComponent::TrackedEdges, map_entry_words(2));
+                self.meter
+                    .charge(SpaceComponent::TrackedEdges, map_entry_words(2));
             }
             *entry += 1;
         }
@@ -789,8 +804,11 @@ mod tests {
         // guarantees a legal cover.
         let p = planted(&PlantedConfig::exact(64, 1024, 8), 2);
         let inst = &p.workload.instance;
-        for order in [StreamOrder::SetArrival, StreamOrder::Interleaved, StreamOrder::GreedyTrap]
-        {
+        for order in [
+            StreamOrder::SetArrival,
+            StreamOrder::Interleaved,
+            StreamOrder::GreedyTrap,
+        ] {
             let out = run_practical(inst, order, 5);
             out.cover.verify(inst).unwrap();
         }
@@ -808,8 +826,9 @@ mod tests {
             1,
         );
         let (k, epochs, batches) = s.schedule();
-        let planned: usize =
-            (1..=k).map(|i| s.subepoch_len(i) * batches * epochs as usize).sum();
+        let planned: usize = (1..=k)
+            .map(|i| s.subepoch_len(i) * batches * epochs as usize)
+            .sum();
         assert!(
             planned <= inst.num_edges() / 2 || k == 1,
             "planned {planned} exceeds half of N = {}",
@@ -885,7 +904,10 @@ mod tests {
         let probe = solver.take_probe().expect("probe enabled");
         assert!(probe.k >= 1);
         assert_eq!(probe.subepoch_lens.len(), probe.k as usize);
-        assert!(!probe.sol_events.is_empty(), "epoch-0 sampling records events");
+        assert!(
+            !probe.sol_events.is_empty(),
+            "epoch-0 sampling records events"
+        );
         // Epoch probes: at most K * epochs entries (stream may end early).
         assert!(probe.epochs.len() <= (probe.k * probe.epochs_per_algo) as usize + 1);
     }
@@ -893,13 +915,7 @@ mod tests {
     #[test]
     fn special_threshold_grows_linearly_in_j() {
         // practical: threshold = 2j (exponent 0, base 2).
-        let s = RandomOrderSolver::new(
-            1 << 16,
-            256,
-            1 << 20,
-            RandomOrderConfig::practical(),
-            0,
-        );
+        let s = RandomOrderSolver::new(1 << 16, 256, 1 << 20, RandomOrderConfig::practical(), 0);
         assert_eq!(s.special_threshold(1), 2);
         assert_eq!(s.special_threshold(2), 4);
         assert_eq!(s.special_threshold(3), 6);
@@ -917,13 +933,7 @@ mod tests {
 
     #[test]
     fn p_and_q_double_per_epoch() {
-        let s = RandomOrderSolver::new(
-            1 << 16,
-            256,
-            1 << 20,
-            RandomOrderConfig::practical(),
-            0,
-        );
+        let s = RandomOrderSolver::new(1 << 16, 256, 1 << 20, RandomOrderConfig::practical(), 0);
         assert!((s.p_j(2) / s.p_j(1) - 2.0).abs() < 1e-12);
         assert!((s.q_j(2) / s.q_j(1) - 2.0).abs() < 1e-12);
         assert_eq!(s.q_j(30), 1.0); // capped

@@ -69,8 +69,11 @@ impl SetArrivalThresholdSolver {
     /// Decide on the buffered set.
     fn flush(&mut self) {
         let Some(s) = self.current_set else { return };
-        let uncovered =
-            self.buffer.iter().filter(|u| !self.marked.is_marked(**u)).count();
+        let uncovered = self
+            .buffer
+            .iter()
+            .filter(|u| !self.marked.is_marked(**u))
+            .count();
         if uncovered >= self.threshold {
             self.sol.add(s, &mut self.meter);
             let buffer = std::mem::take(&mut self.buffer);
@@ -168,7 +171,11 @@ impl SetArrivalMultiPass {
 
     fn flush(&mut self) {
         let Some(s) = self.current_set else { return };
-        let uncovered = self.buffer.iter().filter(|u| !self.marked.is_marked(**u)).count();
+        let uncovered = self
+            .buffer
+            .iter()
+            .filter(|u| !self.marked.is_marked(**u))
+            .count();
         if uncovered >= self.current_threshold {
             self.sol.add(s, &mut self.meter);
             let buffer = std::mem::take(&mut self.buffer);

@@ -66,7 +66,12 @@ pub struct StoreAllSolver {
 impl StoreAllSolver {
     /// Create a solver for an instance with `m` sets and `n` elements.
     pub fn new(m: usize, n: usize) -> Self {
-        StoreAllSolver { m, n, edges: Vec::new(), meter: SpaceMeter::new() }
+        StoreAllSolver {
+            m,
+            n,
+            edges: Vec::new(),
+            meter: SpaceMeter::new(),
+        }
     }
 }
 
@@ -85,7 +90,9 @@ impl StreamingSetCover for StoreAllSolver {
         for e in &self.edges {
             b.add_edge(e.set, e.elem);
         }
-        let inst = b.build().expect("replayed full stream is the original feasible instance");
+        let inst = b
+            .build()
+            .expect("replayed full stream is the original feasible instance");
         greedy_cover(&inst)
     }
 
@@ -131,8 +138,10 @@ mod tests {
         let inst = &p.workload.instance;
         let offline = greedy_cover(inst);
         for order in [StreamOrder::Uniform(1), StreamOrder::Interleaved] {
-            let out =
-                run_streaming(StoreAllSolver::new(inst.m(), inst.n()), stream_of(inst, order));
+            let out = run_streaming(
+                StoreAllSolver::new(inst.m(), inst.n()),
+                stream_of(inst, order),
+            );
             out.cover.verify(inst).unwrap();
             assert_eq!(out.cover.size(), offline.size(), "order {:?}", order);
         }

@@ -23,7 +23,10 @@ struct Fixture {
 }
 
 fn fixture(n: usize, m: usize) -> Fixture {
-    let p = planted(&PlantedConfig::exact(n, m, setcover_core::math::isqrt(n) / 2), 42);
+    let p = planted(
+        &PlantedConfig::exact(n, m, setcover_core::math::isqrt(n) / 2),
+        42,
+    );
     let inst = p.workload.instance;
     let edges = order_edges(&inst, StreamOrder::Uniform(7));
     Fixture { n, m, edges, inst }
@@ -36,7 +39,11 @@ fn bench_streaming(c: &mut Criterion) {
     g.throughput(Throughput::Elements(f.edges.len() as u64));
 
     g.bench_function(BenchmarkId::new("kk", "n=1024"), |b| {
-        b.iter(|| run_on_edges(KkSolver::new(f.m, f.n, 1), black_box(&f.edges)).cover.size())
+        b.iter(|| {
+            run_on_edges(KkSolver::new(f.m, f.n, 1), black_box(&f.edges))
+                .cover
+                .size()
+        })
     });
     g.bench_function(BenchmarkId::new("adversarial-low-space", "n=1024"), |b| {
         b.iter(|| {
@@ -51,13 +58,7 @@ fn bench_streaming(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("random-order", "n=1024"), |b| {
         b.iter(|| {
             run_on_edges(
-                RandomOrderSolver::new(
-                    f.m,
-                    f.n,
-                    f.edges.len(),
-                    RandomOrderConfig::practical(),
-                    1,
-                ),
+                RandomOrderSolver::new(f.m, f.n, f.edges.len(), RandomOrderConfig::practical(), 1),
                 black_box(&f.edges),
             )
             .cover
@@ -81,13 +82,20 @@ fn bench_streaming(c: &mut Criterion) {
     });
     g.bench_function(BenchmarkId::new("set-arrival-threshold", "n=1024"), |b| {
         b.iter(|| {
-            run_on_edges(SetArrivalThresholdSolver::new(f.m, f.n), black_box(&f.edges))
-                .cover
-                .size()
+            run_on_edges(
+                SetArrivalThresholdSolver::new(f.m, f.n),
+                black_box(&f.edges),
+            )
+            .cover
+            .size()
         })
     });
     g.bench_function(BenchmarkId::new("first-set", "n=1024"), |b| {
-        b.iter(|| run_on_edges(FirstSetSolver::new(f.m, f.n), black_box(&f.edges)).cover.size())
+        b.iter(|| {
+            run_on_edges(FirstSetSolver::new(f.m, f.n), black_box(&f.edges))
+                .cover
+                .size()
+        })
     });
     g.finish();
 }
@@ -97,7 +105,9 @@ fn bench_offline(c: &mut Criterion) {
     let mut g = c.benchmark_group("offline");
     g.sample_size(10);
     g.throughput(Throughput::Elements(f.edges.len() as u64));
-    g.bench_function("greedy", |b| b.iter(|| GreedySolver.solve(black_box(&f.inst)).size()));
+    g.bench_function("greedy", |b| {
+        b.iter(|| GreedySolver.solve(black_box(&f.inst)).size())
+    });
     g.finish();
 }
 
@@ -109,7 +119,11 @@ fn bench_kk_scaling(c: &mut Criterion) {
         let f = fixture(576, m);
         g.throughput(Throughput::Elements(f.edges.len() as u64));
         g.bench_with_input(BenchmarkId::from_parameter(m), &f, |b, f| {
-            b.iter(|| run_on_edges(KkSolver::new(f.m, f.n, 1), black_box(&f.edges)).cover.size())
+            b.iter(|| {
+                run_on_edges(KkSolver::new(f.m, f.n, 1), black_box(&f.edges))
+                    .cover
+                    .size()
+            })
         });
     }
     g.finish();

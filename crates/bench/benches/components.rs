@@ -43,15 +43,21 @@ fn bench_verify(c: &mut Criterion) {
 }
 
 fn bench_reduction(c: &mut Criterion) {
-    let cfg = LbFamilyConfig { n: 2048, m: 51, t: 4 };
+    let cfg = LbFamilyConfig {
+        n: 2048,
+        m: 51,
+        t: 4,
+    };
     let fam = LbFamily::generate(cfg, 2);
     let disj = DisjointnessInstance::generate(51, 4, DisjCase::UniquelyIntersecting, 2);
     let mut g = c.benchmark_group("reduction");
     g.sample_size(10);
     g.bench_function("theorem2-game(n=2048,m=51,t=4)", |b| {
         b.iter(|| {
-            run_reduction(black_box(&fam), black_box(&disj), 5, |m, n| KkSolver::new(m, n, 7))
-                .best_estimate
+            run_reduction(black_box(&fam), black_box(&disj), 5, |m, n| {
+                KkSolver::new(m, n, 7)
+            })
+            .best_estimate
         })
     });
     g.finish();
@@ -95,14 +101,24 @@ fn bench_multipass(c: &mut Criterion) {
     for passes in [1usize, 4] {
         g.bench_function(format!("sieve-p{passes}"), |b| {
             b.iter(|| {
-                run_multipass(MultiPassSieve::new(inst.m(), inst.n(), passes), black_box(&edges))
-                    .cover
-                    .size()
+                run_multipass(
+                    MultiPassSieve::new(inst.m(), inst.n(), passes),
+                    black_box(&edges),
+                )
+                .cover
+                .size()
             })
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_primitives, bench_verify, bench_reduction, bench_io, bench_multipass);
+criterion_group!(
+    benches,
+    bench_primitives,
+    bench_verify,
+    bench_reduction,
+    bench_io,
+    bench_multipass
+);
 criterion_main!(benches);

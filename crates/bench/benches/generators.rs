@@ -24,7 +24,12 @@ fn bench_generators(c: &mut Criterion) {
         b.iter(|| uniform(black_box(&ucfg), 1).instance.num_edges())
     });
 
-    let zcfg = ZipfConfig { n: 1024, m: 16_384, set_size: 16, theta: 1.1 };
+    let zcfg = ZipfConfig {
+        n: 1024,
+        m: 16_384,
+        set_size: 16,
+        theta: 1.1,
+    };
     g.bench_function("zipf(n=1024,m=16k)", |b| {
         b.iter(|| zipf(black_box(&zcfg), 1).instance.num_edges())
     });

@@ -21,9 +21,11 @@ fn bench_orders(c: &mut Criterion) {
         StreamOrder::Uniform(3),
         StreamOrder::GreedyTrap,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(order.name()), &order, |b, &o| {
-            b.iter(|| order_edges(black_box(&inst), o).len())
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(order.name()),
+            &order,
+            |b, &o| b.iter(|| order_edges(black_box(&inst), o).len()),
+        );
     }
     g.finish();
 }

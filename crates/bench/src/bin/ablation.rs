@@ -2,12 +2,19 @@
 //! KK level width, Algorithm 1 randomness dose (block-shuffled streams)
 //! and `mark_floor`, and the multi-pass sieve's pass count.
 //!
-//! Usage: `cargo run -p setcover-bench --release --bin ablation [trials=3]`
+//! Usage: `cargo run -p setcover-bench --release --bin ablation [trials=3] [threads=<auto>]`
 
 use setcover_bench::experiments::ablation;
 use setcover_bench::harness::arg_usize;
+use setcover_bench::{timed_report, TrialRunner};
 
 fn main() {
-    let p = ablation::Params { trials: arg_usize("trials", 3) };
-    print!("{}", ablation::run(&p));
+    let p = ablation::Params {
+        trials: arg_usize("trials", 3),
+    };
+    let runner = TrialRunner::from_args();
+    print!(
+        "{}",
+        timed_report("ablation", &runner, |r| ablation::run_with(&p, r))
+    );
 }

@@ -3,16 +3,29 @@
 //! Sweeps α = c·√n for c ∈ {2, 4, 8, 16, 32}, measuring the level-map
 //! size |L| (the Õ(mn/α²) quantity), the ratio, and the log-log slope.
 //!
-//! Usage: `cargo run -p setcover-bench --release --bin alpha_sweep [n=1024] [trials=3]`
+//! Usage: `cargo run -p setcover-bench --release --bin alpha_sweep \
+//!             [n=1024] [trials=3] [threads=<auto>]`
+//!
+//! With `threads=N > 1` the run is replayed serially, byte-equivalence
+//! of the two reports is asserted, and both timings plus the speedup go
+//! to stderr (stdout carries only the report).
 
 use setcover_bench::experiments::alpha_sweep;
 use setcover_bench::harness::{arg_str, arg_usize};
+use setcover_bench::{timed_report_vs_serial, TrialRunner};
 
 fn main() {
-    let mut p = alpha_sweep::Params { n: arg_usize("n", 1024), ..Default::default() };
+    let mut p = alpha_sweep::Params {
+        n: arg_usize("n", 1024),
+        ..Default::default()
+    };
     p.trials = arg_usize("trials", p.trials);
     if arg_str("m").is_some() {
         p.m = Some(arg_usize("m", 0));
     }
-    print!("{}", alpha_sweep::run(&p));
+    let runner = TrialRunner::from_args();
+    print!(
+        "{}",
+        timed_report_vs_serial("alpha_sweep", &runner, |r| alpha_sweep::run_with(&p, r))
+    );
 }

@@ -1,15 +1,22 @@
 //! E-F2 — Approximation ratio vs n for the √n-regime algorithms
 //! (theory slope ≈ 0.5 in log-log).
 //!
-//! Usage: `cargo run -p setcover-bench --release --bin approx_scaling [max_n=1600] [trials=3]`
+//! Usage: `cargo run -p setcover-bench --release --bin approx_scaling [max_n=1600] [trials=3] [threads=<auto>]`
 
 use setcover_bench::experiments::approx_scaling;
 use setcover_bench::harness::arg_usize;
+use setcover_bench::{timed_report, TrialRunner};
 
 fn main() {
     let p = approx_scaling::Params {
         max_n: arg_usize("max_n", 1600),
         trials: arg_usize("trials", 3),
     };
-    print!("{}", approx_scaling::run(&p));
+    let runner = TrialRunner::from_args();
+    print!(
+        "{}",
+        timed_report("approx_scaling", &runner, |r| approx_scaling::run_with(
+            &p, r
+        ))
+    );
 }

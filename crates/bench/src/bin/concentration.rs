@@ -1,12 +1,19 @@
 //! E-L2 — Lemma 2's concentration bounds, validated by exact
 //! hypergeometric simulation (see the experiments module docs).
 //!
-//! Usage: `cargo run -p setcover-bench --release --bin concentration [trials=300]`
+//! Usage: `cargo run -p setcover-bench --release --bin concentration [trials=300] [threads=<auto>]`
 
 use setcover_bench::experiments::concentration;
 use setcover_bench::harness::arg_usize;
+use setcover_bench::{timed_report, TrialRunner};
 
 fn main() {
-    let p = concentration::Params { trials: arg_usize("trials", 300) };
-    print!("{}", concentration::run(&p));
+    let p = concentration::Params {
+        trials: arg_usize("trials", 300),
+    };
+    let runner = TrialRunner::from_args();
+    print!(
+        "{}",
+        timed_report("concentration", &runner, |r| concentration::run_with(&p, r))
+    );
 }

@@ -63,7 +63,13 @@ fn main() {
         }
     };
 
-    println!("{}: m = {}, n = {}, N = {}", w.label, w.instance.m(), w.instance.n(), w.instance.num_edges());
+    println!(
+        "{}: m = {}, n = {}, N = {}",
+        w.label,
+        w.instance.m(),
+        w.instance.n(),
+        w.instance.num_edges()
+    );
 
     let out = arg_str("out").unwrap_or_else(|| format!("{kind}.sc"));
     let f = BufWriter::new(File::create(&out).expect("create instance file"));

@@ -1,10 +1,11 @@
 //! E-F5 — Empirical traces of Algorithm 1's analysis invariants
 //! ((I1)–(I3), Lemma 8) from a probing run.
 //!
-//! Usage: `cargo run -p setcover-bench --release --bin invariants [n=4096] [opt=8]`
+//! Usage: `cargo run -p setcover-bench --release --bin invariants [n=4096] [opt=8] [threads=<auto>]`
 
 use setcover_bench::experiments::invariants;
 use setcover_bench::harness::{arg_str, arg_usize};
+use setcover_bench::{timed_report, TrialRunner};
 
 fn main() {
     let mut p = invariants::Params {
@@ -15,5 +16,9 @@ fn main() {
     if arg_str("m").is_some() {
         p.m = Some(arg_usize("m", 0));
     }
-    print!("{}", invariants::run(&p));
+    let runner = TrialRunner::from_args();
+    print!(
+        "{}",
+        timed_report("invariants", &runner, |r| invariants::run_with(&p, r))
+    );
 }

@@ -2,12 +2,19 @@
 //! Lemma 1 family intersections, the Theorem 2 distinguishing game, the
 //! success-vs-total-state budget sweep, and the simple 2√(nt) protocol.
 //!
-//! Usage: `cargo run -p setcover-bench --release --bin lowerbound [trials=5]`
+//! Usage: `cargo run -p setcover-bench --release --bin lowerbound [trials=5] [threads=<auto>]`
 
 use setcover_bench::experiments::lowerbound;
 use setcover_bench::harness::arg_usize;
+use setcover_bench::{timed_report, TrialRunner};
 
 fn main() {
-    let p = lowerbound::Params { trials: arg_usize("trials", 5) };
-    print!("{}", lowerbound::run(&p));
+    let p = lowerbound::Params {
+        trials: arg_usize("trials", 5),
+    };
+    let runner = TrialRunner::from_args();
+    print!(
+        "{}",
+        timed_report("lowerbound", &runner, |r| lowerbound::run_with(&p, r))
+    );
 }

@@ -2,10 +2,16 @@
 //! Algorithm 1 at its Õ(m/√n) budget per arrival order, with its internal
 //! detector statistics, against KK and the first-set baseline.
 //!
-//! Usage: `cargo run -p setcover-bench --release --bin separation [n=4096] [trials=3]`
+//! Usage: `cargo run -p setcover-bench --release --bin separation \
+//!             [n=4096] [trials=3] [threads=<auto>]`
+//!
+//! With `threads=N > 1` the run is replayed serially, byte-equivalence
+//! of the two reports is asserted, and both timings plus the speedup go
+//! to stderr (stdout carries only the report).
 
 use setcover_bench::experiments::separation;
 use setcover_bench::harness::{arg_str, arg_usize};
+use setcover_bench::{timed_report_vs_serial, TrialRunner};
 
 fn main() {
     let mut p = separation::Params {
@@ -17,5 +23,9 @@ fn main() {
     if arg_str("m").is_some() {
         p.m = Some(arg_usize("m", 0));
     }
-    print!("{}", separation::run(&p));
+    let runner = TrialRunner::from_args();
+    print!(
+        "{}",
+        timed_report_vs_serial("separation", &runner, |r| separation::run_with(&p, r))
+    );
 }

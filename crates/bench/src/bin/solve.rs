@@ -30,7 +30,9 @@ fn load() -> (SetCoverInstance, Vec<Edge>) {
     if let Some(path) = arg_str("stream") {
         let f = BufReader::new(File::open(&path).expect("open stream file"));
         let parsed = read_stream(f).expect("parse stream");
-        let inst = parsed.to_instance().expect("stream must describe a feasible instance");
+        let inst = parsed
+            .to_instance()
+            .expect("stream must describe a feasible instance");
         (inst, parsed.edges)
     } else if let Some(path) = arg_str("inst") {
         let f = BufReader::new(File::open(&path).expect("open instance file"));
@@ -56,9 +58,15 @@ fn load() -> (SetCoverInstance, Vec<Edge>) {
 }
 
 fn report(inst: &SetCoverInstance, out: RunOutcome) {
-    out.cover.verify(inst).expect("solver must produce a valid cover");
+    out.cover
+        .verify(inst)
+        .expect("solver must produce a valid cover");
     println!("algorithm: {}", out.algorithm);
-    println!("cover:     {} sets (universe {})", out.cover.size(), inst.n());
+    println!(
+        "cover:     {} sets (universe {})",
+        out.cover.size(),
+        inst.n()
+    );
     println!("space:     {}", out.space);
     println!(
         "pass:      {} edges in {:.2?} ({:.2} M edges/s)",
@@ -73,20 +81,17 @@ fn main() {
     let (m, n) = (inst.m(), inst.n());
     let seed = arg_usize("seed", 7) as u64;
     let algo = arg_str("algo").unwrap_or_else(|| "kk".to_string());
-    println!("instance: m = {m}, n = {n}, N = {} stream edges", edges.len());
+    println!(
+        "instance: m = {m}, n = {n}, N = {} stream edges",
+        edges.len()
+    );
 
     match algo.as_str() {
         "kk" => report(&inst, run_on_edges(KkSolver::new(m, n, seed), &edges)),
         "alg1" => report(
             &inst,
             run_on_edges(
-                RandomOrderSolver::new(
-                    m,
-                    n,
-                    edges.len(),
-                    RandomOrderConfig::practical(),
-                    seed,
-                ),
+                RandomOrderSolver::new(m, n, edges.len(), RandomOrderConfig::practical(), seed),
                 &edges,
             ),
         ),
@@ -115,16 +120,20 @@ fn main() {
                 ),
             )
         }
-        "set-arrival" => {
-            report(&inst, run_on_edges(SetArrivalThresholdSolver::new(m, n), &edges))
-        }
+        "set-arrival" => report(
+            &inst,
+            run_on_edges(SetArrivalThresholdSolver::new(m, n), &edges),
+        ),
         "first-set" => report(&inst, run_on_edges(FirstSetSolver::new(m, n), &edges)),
         "store-all" => report(&inst, run_on_edges(StoreAllSolver::new(m, n), &edges)),
         "multipass" => {
             let passes = arg_usize("passes", 4);
             let out = run_multipass(MultiPassSieve::new(m, n, passes), &edges);
             out.cover.verify(&inst).expect("valid cover");
-            println!("algorithm: {} ({} passes used)", out.algorithm, out.passes_used);
+            println!(
+                "algorithm: {} ({} passes used)",
+                out.algorithm, out.passes_used
+            );
             println!("cover:     {} sets", out.cover.size());
             println!("space:     {}", out.space);
         }

@@ -7,16 +7,24 @@
 //! | 3 | α = Ω̃(√n), adversarial | Algorithm 2 (here) | Õ(mn/α²) |
 //! | 4 | α = Θ̃(√n), random | Algorithm 1 (here) | Õ(m/√n) |
 //!
-//! Usage: `cargo run -p setcover-bench --release --bin table1 [n=576] [m=...] [trials=3]`
+//! Usage: `cargo run -p setcover-bench --release --bin table1 [n=576] [m=...] [trials=3] [threads=<auto>]`
 
 use setcover_bench::experiments::table1;
 use setcover_bench::harness::{arg_str, arg_usize};
+use setcover_bench::{timed_report, TrialRunner};
 
 fn main() {
-    let mut p = table1::Params { n: arg_usize("n", 576), ..Default::default() };
+    let mut p = table1::Params {
+        n: arg_usize("n", 576),
+        ..Default::default()
+    };
     p.trials = arg_usize("trials", p.trials);
     if arg_str("m").is_some() {
         p.m = Some(arg_usize("m", 0));
     }
-    print!("{}", table1::run(&p));
+    let runner = TrialRunner::from_args();
+    print!(
+        "{}",
+        timed_report("table1", &runner, |r| table1::run_with(&p, r))
+    );
 }

@@ -11,6 +11,7 @@ use setcover_gen::hard::kk_level_trap;
 use setcover_gen::planted::{planted, PlantedConfig};
 
 use crate::harness::{measure, trial_seeds, Measurement};
+use crate::par::TrialRunner;
 use crate::Table;
 
 use super::Report;
@@ -28,17 +29,23 @@ impl Default for Params {
     }
 }
 
-/// Run all four ablations and return the report.
+/// Run all four ablations serially and return the report.
 pub fn run(p: &Params) -> String {
+    run_with(p, &TrialRunner::serial())
+}
+
+/// Run all four ablations on `runner`'s worker pool; output is
+/// byte-identical at any thread count.
+pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
     let mut r = Report::new();
-    kk_level_width(&mut r, p.trials);
-    randomness_dose(&mut r);
-    passes_sweep(&mut r);
-    mark_floor_sweep(&mut r);
+    kk_level_width(&mut r, p.trials, runner);
+    randomness_dose(&mut r, runner);
+    passes_sweep(&mut r, runner);
+    mark_floor_sweep(&mut r, runner);
     r.finish()
 }
 
-fn kk_level_width(r: &mut Report, trials: usize) {
+fn kk_level_width(r: &mut Report, trials: usize, runner: &TrialRunner) {
     let n = 1024;
     let m = 8192;
     let opt = 16;
@@ -50,25 +57,50 @@ fn kk_level_width(r: &mut Report, trials: usize) {
         "KK level width ablation (paper: width = √n)",
         &["width/√n", "width", "planted ratio", "trap ratio"],
     );
-    for num in [1usize, 2, 4, 8, 16] {
+    // The edge orders don't depend on the width under test; build each
+    // workload's stream once (in parallel) instead of once per width.
+    let workloads = [&pl, &trap];
+    let streams: Vec<Vec<setcover_core::Edge>> = runner.grid(&workloads, |_, w| {
+        order_edges(&w.instance, StreamOrder::Interleaved)
+    });
+
+    // Grid: (width × workload × trial); seeds keyed on the width
+    // multiplier exactly as the serial loops always were.
+    let nums = [1usize, 2, 4, 8, 16];
+    let grid: Vec<(usize, usize, u64)> = nums
+        .iter()
+        .flat_map(|&num| {
+            (0..workloads.len()).flat_map(move |wi| {
+                trial_seeds(num as u64, trials)
+                    .into_iter()
+                    .map(move |s| (num, wi, s))
+            })
+        })
+        .collect();
+    let runs = runner.measure_grid(&grid, |_, &(num, wi, seed)| {
+        let inst = &workloads[wi].instance;
+        let width = (num * sqrt_n / 4).max(1);
+        measure(
+            KkSolver::with_config(
+                inst.m(),
+                inst.n(),
+                KkConfig::paper(inst.n()).with_level_width(width),
+                seed,
+            ),
+            &streams[wi],
+            inst,
+            opt,
+        )
+    });
+
+    for (ni, &num) in nums.iter().enumerate() {
         let width = (num * sqrt_n / 4).max(1);
         let mut rows = Vec::new();
-        for w in [&pl, &trap] {
-            let inst = &w.instance;
-            let edges = order_edges(inst, StreamOrder::Interleaved);
+        for wi in 0..workloads.len() {
+            let at = (ni * workloads.len() + wi) * trials;
             let mut meas = Measurement::default();
-            for seed in trial_seeds(num as u64, trials) {
-                meas.push(measure(
-                    KkSolver::with_config(
-                        inst.m(),
-                        inst.n(),
-                        KkConfig::paper(inst.n()).with_level_width(width),
-                        seed,
-                    ),
-                    &edges,
-                    inst,
-                    opt,
-                ));
+            for run in &runs[at..at + trials] {
+                meas.push(run.clone());
             }
             rows.push(meas.ratio().display());
         }
@@ -89,7 +121,7 @@ fn kk_level_width(r: &mut Report, trials: usize) {
     r.blank();
 }
 
-fn randomness_dose(r: &mut Report) {
+fn randomness_dose(r: &mut Report, runner: &TrialRunner) {
     let n = 4096;
     let m = 10 * n;
     let sqrt_n = isqrt(n);
@@ -102,10 +134,19 @@ fn randomness_dose(r: &mut Report) {
 
     let mut table = Table::new(
         "Algorithm 1 vs randomness dose (block-shuffled set-arrival stream)",
-        &["block len", "fraction of N", "specials", "marked-via-T", "cover"],
+        &[
+            "block len",
+            "fraction of N",
+            "specials",
+            "marked-via-T",
+            "cover",
+        ],
     );
-    for block in [1usize, nn / 1000, nn / 100, nn / 10, nn] {
-        let block = block.max(1);
+    let blocks: Vec<usize> = [1usize, nn / 1000, nn / 100, nn / 10, nn]
+        .into_iter()
+        .map(|b| b.max(1))
+        .collect();
+    let rows = runner.grid(&blocks, |_, &block| {
         let edges = order_edges(inst, StreamOrder::BlockShuffled { block, seed: 5 });
         let mut cfg = RandomOrderConfig::practical().with_probe();
         cfg.q0 = Some(0.01);
@@ -118,12 +159,16 @@ fn randomness_dose(r: &mut Report) {
         let probe = solver.take_probe().unwrap();
         let specials: usize = probe.epochs.iter().map(|e| e.specials).sum();
         let marked: usize = probe.epochs.iter().map(|e| e.marked_by_tracking).sum();
+        (specials, marked, cover.size(), edges.len())
+    });
+    for (&block, &(specials, marked, cover, edges)) in blocks.iter().zip(&rows) {
+        runner.add_edges(edges);
         table.row(&[
             block.to_string(),
             format!("{:.4}", block as f64 / nn as f64),
             specials.to_string(),
             marked.to_string(),
-            cover.size().to_string(),
+            cover.to_string(),
         ]);
     }
     r.table(&table);
@@ -135,7 +180,7 @@ fn randomness_dose(r: &mut Report) {
     r.blank();
 }
 
-fn passes_sweep(r: &mut Report) {
+fn passes_sweep(r: &mut Report, runner: &TrialRunner) {
     let n = 1024;
     let m = 4096;
     let opt = 16;
@@ -145,11 +190,23 @@ fn passes_sweep(r: &mut Report) {
 
     let mut table = Table::new(
         "multi-pass sieve: cover vs passes",
-        &["passes", "used", "cover", "ratio", "bound 2p·n^(1/(p+1))", "edges seen"],
+        &[
+            "passes",
+            "used",
+            "cover",
+            "ratio",
+            "bound 2p·n^(1/(p+1))",
+            "edges seen",
+        ],
     );
-    for passes in [1usize, 2, 3, 4, 6, 8, 12] {
+    let pass_counts = [1usize, 2, 3, 4, 6, 8, 12];
+    let outs = runner.grid(&pass_counts, |_, &passes| {
         let out = run_multipass(MultiPassSieve::new(m, n, passes), &edges);
         out.cover.verify(inst).expect("valid");
+        out
+    });
+    for (&passes, out) in pass_counts.iter().zip(&outs) {
+        runner.add_edges(out.edges_processed);
         let bound = 2.0 * passes as f64 * (n as f64).powf(1.0 / (passes as f64 + 1.0));
         table.row(&[
             passes.to_string(),
@@ -169,7 +226,7 @@ fn passes_sweep(r: &mut Report) {
     r.blank();
 }
 
-fn mark_floor_sweep(r: &mut Report) {
+fn mark_floor_sweep(r: &mut Report, runner: &TrialRunner) {
     let n = 4096;
     let m = 10 * n;
     let sqrt_n = isqrt(n);
@@ -184,7 +241,8 @@ fn mark_floor_sweep(r: &mut Report) {
         "Algorithm 1 mark_floor ablation (optimistic-marking threshold floor)",
         &["mark_floor", "marked-via-T", "cover", "valid"],
     );
-    for floor in [1.0f64, 2.0, 4.0, 8.0, 1e9] {
+    let floors = [1.0f64, 2.0, 4.0, 8.0, 1e9];
+    let rows = runner.grid(&floors, |_, &floor| {
         let mut cfg = RandomOrderConfig::practical().with_probe();
         cfg.mark_floor = floor;
         cfg.q0 = Some(0.01);
@@ -196,10 +254,14 @@ fn mark_floor_sweep(r: &mut Report) {
         let valid = cover.verify(inst).is_ok();
         let probe = solver.take_probe().unwrap();
         let marked: usize = probe.epochs.iter().map(|e| e.marked_by_tracking).sum();
+        (marked, cover.size(), valid)
+    });
+    for (&floor, &(marked, cover, valid)) in floors.iter().zip(&rows) {
+        runner.add_edges(edges.len());
         table.row(&[
             format!("{floor:.0}"),
             marked.to_string(),
-            cover.size().to_string(),
+            cover.to_string(),
             valid.to_string(),
         ]);
     }

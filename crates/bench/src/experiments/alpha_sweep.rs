@@ -6,6 +6,7 @@ use setcover_core::stream::{order_edges, StreamOrder};
 use setcover_gen::planted::{planted, PlantedConfig};
 
 use crate::harness::{measure, trial_seeds, Measurement};
+use crate::par::TrialRunner;
 use crate::table::{fmt_words, sparkline_log};
 use crate::{loglog_slope, Table};
 
@@ -24,12 +25,24 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { n: 1024, m: None, trials: 3 }
+        Params {
+            n: 1024,
+            m: None,
+            trials: 3,
+        }
     }
 }
 
-/// Run the experiment and return the report section.
+/// Run the experiment serially and return the report section.
 pub fn run(p: &Params) -> String {
+    run_with(p, &TrialRunner::serial())
+}
+
+/// Run the experiment on `runner`'s worker pool. The report text is
+/// byte-identical for every thread count: each trial's seed comes from
+/// its (α, trial) grid coordinates and results are reassembled in grid
+/// order.
+pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
     let n = p.n;
     let trials = p.trials;
     let m = p.m.unwrap_or(16 * n);
@@ -37,7 +50,9 @@ pub fn run(p: &Params) -> String {
     let opt = (sqrt_n / 2).max(2);
     let mut r = Report::new();
 
-    r.line(format!("Algorithm 2 α-sweep: n = {n} (√n = {sqrt_n}), m = {m}, OPT = {opt}"));
+    r.line(format!(
+        "Algorithm 2 α-sweep: n = {n} (√n = {sqrt_n}), m = {m}, OPT = {opt}"
+    ));
     r.blank();
 
     let pl = planted(&PlantedConfig::exact(n, m, opt), 0x0a15_e0e9);
@@ -46,20 +61,43 @@ pub fn run(p: &Params) -> String {
 
     let mut table = Table::new(
         "Algorithm 2: space & ratio vs α",
-        &["alpha", "alpha/√n", "bound mn/α²", "measured |L| words", "ratio", "cover"],
+        &[
+            "alpha",
+            "alpha/√n",
+            "bound mn/α²",
+            "measured |L| words",
+            "ratio",
+            "cover",
+        ],
     );
     let mut points: Vec<(f64, f64)> = Vec::new();
 
-    for c in [2usize, 4, 8, 16, 32] {
+    // Trial grid: (α multiplier, trial seed), seeds derived from the α
+    // coordinate exactly as the serial loops always did.
+    let cs = [2usize, 4, 8, 16, 32];
+    let grid: Vec<(usize, u64)> = cs
+        .iter()
+        .flat_map(|&c| {
+            trial_seeds(c as u64, trials)
+                .into_iter()
+                .map(move |s| (c, s))
+        })
+        .collect();
+    let runs = runner.measure_grid(&grid, |_, &(c, seed)| {
+        let alpha = (c * sqrt_n) as f64;
+        measure(
+            AdversarialSolver::new(m, n, AdversarialConfig::with_alpha(alpha), seed),
+            &adv,
+            inst,
+            opt,
+        )
+    });
+
+    for (ci, &c) in cs.iter().enumerate() {
         let alpha = (c * sqrt_n) as f64;
         let mut meas = Measurement::default();
-        for seed in trial_seeds(c as u64, trials) {
-            meas.push(measure(
-                AdversarialSolver::new(m, n, AdversarialConfig::with_alpha(alpha), seed),
-                &adv,
-                inst,
-                opt,
-            ));
+        for run in &runs[ci * trials..(ci + 1) * trials] {
+            meas.push(run.clone());
         }
         let space = meas.algorithmic_words().mean;
         points.push((alpha, space));
@@ -96,7 +134,11 @@ mod tests {
 
     #[test]
     fn sweep_reports_negative_slope() {
-        let s = run(&Params { n: 256, m: Some(2048), trials: 1 });
+        let s = run(&Params {
+            n: 256,
+            m: Some(2048),
+            trials: 1,
+        });
         assert!(s.contains("space & ratio vs α"));
         assert!(s.contains("log-log slope"));
         // Extract the slope and check it is negative.
@@ -104,7 +146,7 @@ mod tests {
             .lines()
             .find(|l| l.contains("measured log-log slope"))
             .and_then(|l| l.split(':').nth(1))
-            .and_then(|v| v.trim().split_whitespace().next())
+            .and_then(|v| v.split_whitespace().next())
             .and_then(|v| v.parse().ok())
             .expect("slope line present");
         assert!(slope < -0.5, "slope {slope} should be clearly negative");

@@ -6,6 +6,7 @@ use setcover_core::stream::{order_edges, StreamOrder};
 use setcover_gen::planted::{planted, PlantedConfig};
 
 use crate::harness::{measure, trial_seeds, Measurement};
+use crate::par::TrialRunner;
 use crate::table::sparkline_log;
 use crate::{loglog_slope, Table};
 
@@ -22,12 +23,21 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { max_n: 1024, trials: 3 }
+        Params {
+            max_n: 1024,
+            trials: 3,
+        }
     }
 }
 
-/// Run the experiment and return the report section.
+/// Run the experiment serially and return the report section.
 pub fn run(p: &Params) -> String {
+    run_with(p, &TrialRunner::serial())
+}
+
+/// Run the experiment on `runner`'s worker pool; the report text is
+/// byte-identical for every thread count.
+pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
     let trials = p.trials;
     let ns: Vec<usize> = [144usize, 256, 400, 576, 784, 1024, 1600, 2304]
         .into_iter()
@@ -39,33 +49,78 @@ pub fn run(p: &Params) -> String {
 
     let mut table = Table::new(
         "ratio vs n",
-        &["n", "sqrt(n)", "m", "kk ratio (adv)", "random-order ratio (rnd)"],
+        &[
+            "n",
+            "sqrt(n)",
+            "m",
+            "kk ratio (adv)",
+            "random-order ratio (rnd)",
+        ],
     );
     let mut kk_pts = Vec::new();
     let mut ro_pts = Vec::new();
 
-    for &n in &ns {
+    // Stage 1: build each n's instance and adversarial stream (the
+    // per-point workloads dominate setup time at large n).
+    let built: Vec<_> = runner.grid(&ns, |_, &n| {
         let sqrt_n = isqrt(n);
         let opt = (sqrt_n / 2).max(2);
         let m = (n * n / 16).max(4 * n);
         let pl = planted(&PlantedConfig::exact(n, m, opt), n as u64);
+        let adv = order_edges(&pl.workload.instance, StreamOrder::Interleaved);
+        (pl, adv, m, opt)
+    });
+
+    // Stage 2: flatten (n × algorithm × trial) into one measured grid;
+    // kk trials come first in each per-n chunk, random-order after.
+    let grid: Vec<(usize, bool, usize, u64)> = ns
+        .iter()
+        .enumerate()
+        .flat_map(|(ni, &n)| {
+            let kk = trial_seeds(n as u64, trials)
+                .into_iter()
+                .map(move |s| (ni, true, 0, s));
+            let ro = trial_seeds(n as u64 + 1, trials)
+                .into_iter()
+                .enumerate()
+                .map(move |(i, s)| (ni, false, i, s));
+            kk.chain(ro)
+        })
+        .collect();
+    let runs = runner.measure_grid(&grid, |_, &(ni, is_kk, i, seed)| {
+        let (pl, adv, m, opt) = &built[ni];
         let inst = &pl.workload.instance;
-
-        let adv = order_edges(inst, StreamOrder::Interleaved);
-        let mut kk = Measurement::default();
-        for seed in trial_seeds(n as u64, trials) {
-            kk.push(measure(KkSolver::new(m, n, seed), &adv, inst, opt));
-        }
-
-        let mut ro = Measurement::default();
-        for (i, seed) in trial_seeds(n as u64 + 1, trials).into_iter().enumerate() {
+        let n = ns[ni];
+        if is_kk {
+            measure(KkSolver::new(*m, n, seed), adv, inst, *opt)
+        } else {
             let rnd = order_edges(inst, StreamOrder::Uniform(7000 + i as u64));
-            ro.push(measure(
-                RandomOrderSolver::new(m, n, inst.num_edges(), RandomOrderConfig::practical(), seed),
+            measure(
+                RandomOrderSolver::new(
+                    *m,
+                    n,
+                    inst.num_edges(),
+                    RandomOrderConfig::practical(),
+                    seed,
+                ),
                 &rnd,
                 inst,
-                opt,
-            ));
+                *opt,
+            )
+        }
+    });
+
+    for (ni, &n) in ns.iter().enumerate() {
+        let sqrt_n = isqrt(n);
+        let m = built[ni].2;
+        let chunk = &runs[ni * 2 * trials..(ni + 1) * 2 * trials];
+        let mut kk = Measurement::default();
+        let mut ro = Measurement::default();
+        for run in &chunk[..trials] {
+            kk.push(run.clone());
+        }
+        for run in &chunk[trials..] {
+            ro.push(run.clone());
         }
 
         kk_pts.push((n as f64, kk.ratio().mean));
@@ -89,10 +144,14 @@ pub fn run(p: &Params) -> String {
         sparkline_log(&ro_pts.iter().map(|pt| pt.1).collect::<Vec<_>>())
     ));
     if let Some(s) = loglog_slope(&kk_pts) {
-        r.line(format!("kk           ratio-vs-n log-log slope: {s:.2}  (theory ≈ 0.5)"));
+        r.line(format!(
+            "kk           ratio-vs-n log-log slope: {s:.2}  (theory ≈ 0.5)"
+        ));
     }
     if let Some(s) = loglog_slope(&ro_pts) {
-        r.line(format!("random-order ratio-vs-n log-log slope: {s:.2}  (theory ≈ 0.5)"));
+        r.line(format!(
+            "random-order ratio-vs-n log-log slope: {s:.2}  (theory ≈ 0.5)"
+        ));
     }
     r.blank();
     r.csv(&table);
@@ -105,7 +164,10 @@ mod tests {
 
     #[test]
     fn sweep_covers_requested_range_and_slopes() {
-        let s = run(&Params { max_n: 400, trials: 1 });
+        let s = run(&Params {
+            max_n: 400,
+            trials: 1,
+        });
         for n in ["144", "256", "400"] {
             assert!(s.contains(n));
         }

@@ -7,6 +7,7 @@ use setcover_core::stream::{order_edges, StreamOrder};
 use setcover_core::{SetId, StreamingSetCover};
 use setcover_gen::planted::{planted, PlantedConfig};
 
+use crate::par::TrialRunner;
 use crate::Table;
 
 use super::Report;
@@ -24,19 +25,32 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { n: 4096, m: None, opt: 8 }
+        Params {
+            n: 4096,
+            m: None,
+            opt: 8,
+        }
     }
 }
 
-/// Run the probing trace and return the report section.
+/// Run the probing trace serially and return the report section.
 pub fn run(p: &Params) -> String {
+    run_with(p, &TrialRunner::serial())
+}
+
+/// Run the probing trace; the probe run itself is inherently sequential
+/// (one solver, one stream), but the I1 post-scan over all `m` sets
+/// fans out on `runner`. Output is identical at any thread count.
+pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
     let n = p.n;
     let m = p.m.unwrap_or(10 * n);
     let sqrt_n = isqrt(n);
     let opt = p.opt;
     let mut r = Report::new();
 
-    r.line(format!("Invariant traces: n = {n}, m = {m}, OPT = {opt} (√n = {sqrt_n})"));
+    r.line(format!(
+        "Invariant traces: n = {n}, m = {m}, OPT = {opt} (√n = {sqrt_n})"
+    ));
     r.blank();
 
     let pl = planted(
@@ -53,7 +67,10 @@ pub fn run(p: &Params) -> String {
         solver.process_edge(e);
     }
     let cover = solver.finalize();
-    cover.verify(inst).expect("probing run must still be correct");
+    runner.add_edges(edges.len());
+    cover
+        .verify(inst)
+        .expect("probing run must still be correct");
     let probe = solver.take_probe().expect("probe enabled");
 
     r.line(format!(
@@ -69,7 +86,16 @@ pub fn run(p: &Params) -> String {
     // Lemma 8 + I3 table.
     let mut table = Table::new(
         "per-epoch trace (Lemma 8, I3)",
-        &["i", "j", "specials", "bound 1.1·m/2^j", "sol added", "tracked sets", "tracked edges", "marked via T"],
+        &[
+            "i",
+            "j",
+            "specials",
+            "bound 1.1·m/2^j",
+            "sol added",
+            "tracked sets",
+            "tracked edges",
+            "marked via T",
+        ],
     );
     for ep in &probe.epochs {
         let bound = 1.1 * m as f64 / 2f64.powi(ep.j as i32);
@@ -87,11 +113,18 @@ pub fn run(p: &Params) -> String {
     r.table(&table);
 
     // I3.
-    let mut i3 = Table::new("I3: sets added per A^(i)", &["i", "sol added", "bound O(√n·log²m)"]);
+    let mut i3 = Table::new(
+        "I3: sets added per A^(i)",
+        &["i", "sol added", "bound O(√n·log²m)"],
+    );
     let logm = setcover_core::math::log2f(m);
     for i in 1..=probe.k {
         let added: usize = probe.sol_events.iter().filter(|e| e.i == i).count();
-        i3.row(&[i.to_string(), added.to_string(), format!("{:.0}", sqrt_n as f64 * logm * logm)]);
+        i3.row(&[
+            i.to_string(),
+            added.to_string(),
+            format!("{:.0}", sqrt_n as f64 * logm * logm),
+        ]);
     }
     r.table(&i3);
 
@@ -142,8 +175,11 @@ pub fn run(p: &Params) -> String {
     }
     missed.sort_unstable();
     let max_missed = missed.last().copied().unwrap_or(0);
-    let mean_missed =
-        if missed.is_empty() { 0.0 } else { missed.iter().sum::<usize>() as f64 / missed.len() as f64 };
+    let mean_missed = if missed.is_empty() {
+        0.0
+    } else {
+        missed.iter().sum::<usize>() as f64 / missed.len() as f64
+    };
     r.line(format!(
         "I2: missed edges over {} solution sets: max = {max_missed}, mean = {mean_missed:.1} \
          (bound Õ(√n) = {sqrt_n}·polylog)",
@@ -159,13 +195,28 @@ pub fn run(p: &Params) -> String {
             covered[u.index()] = true;
         }
     }
-    let mut max_outside = 0usize;
-    for s in 0..m as u32 {
-        if !sol_sets.contains(&s) {
-            let c = inst.set(SetId(s)).iter().filter(|u| !covered[u.index()]).count();
-            max_outside = max_outside.max(c);
-        }
-    }
+    // The scan over all m sets is embarrassingly parallel; max over
+    // fixed chunks is associative, so the result is thread-count-free.
+    let chunks: Vec<(u32, u32)> = (0..m as u32)
+        .step_by(1024)
+        .map(|lo| (lo, (lo + 1024).min(m as u32)))
+        .collect();
+    let max_outside = runner
+        .grid(&chunks, |_, &(lo, hi)| {
+            (lo..hi)
+                .filter(|s| !sol_sets.contains(s))
+                .map(|s| {
+                    inst.set(SetId(s))
+                        .iter()
+                        .filter(|u| !covered[u.index()])
+                        .count()
+                })
+                .max()
+                .unwrap_or(0)
+        })
+        .into_iter()
+        .max()
+        .unwrap_or(0);
     let bound = n as f64 / 2f64.powi(probe.k as i32);
     r.line(format!(
         "I1: max uncovered-coverage of any non-solution set after A^(K): {max_outside} \
@@ -185,7 +236,11 @@ mod tests {
 
     #[test]
     fn trace_renders_every_invariant() {
-        let s = run(&Params { n: 1024, m: Some(4096), opt: 4 });
+        let s = run(&Params {
+            n: 1024,
+            m: Some(4096),
+            opt: 4,
+        });
         assert!(s.contains("per-epoch trace"));
         assert!(s.contains("I3: sets added"));
         assert!(s.contains("I2: missed edges"));

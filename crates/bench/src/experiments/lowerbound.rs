@@ -4,12 +4,13 @@
 
 use setcover_algos::KkSolver;
 use setcover_comm::budgeted::BucketedKkSolver;
-use setcover_comm::sweep::{play_series, GameConfig, GameStats};
 use setcover_comm::simple_protocol::{run_simple_protocol, split_instance_across_parties};
+use setcover_comm::sweep::{play_series, GameConfig, GameStats};
 use setcover_core::math::log2f;
 use setcover_gen::lowerbound::{LbFamily, LbFamilyConfig};
 use setcover_gen::planted::{planted, PlantedConfig};
 
+use crate::par::TrialRunner;
 use crate::{Summary, Table};
 
 use super::Report;
@@ -27,35 +28,59 @@ impl Default for Params {
     }
 }
 
-/// Run all four sections and return the report.
+/// Run all four sections serially and return the report.
 pub fn run(p: &Params) -> String {
+    run_with(p, &TrialRunner::serial())
+}
+
+/// Run all four sections on `runner`'s worker pool; output is
+/// byte-identical at any thread count. (The Theorem 2 game section is a
+/// single calibrated series and stays sequential.)
+pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
     let mut r = Report::new();
-    lemma1_family(&mut r, p.trials);
+    lemma1_family(&mut r, p.trials, runner);
     game(&mut r, p.trials);
-    budget_sweep(&mut r, p.trials);
-    simple_protocol(&mut r);
+    budget_sweep(&mut r, p.trials, runner);
+    simple_protocol(&mut r, runner);
     r.finish()
 }
 
-fn lemma1_family(r: &mut Report, trials: usize) {
+fn lemma1_family(r: &mut Report, trials: usize, runner: &TrialRunner) {
     let mut table = Table::new(
         "Lemma 1 family: max part intersection vs O(log n)",
-        &["n", "t", "part", "set size s", "E[inter]", "measured max", "log2 n"],
+        &[
+            "n",
+            "t",
+            "part",
+            "set size s",
+            "E[inter]",
+            "measured max",
+            "log2 n",
+        ],
     );
-    for (n, t) in [(1024usize, 4usize), (4096, 4), (4096, 8), (16384, 8)] {
+    let params = [(1024usize, 4usize), (4096, 4), (4096, 8), (16384, 8)];
+    // Grid: (family config × generation seed), flattened.
+    let grid: Vec<(usize, u64)> = (0..params.len())
+        .flat_map(|pi| (0..trials as u64).map(move |seed| (pi, seed)))
+        .collect();
+    let all_maxes = runner.grid(&grid, |_, &(pi, seed)| {
+        let (n, t) = params[pi];
+        let fam = LbFamily::generate(LbFamilyConfig { n, m: 64, t }, seed);
+        fam.max_part_intersection_sampled(2000, seed) as f64
+    });
+    for (pi, &(n, t)) in params.iter().enumerate() {
         let cfg = LbFamilyConfig { n, m: 64, t };
-        let mut maxes = Vec::new();
-        for seed in 0..trials as u64 {
-            let fam = LbFamily::generate(cfg, seed);
-            maxes.push(fam.max_part_intersection_sampled(2000, seed) as f64);
-        }
-        let s = Summary::of(&maxes);
+        let maxes = &all_maxes[pi * trials..(pi + 1) * trials];
+        let s = Summary::of(maxes);
         table.row(&[
             n.to_string(),
             t.to_string(),
             cfg.part_size().to_string(),
             cfg.set_size().to_string(),
-            format!("{:.2}", (cfg.set_size() * cfg.set_size()) as f64 / (n * t) as f64),
+            format!(
+                "{:.2}",
+                (cfg.set_size() * cfg.set_size()) as f64 / (n * t) as f64
+            ),
             s.display(),
             format!("{:.1}", log2f(n)),
         ]);
@@ -66,7 +91,10 @@ fn lemma1_family(r: &mut Report, trials: usize) {
 }
 
 fn game(r: &mut Report, trials: usize) {
-    let cfg = GameConfig { evaluation_runs: trials, ..GameConfig::standard() };
+    let cfg = GameConfig {
+        evaluation_runs: trials,
+        ..GameConfig::standard()
+    };
     let f = cfg.family;
     r.line(format!(
         "Theorem 2 game: n = {}, m = {}, t = {} (part {}, set size {})",
@@ -89,20 +117,23 @@ fn game(r: &mut Report, trials: usize) {
         stats.gap(),
         stats.max_state_words
     ));
-    r.line(
-        "exactly the state the Ω̃(mn²/α⁴) bound says any distinguishing algorithm must pay for.",
-    );
+    r.line("exactly the state the Ω̃(mn²/α⁴) bound says any distinguishing algorithm must pay for.");
     r.blank();
 }
 
-fn budget_sweep(r: &mut Report, trials: usize) {
-    let base_cfg = GameConfig { evaluation_runs: trials, ..GameConfig::standard() };
+fn budget_sweep(r: &mut Report, trials: usize, runner: &TrialRunner) {
+    let base_cfg = GameConfig {
+        evaluation_runs: trials,
+        ..GameConfig::standard()
+    };
     let mut table = Table::new(
         "Theorem 2 game vs total state budget (bucketed KK, fraction f of counters AND element entries)",
         &["f", "state words", "success", "mean inter. est.", "mean disj. est."],
     );
-    for frac in [1.0f64, 0.5, 0.25, 0.1, 0.03, 0.01] {
-        let stats = play_series(&base_cfg, 0x6275_6467, |m, n, seed| {
+    let fracs = [1.0f64, 0.5, 0.25, 0.1, 0.03, 0.01];
+    // Each budget point plays a full (independently seeded) series.
+    let all_stats = runner.grid(&fracs, |_, &frac| {
+        play_series(&base_cfg, 0x6275_6467, |m, n, seed| {
             BucketedKkSolver::with_element_budget(
                 m,
                 n,
@@ -110,7 +141,9 @@ fn budget_sweep(r: &mut Report, trials: usize) {
                 ((n as f64 * frac) as usize).max(1),
                 seed,
             )
-        });
+        })
+    });
+    for (frac, stats) in fracs.iter().zip(&all_stats) {
         table.row(&[
             format!("{frac:.2}"),
             stats.max_state_words.to_string(),
@@ -129,19 +162,30 @@ fn budget_sweep(r: &mut Report, trials: usize) {
     r.blank();
 }
 
-fn simple_protocol(r: &mut Report) {
+fn simple_protocol(r: &mut Report, runner: &TrialRunner) {
     let mut table = Table::new(
         "Simple t-party protocol: 2√(nt)-approx with Õ(n) messages",
-        &["n", "t", "OPT", "cover", "ratio", "bound 2√(nt)", "max msg words", "m"],
+        &[
+            "n",
+            "t",
+            "OPT",
+            "cover",
+            "ratio",
+            "bound 2√(nt)",
+            "max msg words",
+            "m",
+        ],
     );
-    for t in [2usize, 4, 8, 16] {
-        let n = 1024;
-        let opt = 16;
-        let m = 4096;
+    let ts = [2usize, 4, 8, 16];
+    let n = 1024;
+    let opt = 16;
+    let m = 4096;
+    let outs = runner.grid(&ts, |_, &t| {
         let pl = planted(&PlantedConfig::exact(n, m, opt), t as u64);
-        let inst = &pl.workload.instance;
-        let parties = split_instance_across_parties(inst, t);
-        let out = run_simple_protocol(n, &parties);
+        let parties = split_instance_across_parties(&pl.workload.instance, t);
+        run_simple_protocol(n, &parties)
+    });
+    for (&t, out) in ts.iter().zip(&outs) {
         table.row(&[
             n.to_string(),
             t.to_string(),

@@ -6,7 +6,8 @@ use setcover_core::stream::{order_edges, StreamOrder};
 use setcover_core::StreamingSetCover;
 use setcover_gen::planted::{planted, PlantedConfig};
 
-use crate::harness::{measure, trial_seeds, Measurement};
+use crate::harness::{measure, trial_seeds, MeasuredRun, Measurement};
+use crate::par::{Task, TrialRunner};
 use crate::table::fmt_words;
 use crate::Table;
 
@@ -28,12 +29,34 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { n: 4096, m: None, opt: 8, trials: 3 }
+        Params {
+            n: 4096,
+            m: None,
+            opt: 8,
+            trials: 3,
+        }
     }
 }
 
-/// Run the experiment and return the report section.
+/// One scheduled unit of the flattened (order × algorithm × trial) grid.
+enum Out {
+    Run(MeasuredRun),
+    Probe {
+        specials: usize,
+        marked_t: usize,
+        edges: usize,
+    },
+}
+
+/// Run the experiment serially and return the report section.
 pub fn run(p: &Params) -> String {
+    run_with(p, &TrialRunner::serial())
+}
+
+/// Run the experiment on `runner`'s worker pool; the report text is
+/// byte-identical for every thread count (seeds come from grid
+/// coordinates, results are reassembled in grid order).
+pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
     let n = p.n;
     let trials = p.trials;
     let m = p.m.unwrap_or(10 * n);
@@ -65,35 +88,100 @@ pub fn run(p: &Params) -> String {
 
     let mut table = Table::new(
         "ratio, space & machinery per (algorithm, order)",
-        &["algorithm", "order", "ratio", "cover", "space (alg words)", "specials", "marked-via-T"],
+        &[
+            "algorithm",
+            "order",
+            "ratio",
+            "cover",
+            "space (alg words)",
+            "specials",
+            "marked-via-T",
+        ],
     );
 
-    for order in orders {
-        let edges = order_edges(inst, order);
+    // Stage 1: materialize every order's edge sequence (each a full
+    // permutation of the instance — worth parallelizing on its own).
+    let edge_sets: Vec<Vec<setcover_core::Edge>> =
+        runner.grid(&orders, |_, &order| order_edges(inst, order));
+
+    // Stage 2: flatten the heterogeneous (order × algorithm × trial) work
+    // into one task list. Per order: `trials` random-order runs, 1 probe
+    // run, `trials` kk runs, 1 first-set run — a fixed chunk of
+    // `2·trials + 2` grid cells, reassembled below in that layout.
+    let chunk = 2 * trials + 2;
+    let mut tasks: Vec<Task<Out>> = Vec::with_capacity(orders.len() * chunk);
+    for edges in &edge_sets {
+        for seed in trial_seeds(1, trials) {
+            tasks.push(Box::new(move || {
+                Out::Run(measure(
+                    RandomOrderSolver::new(
+                        m,
+                        n,
+                        inst.num_edges(),
+                        RandomOrderConfig::practical(),
+                        seed,
+                    ),
+                    edges,
+                    inst,
+                    opt,
+                ))
+            }));
+        }
+        tasks.push(Box::new(move || {
+            let mut probed = RandomOrderSolver::new(
+                m,
+                n,
+                inst.num_edges(),
+                RandomOrderConfig::practical().with_probe(),
+                trial_seeds(1, 1)[0],
+            );
+            for &e in edges {
+                probed.process_edge(e);
+            }
+            let _ = probed.finalize();
+            let probe = probed.take_probe().expect("probe enabled");
+            Out::Probe {
+                specials: probe.epochs.iter().map(|e| e.specials).sum(),
+                marked_t: probe.epochs.iter().map(|e| e.marked_by_tracking).sum(),
+                edges: edges.len(),
+            }
+        }));
+        for seed in trial_seeds(2, trials) {
+            tasks.push(Box::new(move || {
+                Out::Run(measure(KkSolver::new(m, n, seed), edges, inst, opt))
+            }));
+        }
+        tasks.push(Box::new(move || {
+            Out::Run(measure(FirstSetSolver::new(m, n), edges, inst, opt))
+        }));
+    }
+    let outs = runner.run_tasks(tasks);
+    runner.add_edges(
+        outs.iter()
+            .map(|o| match o {
+                Out::Run(r) => r.edges,
+                Out::Probe { edges, .. } => *edges,
+            })
+            .sum(),
+    );
+
+    for (oi, order) in orders.iter().enumerate() {
+        let chunk_outs = &outs[oi * chunk..(oi + 1) * chunk];
+        let run_at = |i: usize| match &chunk_outs[i] {
+            Out::Run(r) => r.clone(),
+            Out::Probe { .. } => unreachable!("probe in run slot"),
+        };
 
         let mut ro = Measurement::default();
-        for seed in trial_seeds(1, trials) {
-            ro.push(measure(
-                RandomOrderSolver::new(m, n, inst.num_edges(), RandomOrderConfig::practical(), seed),
-                &edges,
-                inst,
-                opt,
-            ));
+        for i in 0..trials {
+            ro.push(run_at(i));
         }
-        let mut probed = RandomOrderSolver::new(
-            m,
-            n,
-            inst.num_edges(),
-            RandomOrderConfig::practical().with_probe(),
-            trial_seeds(1, 1)[0],
-        );
-        for &e in &edges {
-            probed.process_edge(e);
-        }
-        let _ = probed.finalize();
-        let probe = probed.take_probe().expect("probe enabled");
-        let specials: usize = probe.epochs.iter().map(|e| e.specials).sum();
-        let marked_t: usize = probe.epochs.iter().map(|e| e.marked_by_tracking).sum();
+        let (specials, marked_t) = match &chunk_outs[trials] {
+            Out::Probe {
+                specials, marked_t, ..
+            } => (*specials, *marked_t),
+            Out::Run(_) => unreachable!("run in probe slot"),
+        };
         table.row(&[
             "random-order".into(),
             order.name().into(),
@@ -105,8 +193,8 @@ pub fn run(p: &Params) -> String {
         ]);
 
         let mut kk = Measurement::default();
-        for seed in trial_seeds(2, trials) {
-            kk.push(measure(KkSolver::new(m, n, seed), &edges, inst, opt));
+        for i in 0..trials {
+            kk.push(run_at(trials + 1 + i));
         }
         table.row(&[
             "kk".into(),
@@ -118,7 +206,7 @@ pub fn run(p: &Params) -> String {
             "-".into(),
         ]);
 
-        let fs = measure(FirstSetSolver::new(m, n), &edges, inst, opt);
+        let fs = run_at(chunk - 1);
         table.row(&[
             "first-set".into(),
             order.name().into(),
@@ -148,10 +236,20 @@ mod tests {
 
     #[test]
     fn section_lists_every_order_and_algorithm() {
-        let s = run(&Params { n: 1024, m: Some(4096), opt: 4, trials: 1 });
-        for needle in
-            ["uniform-random", "set-arrival", "interleaved", "greedy-trap", "first-set", "kk"]
-        {
+        let s = run(&Params {
+            n: 1024,
+            m: Some(4096),
+            opt: 4,
+            trials: 1,
+        });
+        for needle in [
+            "uniform-random",
+            "set-arrival",
+            "interleaved",
+            "greedy-trap",
+            "first-set",
+            "kk",
+        ] {
             assert!(s.contains(needle), "missing {needle}");
         }
     }

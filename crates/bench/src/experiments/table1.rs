@@ -2,14 +2,15 @@
 //! mapping).
 
 use setcover_algos::{
-    AdversarialConfig, AdversarialSolver, ElementSamplingConfig, ElementSamplingSolver,
-    KkSolver, RandomOrderConfig, RandomOrderSolver,
+    AdversarialConfig, AdversarialSolver, ElementSamplingConfig, ElementSamplingSolver, KkSolver,
+    RandomOrderConfig, RandomOrderSolver,
 };
 use setcover_core::math::isqrt;
 use setcover_core::stream::{order_edges, StreamOrder};
 use setcover_gen::planted::{planted, PlantedConfig};
 
 use crate::harness::{measure, trial_seeds, Measurement};
+use crate::par::TrialRunner;
 use crate::table::fmt_words;
 use crate::Table;
 
@@ -28,12 +29,22 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { n: 576, m: None, trials: 3 }
+        Params {
+            n: 576,
+            m: None,
+            trials: 3,
+        }
     }
 }
 
-/// Run the experiment and return the report section.
+/// Run the experiment serially and return the report section.
 pub fn run(p: &Params) -> String {
+    run_with(p, &TrialRunner::serial())
+}
+
+/// Run the experiment on `runner`'s worker pool; the report text is
+/// byte-identical for every thread count.
+pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
     let n = p.n;
     let trials = p.trials;
     let sqrt_n = isqrt(n);
@@ -61,21 +72,72 @@ pub fn run(p: &Params) -> String {
     let mut table = Table::new(
         "Table 1 (measured)",
         &[
-            "row", "algorithm", "order", "alpha", "theory space", "measured space",
-            "ratio (mean±std)", "theory ratio",
+            "row",
+            "algorithm",
+            "order",
+            "alpha",
+            "theory space",
+            "measured space",
+            "ratio (mean±std)",
+            "theory ratio",
         ],
     );
 
     let adv = order_edges(inst, StreamOrder::Interleaved);
+    let es_alpha = (sqrt_n / 2).max(2) as f64;
+    let a2_alpha = 2.0 * sqrt_n as f64;
+
+    // All four rows' trials flattened into one grid: (row, trial index,
+    // seed); row r's seeds are trial_seeds(r, trials) — exactly the
+    // serial loops' seeds.
+    let grid: Vec<(usize, usize, u64)> = (1..=4usize)
+        .flat_map(|row| {
+            trial_seeds(row as u64, trials)
+                .into_iter()
+                .enumerate()
+                .map(move |(i, s)| (row, i, s))
+        })
+        .collect();
+    let runs = runner.measure_grid(&grid, |_, &(row, i, seed)| match row {
+        1 => {
+            let cfg = ElementSamplingConfig::for_alpha(es_alpha, m, 1.0);
+            measure(ElementSamplingSolver::new(m, n, cfg, seed), &adv, inst, opt)
+        }
+        2 => measure(KkSolver::new(m, n, seed), &adv, inst, opt),
+        3 => measure(
+            AdversarialSolver::new(m, n, AdversarialConfig::with_alpha(a2_alpha), seed),
+            &adv,
+            inst,
+            opt,
+        ),
+        _ => {
+            let rnd = order_edges(inst, StreamOrder::Uniform(1000 + i as u64));
+            measure(
+                RandomOrderSolver::new(
+                    m,
+                    n,
+                    inst.num_edges(),
+                    RandomOrderConfig::practical(),
+                    seed,
+                ),
+                &rnd,
+                inst,
+                opt,
+            )
+        }
+    });
+    let row_meas = |row: usize| {
+        let mut meas = Measurement::default();
+        for run in &runs[(row - 1) * trials..row * trials] {
+            meas.push(run.clone());
+        }
+        meas
+    };
 
     // Row 1: element sampling.
     {
-        let alpha = (sqrt_n / 2).max(2) as f64;
-        let cfg = ElementSamplingConfig::for_alpha(alpha, m, 1.0);
-        let mut meas = Measurement::default();
-        for seed in trial_seeds(1, trials) {
-            meas.push(measure(ElementSamplingSolver::new(m, n, cfg, seed), &adv, inst, opt));
-        }
+        let alpha = es_alpha;
+        let meas = row_meas(1);
         table.row(&[
             "1".into(),
             "element-sampling".into(),
@@ -90,10 +152,7 @@ pub fn run(p: &Params) -> String {
 
     // Row 2: KK.
     {
-        let mut meas = Measurement::default();
-        for seed in trial_seeds(2, trials) {
-            meas.push(measure(KkSolver::new(m, n, seed), &adv, inst, opt));
-        }
+        let meas = row_meas(2);
         table.row(&[
             "2".into(),
             "kk".into(),
@@ -108,22 +167,17 @@ pub fn run(p: &Params) -> String {
 
     // Row 3: Algorithm 2.
     {
-        let alpha = 2.0 * sqrt_n as f64;
-        let mut meas = Measurement::default();
-        for seed in trial_seeds(3, trials) {
-            meas.push(measure(
-                AdversarialSolver::new(m, n, AdversarialConfig::with_alpha(alpha), seed),
-                &adv,
-                inst,
-                opt,
-            ));
-        }
+        let alpha = a2_alpha;
+        let meas = row_meas(3);
         table.row(&[
             "3".into(),
             "adversarial-low-space".into(),
             "adversarial".into(),
             format!("{alpha:.0}"),
-            format!("~mn/α² = {}", fmt_words(((m * n) as f64 / (alpha * alpha)) as usize)),
+            format!(
+                "~mn/α² = {}",
+                fmt_words(((m * n) as f64 / (alpha * alpha)) as usize)
+            ),
             fmt_words(meas.algorithmic_words().mean as usize),
             meas.ratio().display(),
             "O(α log m)".into(),
@@ -132,16 +186,7 @@ pub fn run(p: &Params) -> String {
 
     // Row 4: Algorithm 1 on random order.
     {
-        let mut meas = Measurement::default();
-        for (i, seed) in trial_seeds(4, trials).into_iter().enumerate() {
-            let rnd = order_edges(inst, StreamOrder::Uniform(1000 + i as u64));
-            meas.push(measure(
-                RandomOrderSolver::new(m, n, inst.num_edges(), RandomOrderConfig::practical(), seed),
-                &rnd,
-                inst,
-                opt,
-            ));
-        }
+        let meas = row_meas(4);
         table.row(&[
             "4".into(),
             "random-order".into(),
@@ -168,9 +213,18 @@ mod tests {
 
     #[test]
     fn tiny_run_produces_all_four_rows() {
-        let s = run(&Params { n: 144, m: Some(1296), trials: 1 });
+        let s = run(&Params {
+            n: 144,
+            m: Some(1296),
+            trials: 1,
+        });
         assert!(s.contains("Table 1 (measured)"));
-        for row in ["element-sampling", "kk", "adversarial-low-space", "random-order"] {
+        for row in [
+            "element-sampling",
+            "kk",
+            "adversarial-low-space",
+            "random-order",
+        ] {
             assert!(s.contains(row), "missing row {row}");
         }
         assert!(s.contains("CSV:"));

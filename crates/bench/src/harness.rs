@@ -86,16 +86,31 @@ impl Measurement {
 
     /// Summary of algorithmic (per-set) space.
     pub fn algorithmic_words(&self) -> Summary {
-        Summary::of_usize(&self.runs.iter().map(|r| r.algorithmic_words).collect::<Vec<_>>())
+        Summary::of_usize(
+            &self
+                .runs
+                .iter()
+                .map(|r| r.algorithmic_words)
+                .collect::<Vec<_>>(),
+        )
     }
 
-    /// Mean throughput in million edges per second.
+    /// Mean throughput in million edges per second, over the runs that
+    /// were long enough to time. Runs below timer resolution are skipped
+    /// (they would otherwise drag the aggregate toward zero); if *no*
+    /// run was timeable the result is [`f64::NAN`], which [`Summary`]
+    /// and report formatting treat as "no data" rather than a number.
     pub fn medges_per_sec(&self) -> f64 {
-        let total_edges: usize = self.runs.iter().map(|r| r.edges).sum();
-        let total_ms: f64 = self.runs.iter().map(|r| r.millis).sum();
+        let timed: Vec<&MeasuredRun> = self
+            .runs
+            .iter()
+            .filter(|r| r.millis.is_finite() && r.millis > 0.0)
+            .collect();
+        let total_ms: f64 = timed.iter().map(|r| r.millis).sum();
         if total_ms <= 0.0 {
-            0.0
+            f64::NAN
         } else {
+            let total_edges: usize = timed.iter().map(|r| r.edges).sum();
             total_edges as f64 / total_ms / 1e3
         }
     }
@@ -103,7 +118,9 @@ impl Measurement {
 
 /// Derive `k` trial seeds from a base seed.
 pub fn trial_seeds(base: u64, k: usize) -> Vec<u64> {
-    (0..k as u64).map(|i| setcover_core::rng::derive_seed(base, 0xEC0 + i)).collect()
+    (0..k as u64)
+        .map(|i| setcover_core::rng::derive_seed(base, 0xEC0 + i))
+        .collect()
 }
 
 /// Parse `key=value` style CLI arguments (e.g. `n=1024 trials=5`),
@@ -121,7 +138,9 @@ pub fn arg_f64(key: &str, default: f64) -> f64 {
 /// Parse a `key=value` CLI argument as a string (last occurrence wins).
 pub fn arg_str(key: &str) -> Option<String> {
     let prefix = format!("{key}=");
-    std::env::args().filter_map(|a| a.strip_prefix(&prefix).map(str::to_string)).next_back()
+    std::env::args()
+        .filter_map(|a| a.strip_prefix(&prefix).map(str::to_string))
+        .next_back()
 }
 
 #[cfg(test)]
@@ -152,13 +171,49 @@ mod tests {
         let edges = order_edges(inst, StreamOrder::Uniform(2));
         let mut m = Measurement::default();
         for seed in trial_seeds(9, 4) {
-            m.push(measure(KkSolver::new(inst.m(), inst.n(), seed), &edges, inst, 8));
+            m.push(measure(
+                KkSolver::new(inst.m(), inst.n(), seed),
+                &edges,
+                inst,
+                8,
+            ));
         }
         assert_eq!(m.runs.len(), 4);
         assert_eq!(m.ratio().n, 4);
         assert!(m.cover_size().mean >= 8.0);
         assert!(m.peak_words().mean >= inst.m() as f64);
         assert!(m.medges_per_sec() >= 0.0);
+    }
+
+    #[test]
+    fn medges_skips_untimeable_runs() {
+        let timed = MeasuredRun {
+            algorithm: "a",
+            cover_size: 1,
+            ratio: 1.0,
+            peak_words: 1,
+            algorithmic_words: 1,
+            edges: 1_000,
+            millis: 1.0,
+        };
+        let untimed = MeasuredRun {
+            edges: 999_999_999,
+            millis: 0.0,
+            ..timed.clone()
+        };
+        let mut m = Measurement::default();
+        m.push(timed);
+        m.push(untimed);
+        // Only the timed run counts: 1000 edges / 1 ms = 1 Medge/s; the
+        // instant run must neither zero the aggregate nor inflate it.
+        assert!((m.medges_per_sec() - 1.0).abs() < 1e-9);
+        let mut none = Measurement::default();
+        none.push(MeasuredRun {
+            millis: 0.0,
+            ..m.runs[0].clone()
+        });
+        assert!(none.medges_per_sec().is_nan());
+        assert!(Measurement::default().medges_per_sec().is_nan());
     }
 
     #[test]

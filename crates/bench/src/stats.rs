@@ -17,20 +17,37 @@ pub struct Summary {
 
 impl Summary {
     /// Summarize a sample. Empty samples yield zeros.
+    ///
+    /// NaN values are skipped — they mean "no data for this trial"
+    /// (e.g. a sub-timer-resolution throughput), and a single NaN must
+    /// not poison a whole aggregate. `n` counts only the values used.
     pub fn of(values: &[f64]) -> Summary {
-        if values.is_empty() {
-            return Summary { n: 0, mean: 0.0, std: 0.0, min: 0.0, max: 0.0 };
+        let finite: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        if finite.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
         }
-        let n = values.len();
-        let mean = values.iter().sum::<f64>() / n as f64;
+        let n = finite.len();
+        let mean = finite.iter().sum::<f64>() / n as f64;
         let var = if n >= 2 {
-            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+            finite.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
         } else {
             0.0
         };
-        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Summary { n, mean, std: var.sqrt(), min, max }
+        let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min,
+            max,
+        }
     }
 
     /// Summarize integer samples.
@@ -101,6 +118,20 @@ mod tests {
     }
 
     #[test]
+    fn summary_skips_nan_values() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(s.std.is_finite());
+        // All-NaN behaves like empty.
+        let all_nan = Summary::of(&[f64::NAN, f64::NAN]);
+        assert_eq!(all_nan.n, 0);
+        assert_eq!(all_nan.display(), "-");
+    }
+
+    #[test]
     fn summary_of_usize() {
         let s = Summary::of_usize(&[2, 4]);
         assert!((s.mean - 3.0).abs() < 1e-12);
@@ -109,8 +140,7 @@ mod tests {
     #[test]
     fn slope_recovers_exponent() {
         // y = 3 x^2
-        let pts: Vec<(f64, f64)> =
-            (1..=10).map(|i| (i as f64, 3.0 * (i * i) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 3.0 * (i * i) as f64)).collect();
         let slope = loglog_slope(&pts).unwrap();
         assert!((slope - 2.0).abs() < 1e-9, "slope {slope}");
     }
@@ -118,8 +148,9 @@ mod tests {
     #[test]
     fn slope_recovers_negative_exponent() {
         // y = 100 / x^2
-        let pts: Vec<(f64, f64)> =
-            (1..=10).map(|i| (i as f64, 100.0 / ((i * i) as f64))).collect();
+        let pts: Vec<(f64, f64)> = (1..=10)
+            .map(|i| (i as f64, 100.0 / ((i * i) as f64)))
+            .collect();
         let slope = loglog_slope(&pts).unwrap();
         assert!((slope + 2.0).abs() < 1e-9);
     }

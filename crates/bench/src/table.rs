@@ -73,9 +73,21 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }
@@ -115,8 +127,10 @@ pub fn sparkline(values: &[f64]) -> String {
 /// Log-scale sparkline: spark of `log2(v)` for positive series — the
 /// right view for power-law sweeps (space vs α, ratio vs n).
 pub fn sparkline_log(values: &[f64]) -> String {
-    let logs: Vec<f64> =
-        values.iter().map(|&v| if v > 0.0 { v.log2() } else { f64::NAN }).collect();
+    let logs: Vec<f64> = values
+        .iter()
+        .map(|&v| if v > 0.0 { v.log2() } else { f64::NAN })
+        .collect();
     sparkline(&logs)
 }
 

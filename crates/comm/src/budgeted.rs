@@ -265,8 +265,7 @@ mod tests {
         let inst = &p.workload.instance;
         let edges = order_edges(inst, StreamOrder::Interleaved);
         for budget in [1usize, 4, 16] {
-            let out =
-                run_on_edges(BucketedKkSolver::new(inst.m(), inst.n(), budget, 4), &edges);
+            let out = run_on_edges(BucketedKkSolver::new(inst.m(), inst.n(), budget, 4), &edges);
             out.cover.verify(inst).unwrap();
         }
     }

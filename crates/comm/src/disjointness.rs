@@ -115,7 +115,9 @@ impl DisjointnessInstance {
                 true
             }
             DisjCase::UniquelyIntersecting => {
-                let Some(x) = self.intersection else { return false };
+                let Some(x) = self.intersection else {
+                    return false;
+                };
                 for i in 0..t {
                     if self.sets[i].binary_search(&x).is_err() {
                         return false;

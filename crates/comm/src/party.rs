@@ -32,13 +32,20 @@ pub struct MessageStats {
 impl MessageStats {
     /// Record a handoff.
     pub fn record(&mut self, from_party: usize, state_words: usize) {
-        self.handoffs.push(PartyHandoff { from_party, state_words });
+        self.handoffs.push(PartyHandoff {
+            from_party,
+            state_words,
+        });
     }
 
     /// The longest individual message — the quantity Theorem 5 bounds by
     /// Ω(m/t²).
     pub fn max_message_words(&self) -> usize {
-        self.handoffs.iter().map(|h| h.state_words).max().unwrap_or(0)
+        self.handoffs
+            .iter()
+            .map(|h| h.state_words)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total communication (sum of messages).
@@ -71,7 +78,13 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert_eq!(s.max_message_words(), 250);
         assert_eq!(s.total_words(), 400);
-        assert_eq!(s.handoffs[1], PartyHandoff { from_party: 2, state_words: 250 });
+        assert_eq!(
+            s.handoffs[1],
+            PartyHandoff {
+                from_party: 2,
+                state_words: 250
+            }
+        );
     }
 
     #[test]

@@ -189,7 +189,10 @@ where
             let sid = family_set_id(b as usize);
             for &u in family.part(b as usize, p) {
                 seen[u as usize] = true;
-                solver.process_edge(Edge { set: sid, elem: ElemId(u) });
+                solver.process_edge(Edge {
+                    set: sid,
+                    elem: ElemId(u),
+                });
             }
         }
         messages.record(p + 1, solver.state_words());
@@ -205,7 +208,10 @@ where
         let mut seen_j = seen.clone();
         for &u in &comp {
             seen_j[u as usize] = true;
-            fork.process_edge(Edge { set: comp_id, elem: ElemId(u) });
+            fork.process_edge(Edge {
+                set: comp_id,
+                elem: ElemId(u),
+            });
         }
         // Estimate: distinct sets covering the seen elements of T_j
         // (witness if the algorithm certified u, else the patch R(u)),
@@ -230,8 +236,11 @@ where
         seen_elements.push(seen_j.iter().filter(|&&b| b).count());
     }
 
-    let (best_run, &best_estimate) =
-        estimates.iter().enumerate().min_by_key(|(_, &e)| e).expect("m >= 1 runs");
+    let (best_run, &best_estimate) = estimates
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &e)| e)
+        .expect("m >= 1 runs");
     let opt0_floor = family.disjoint_case_opt_lower(maxint.max(1));
 
     ReductionOutcome {
@@ -248,7 +257,7 @@ where
 mod tests {
     use super::*;
     use setcover_algos::KkSolver;
-    use setcover_gen::lowerbound::{LbFamilyConfig, LbFamily};
+    use setcover_gen::lowerbound::{LbFamily, LbFamilyConfig};
 
     fn setup(case: DisjCase, seed: u64) -> (LbFamily, DisjointnessInstance, usize) {
         // n = 4096, t = 8: parts of size 22, sets of size 176. The scale
@@ -256,7 +265,14 @@ mod tests {
         // disjoint/intersecting gap and the overlap density m·part/n is
         // high enough that most of each T_j appears (see the lowerbound
         // experiment binary for the full sweep).
-        let family = LbFamily::generate(LbFamilyConfig { n: 4096, m: 101, t: 8 }, seed);
+        let family = LbFamily::generate(
+            LbFamilyConfig {
+                n: 4096,
+                m: 101,
+                t: 8,
+            },
+            seed,
+        );
         let disj = DisjointnessInstance::generate(101, 8, case, seed);
         let maxint = family.max_part_intersection_sampled(400, seed).max(1);
         (family, disj, maxint)
@@ -284,7 +300,10 @@ mod tests {
         let out_d = run_reduction(&family, &disj_d, maxint, |m, n| KkSolver::new(m, n, 9));
 
         let common = disj_i.intersection.unwrap() as usize;
-        assert_eq!(out_i.best_run, common, "smallest estimate must sit at the common run");
+        assert_eq!(
+            out_i.best_run, common,
+            "smallest estimate must sit at the common run"
+        );
         assert!(
             2 * out_i.best_estimate <= out_d.best_estimate,
             "gap too small: intersecting {} vs disjoint {}",

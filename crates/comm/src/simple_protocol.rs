@@ -216,8 +216,10 @@ mod tests {
         let p = planted(&PlantedConfig::exact(50, 25, 5), 5);
         let inst = &p.workload.instance;
         let parties = split_instance_across_parties(inst, 3);
-        let total: usize =
-            parties.iter().flat_map(|pp| pp.iter().map(|(_, e)| e.len())).sum();
+        let total: usize = parties
+            .iter()
+            .flat_map(|pp| pp.iter().map(|(_, e)| e.len()))
+            .sum();
         assert_eq!(total, inst.num_edges());
     }
 }

@@ -32,7 +32,11 @@ impl GameConfig {
     /// t = 8 (see the reduction module docs for why).
     pub fn standard() -> Self {
         GameConfig {
-            family: LbFamilyConfig { n: 4096, m: 101, t: 8 },
+            family: LbFamilyConfig {
+                n: 4096,
+                m: 101,
+                t: 8,
+            },
             calibration_runs: 3,
             evaluation_runs: 5,
             maxint_samples: 500,
@@ -102,7 +106,9 @@ where
     let fam = LbFamily::generate(cfg.family, seed);
     let disj = DisjointnessInstance::generate(cfg.family.m, cfg.family.t, case, seed);
     debug_assert!(disj.verify_promise());
-    let maxint = fam.max_part_intersection_sampled(cfg.maxint_samples, seed).max(1);
+    let maxint = fam
+        .max_part_intersection_sampled(cfg.maxint_samples, seed)
+        .max(1);
     run_reduction(&fam, &disj, maxint, |ms, ns| factory(ms, ns, seed))
 }
 
@@ -118,9 +124,7 @@ where
     // Calibration on a disjoint seed namespace.
     let cal = |case: DisjCase, salt: u64| -> f64 {
         let runs: Vec<usize> = (0..cfg.calibration_runs as u64)
-            .map(|i| {
-                play_once(cfg, case, derive_seed(base_seed, salt + i), &factory).best_estimate
-            })
+            .map(|i| play_once(cfg, case, derive_seed(base_seed, salt + i), &factory).best_estimate)
             .collect();
         GameStats::mean(&runs)
     };
@@ -142,8 +146,7 @@ where
             let out = play_once(cfg, case, seed, &factory);
             stats.total += 1;
             stats.correct += usize::from(out.correct(threshold, case));
-            stats.max_state_words =
-                stats.max_state_words.max(out.messages.max_message_words());
+            stats.max_state_words = stats.max_state_words.max(out.messages.max_message_words());
             match case {
                 DisjCase::UniquelyIntersecting => {
                     stats.intersecting_estimates.push(out.best_estimate)
@@ -163,7 +166,11 @@ mod tests {
 
     fn quick_cfg() -> GameConfig {
         GameConfig {
-            family: LbFamilyConfig { n: 4096, m: 101, t: 8 },
+            family: LbFamilyConfig {
+                n: 4096,
+                m: 101,
+                t: 8,
+            },
             calibration_runs: 2,
             evaluation_runs: 2,
             maxint_samples: 300,
@@ -173,7 +180,10 @@ mod tests {
     #[test]
     fn full_state_kk_wins_the_series() {
         let stats = play_series(&quick_cfg(), 42, KkSolver::new);
-        assert_eq!(stats.correct, stats.total, "full-state KK should be perfect");
+        assert_eq!(
+            stats.correct, stats.total,
+            "full-state KK should be perfect"
+        );
         assert!(stats.gap() >= 2.0, "gap {} too small", stats.gap());
         assert!(stats.max_state_words >= 102, "KK state is Θ(m)");
         assert!((stats.success_rate() - 1.0).abs() < 1e-12);
@@ -187,7 +197,11 @@ mod tests {
         // With 2 counters and 2% of element entries, the two cases are
         // nearly indistinguishable: the gap shrinks dramatically vs the
         // full-state series.
-        assert!(stats.gap() < 1.5, "starved gap {} should be near 1", stats.gap());
+        assert!(
+            stats.gap() < 1.5,
+            "starved gap {} should be near 1",
+            stats.gap()
+        );
     }
 
     #[test]

@@ -116,7 +116,10 @@ pub struct PartialCertificate {
 impl PartialCertificate {
     /// A certificate with `n` unassigned slots.
     pub fn new(n: usize) -> Self {
-        PartialCertificate { slots: vec![None; n], assigned: 0 }
+        PartialCertificate {
+            slots: vec![None; n],
+            assigned: 0,
+        }
     }
 
     /// Assign a witness for `u` if it has none yet. Returns whether the
@@ -221,8 +224,7 @@ mod tests {
 
     #[test]
     fn from_certificate_builds_minimal_family() {
-        let cover =
-            Cover::from_certificate(vec![SetId(0), SetId(0), SetId(1), SetId(2)]);
+        let cover = Cover::from_certificate(vec![SetId(0), SetId(0), SetId(1), SetId(2)]);
         assert_eq!(cover.sets(), &[SetId(0), SetId(1), SetId(2)]);
     }
 
@@ -236,17 +238,17 @@ mod tests {
         );
         assert_eq!(
             cover.verify(&inst).unwrap_err(),
-            CoreError::BadCertificate { elem: ElemId(3), set: SetId(0) }
+            CoreError::BadCertificate {
+                elem: ElemId(3),
+                set: SetId(0)
+            }
         );
     }
 
     #[test]
     fn certificate_set_must_be_in_cover() {
         let inst = inst();
-        let cover = Cover::new(
-            vec![SetId(0)],
-            vec![SetId(0), SetId(0), SetId(1), SetId(2)],
-        );
+        let cover = Cover::new(vec![SetId(0)], vec![SetId(0), SetId(0), SetId(1), SetId(2)]);
         assert!(matches!(
             cover.verify(&inst).unwrap_err(),
             CoreError::CertificateSetNotInCover { .. }
@@ -257,7 +259,10 @@ mod tests {
     fn short_certificate_detected() {
         let inst = inst();
         let cover = Cover::new(vec![SetId(0)], vec![SetId(0), SetId(0)]);
-        assert!(matches!(cover.verify(&inst).unwrap_err(), CoreError::MissingCertificate(_)));
+        assert!(matches!(
+            cover.verify(&inst).unwrap_err(),
+            CoreError::MissingCertificate(_)
+        ));
     }
 
     #[test]

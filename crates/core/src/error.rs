@@ -57,19 +57,31 @@ impl fmt::Display for CoreError {
                 write!(f, "edge references {set} but the family has only {m} sets")
             }
             CoreError::ElemOutOfRange { elem, n } => {
-                write!(f, "edge references {elem} but the universe has only {n} elements")
+                write!(
+                    f,
+                    "edge references {elem} but the universe has only {n} elements"
+                )
             }
             CoreError::UncoverableElement(u) => {
-                write!(f, "element {u} is contained in no set; the instance is infeasible")
+                write!(
+                    f,
+                    "element {u} is contained in no set; the instance is infeasible"
+                )
             }
             CoreError::ElementNotCovered(u) => {
                 write!(f, "claimed cover does not cover element {u}")
             }
             CoreError::BadCertificate { elem, set } => {
-                write!(f, "certificate maps {elem} to {set}, which does not contain it")
+                write!(
+                    f,
+                    "certificate maps {elem} to {set}, which does not contain it"
+                )
             }
             CoreError::CertificateSetNotInCover { elem, set } => {
-                write!(f, "certificate maps {elem} to {set}, which is not in the cover")
+                write!(
+                    f,
+                    "certificate maps {elem} to {set}, which is not in the cover"
+                )
             }
             CoreError::MissingCertificate(u) => {
                 write!(f, "cover certificate is missing for element {u}")
@@ -86,11 +98,17 @@ mod tests {
 
     #[test]
     fn display_messages_mention_ids() {
-        let e = CoreError::SetOutOfRange { set: SetId(9), m: 4 };
+        let e = CoreError::SetOutOfRange {
+            set: SetId(9),
+            m: 4,
+        };
         assert!(e.to_string().contains("S9"));
         assert!(e.to_string().contains('4'));
 
-        let e = CoreError::BadCertificate { elem: ElemId(2), set: SetId(1) };
+        let e = CoreError::BadCertificate {
+            elem: ElemId(2),
+            set: SetId(1),
+        };
         assert!(e.to_string().contains("u2"));
         assert!(e.to_string().contains("S1"));
     }

@@ -30,7 +30,10 @@ impl Edge {
     /// Construct an edge from raw indices.
     #[inline]
     pub fn new(set: u32, elem: u32) -> Self {
-        Edge { set: SetId(set), elem: ElemId(elem) }
+        Edge {
+            set: SetId(set),
+            elem: ElemId(elem),
+        }
     }
 }
 
@@ -206,7 +209,11 @@ pub struct InstanceBuilder {
 impl InstanceBuilder {
     /// Start building an instance with `m` sets over a universe of size `n`.
     pub fn new(m: usize, n: usize) -> Self {
-        InstanceBuilder { n, m, edges: Vec::new() }
+        InstanceBuilder {
+            n,
+            m,
+            edges: Vec::new(),
+        }
     }
 
     /// Pre-allocate for `cap` edges.
@@ -249,10 +256,16 @@ impl InstanceBuilder {
         }
         for e in &self.edges {
             if e.set.index() >= self.m {
-                return Err(CoreError::SetOutOfRange { set: e.set, m: self.m });
+                return Err(CoreError::SetOutOfRange {
+                    set: e.set,
+                    m: self.m,
+                });
             }
             if e.elem.index() >= self.n {
-                return Err(CoreError::ElemOutOfRange { elem: e.elem, n: self.n });
+                return Err(CoreError::ElemOutOfRange {
+                    elem: e.elem,
+                    n: self.n,
+                });
             }
         }
         // Sort by (set, elem) and dedup: gives per-set sorted element lists.
@@ -358,19 +371,31 @@ mod tests {
 
     #[test]
     fn rejects_empty_universe_and_family() {
-        assert_eq!(InstanceBuilder::new(1, 0).build().unwrap_err(), CoreError::EmptyUniverse);
-        assert_eq!(InstanceBuilder::new(0, 1).build().unwrap_err(), CoreError::EmptyFamily);
+        assert_eq!(
+            InstanceBuilder::new(1, 0).build().unwrap_err(),
+            CoreError::EmptyUniverse
+        );
+        assert_eq!(
+            InstanceBuilder::new(0, 1).build().unwrap_err(),
+            CoreError::EmptyFamily
+        );
     }
 
     #[test]
     fn rejects_out_of_range_edges() {
         let mut b = InstanceBuilder::new(1, 1);
         b.add_edge(SetId(1), ElemId(0));
-        assert!(matches!(b.build().unwrap_err(), CoreError::SetOutOfRange { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            CoreError::SetOutOfRange { .. }
+        ));
 
         let mut b = InstanceBuilder::new(1, 1);
         b.add_edge(SetId(0), ElemId(5));
-        assert!(matches!(b.build().unwrap_err(), CoreError::ElemOutOfRange { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            CoreError::ElemOutOfRange { .. }
+        ));
     }
 
     #[test]
@@ -379,7 +404,10 @@ mod tests {
         b.add_set_elems(0, [0]);
         b.add_set_elems(1, [2]);
         // element 1 uncovered
-        assert_eq!(b.build().unwrap_err(), CoreError::UncoverableElement(ElemId(1)));
+        assert_eq!(
+            b.build().unwrap_err(),
+            CoreError::UncoverableElement(ElemId(1))
+        );
     }
 
     #[test]

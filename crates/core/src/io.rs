@@ -73,7 +73,10 @@ impl From<std::io::Error> for IoError {
 }
 
 fn parse_err(line: usize, message: impl Into<String>) -> IoError {
-    IoError::Parse { line, message: message.into() }
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Serialize an instance in `.sc` set-list format.
@@ -137,8 +140,9 @@ pub fn read_instance<R: BufRead>(r: R) -> Result<SetCoverInstance, IoError> {
                 .and_then(|v| v.parse().ok())
                 .ok_or_else(|| parse_err(lineno, "bad set id"))?;
             for tok in it {
-                let u: u32 =
-                    tok.parse().map_err(|_| parse_err(lineno, format!("bad element `{tok}`")))?;
+                let u: u32 = tok
+                    .parse()
+                    .map_err(|_| parse_err(lineno, format!("bad element `{tok}`")))?;
                 b.add_edge(SetId(s), ElemId(u));
             }
             continue;
@@ -150,12 +154,7 @@ pub fn read_instance<R: BufRead>(r: R) -> Result<SetCoverInstance, IoError> {
 }
 
 /// Serialize a concrete stream (ordered edges) in `.scs` format.
-pub fn write_stream<W: Write>(
-    m: usize,
-    n: usize,
-    edges: &[Edge],
-    mut w: W,
-) -> Result<(), IoError> {
+pub fn write_stream<W: Write>(m: usize, n: usize, edges: &[Edge], mut w: W) -> Result<(), IoError> {
     writeln!(w, "c edge-arrival-setcover stream (order is significant)")?;
     writeln!(w, "p setstream {m} {n} {}", edges.len())?;
     for e in edges {
@@ -218,7 +217,11 @@ pub fn read_stream<R: BufRead>(r: R) -> Result<ParsedStream, IoError> {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .ok_or_else(|| parse_err(lineno, "bad edge count"))?;
-            parsed = Some(ParsedStream { m, n, edges: Vec::with_capacity(declared_edges) });
+            parsed = Some(ParsedStream {
+                m,
+                n,
+                edges: Vec::with_capacity(declared_edges),
+            });
             continue;
         }
         if let Some(rest) = line.strip_prefix("e ") {
@@ -240,7 +243,10 @@ pub fn read_stream<R: BufRead>(r: R) -> Result<ParsedStream, IoError> {
             if u as usize >= p.n {
                 return Err(parse_err(lineno, format!("element id {u} >= n = {}", p.n)));
             }
-            p.edges.push(Edge { set: SetId(s), elem: ElemId(u) });
+            p.edges.push(Edge {
+                set: SetId(s),
+                elem: ElemId(u),
+            });
             continue;
         }
         return Err(parse_err(lineno, format!("unrecognized line `{line}`")));
@@ -321,9 +327,15 @@ mod tests {
             other => panic!("expected parse error, got {other:?}"),
         }
         let bad = "s 0 1\n";
-        assert!(matches!(read_instance(bad.as_bytes()), Err(IoError::Parse { line: 1, .. })));
+        assert!(matches!(
+            read_instance(bad.as_bytes()),
+            Err(IoError::Parse { line: 1, .. })
+        ));
         let bad = "p setstream 2 2 5\ne 0 0\n";
-        assert!(matches!(read_stream(bad.as_bytes()), Err(IoError::Parse { .. })));
+        assert!(matches!(
+            read_stream(bad.as_bytes()),
+            Err(IoError::Parse { .. })
+        ));
     }
 
     #[test]
@@ -341,7 +353,10 @@ mod tests {
     #[test]
     fn infeasible_parsed_instance_is_rejected() {
         let text = "p setcover 1 3\ns 0 0 2\n"; // element 1 uncovered
-        assert!(matches!(read_instance(text.as_bytes()), Err(IoError::Invalid(_))));
+        assert!(matches!(
+            read_instance(text.as_bytes()),
+            Err(IoError::Invalid(_))
+        ));
     }
 
     #[test]

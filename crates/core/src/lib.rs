@@ -60,8 +60,8 @@ pub use error::CoreError;
 pub use ids::{ElemId, SetId};
 pub use instance::{Edge, InstanceBuilder, InstanceStats, SetCoverInstance};
 pub use solver::{
-    run_multipass, run_streaming, MultiPassOutcome, MultiPassSetCover, OfflineSetCover,
-    RunOutcome, StreamingSetCover,
+    run_multipass, run_streaming, MultiPassOutcome, MultiPassSetCover, OfflineSetCover, RunOutcome,
+    StreamingSetCover,
 };
 pub use space::{SpaceMeter, SpaceReport};
 pub use stream::{EdgeStream, StreamOrder};

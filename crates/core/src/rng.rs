@@ -59,7 +59,11 @@ pub struct CountingCoin {
 impl CountingCoin {
     /// Create a counting coin from a seed.
     pub fn new(seed: u64) -> Self {
-        CountingCoin { rng: seeded_rng(seed), flips: 0, heads: 0 }
+        CountingCoin {
+            rng: seeded_rng(seed),
+            flips: 0,
+            heads: 0,
+        }
     }
 
     /// Flip a `p`-biased coin.

@@ -128,11 +128,16 @@ pub struct RunOutcome {
 }
 
 impl RunOutcome {
-    /// Throughput in edges per second (0 if the run was too fast to time).
+    /// Throughput in edges per second.
+    ///
+    /// Returns [`f64::NAN`] when the run was below timer resolution: a
+    /// `0.0` here would silently drag down throughput aggregates over
+    /// small instances, whereas NaN forces aggregators to skip the run
+    /// (see `Summary`'s NaN handling in `setcover-bench`).
     pub fn edges_per_sec(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs <= 0.0 {
-            0.0
+            f64::NAN
         } else {
             self.edges_processed as f64 / secs
         }
@@ -192,7 +197,9 @@ mod tests {
 
     impl FirstSeen {
         fn new(n: usize) -> Self {
-            FirstSeen { first: vec![None; n] }
+            FirstSeen {
+                first: vec![None; n],
+            }
         }
     }
 
@@ -225,8 +232,11 @@ mod tests {
         b.add_set_elems(2, [2, 3]);
         let inst = b.build().unwrap();
 
-        for order in [StreamOrder::SetArrival, StreamOrder::Uniform(5), StreamOrder::Interleaved]
-        {
+        for order in [
+            StreamOrder::SetArrival,
+            StreamOrder::Uniform(5),
+            StreamOrder::Interleaved,
+        ] {
             let out = run_streaming(FirstSeen::new(inst.n()), stream_of(&inst, order));
             assert_eq!(out.edges_processed, inst.num_edges());
             out.cover.verify(&inst).unwrap();
@@ -242,7 +252,10 @@ mod tests {
         let inst = b.build().unwrap();
         let edges = inst.edge_vec();
         let a = run_on_edges(FirstSeen::new(inst.n()), &edges);
-        let b2 = run_streaming(FirstSeen::new(inst.n()), stream_of(&inst, StreamOrder::SetArrival));
+        let b2 = run_streaming(
+            FirstSeen::new(inst.n()),
+            stream_of(&inst, StreamOrder::SetArrival),
+        );
         assert_eq!(a.cover, b2.cover);
         assert_eq!(a.edges_processed, b2.edges_processed);
     }
@@ -253,6 +266,19 @@ mod tests {
         b.add_edge(SetId(0), ElemId(0));
         let inst = b.build().unwrap();
         let out = run_on_edges(FirstSeen::new(1), &inst.edge_vec());
-        assert!(out.edges_per_sec() >= 0.0);
+        let tp = out.edges_per_sec();
+        assert!(tp.is_nan() || tp > 0.0);
+    }
+
+    #[test]
+    fn sub_resolution_runs_report_nan_not_zero() {
+        let out = RunOutcome {
+            algorithm: "x",
+            cover: Cover::from_certificate(PartialCertificate::new(0).finish_with(|_| None)),
+            space: SpaceReport::empty(),
+            edges_processed: 100,
+            elapsed: Duration::ZERO,
+        };
+        assert!(out.edges_per_sec().is_nan());
     }
 }

@@ -128,7 +128,11 @@ impl SpaceMeter {
     #[inline]
     pub fn release(&mut self, comp: SpaceComponent, words: usize) {
         let i = comp.idx();
-        debug_assert!(self.current[i] >= words, "space underflow in {}", comp.name());
+        debug_assert!(
+            self.current[i] >= words,
+            "space underflow in {}",
+            comp.name()
+        );
         let w = words.min(self.current[i]);
         self.current[i] -= w;
         self.current_total -= w;
@@ -187,7 +191,10 @@ impl SpaceReport {
     /// An empty report (e.g. for offline baselines where space is not the
     /// quantity of interest).
     pub fn empty() -> Self {
-        SpaceReport { peak_words: 0, peak_by_component: Vec::new() }
+        SpaceReport {
+            peak_words: 0,
+            peak_by_component: Vec::new(),
+        }
     }
 
     /// Peak words excluding the components the paper grants "for free" in

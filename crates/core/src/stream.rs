@@ -144,21 +144,30 @@ pub fn order_edges(inst: &SetCoverInstance, order: StreamOrder) -> Vec<Edge> {
             out
         }
         StreamOrder::Interleaved => {
+            // Keep a live list of non-exhausted sets and retire them in
+            // place: each round scans only the sets that still have an
+            // element to emit, so total work is O(N + m) instead of the
+            // O(m × max-set-size) of rescanning all m sets every round —
+            // quadratic on skewed (e.g. Zipf) instances where one set is
+            // much longer than the rest.
             let mut out = Vec::with_capacity(inst.num_edges());
+            let mut live: Vec<u32> = (0..inst.m() as u32)
+                .filter(|&s| inst.set_size(crate::ids::SetId(s)) > 0)
+                .collect();
             let mut round = 0usize;
-            loop {
-                let mut emitted = false;
-                for s in 0..inst.m() as u32 {
+            while !live.is_empty() {
+                // `retain` preserves index order (the round-robin emits
+                // sets in increasing id within a round) and compacts the
+                // exhausted ones away for every later round.
+                live.retain(|&s| {
                     let sid = crate::ids::SetId(s);
                     let elems = inst.set(sid);
-                    if let Some(&u) = elems.get(round) {
-                        out.push(Edge { set: sid, elem: u });
-                        emitted = true;
-                    }
-                }
-                if !emitted {
-                    break;
-                }
+                    out.push(Edge {
+                        set: sid,
+                        elem: elems[round],
+                    });
+                    elems.len() > round + 1
+                });
                 round += 1;
             }
             out
@@ -167,7 +176,11 @@ pub fn order_edges(inst: &SetCoverInstance, order: StreamOrder) -> Vec<Edge> {
             let mut out = Vec::with_capacity(inst.num_edges());
             for u in 0..inst.n() as u32 {
                 let uid = crate::ids::ElemId(u);
-                out.extend(inst.sets_containing(uid).iter().map(|&s| Edge { set: s, elem: uid }));
+                out.extend(
+                    inst.sets_containing(uid)
+                        .iter()
+                        .map(|&s| Edge { set: s, elem: uid }),
+                );
             }
             out
         }
@@ -247,10 +260,17 @@ mod tests {
             StreamOrder::Uniform(42),
             StreamOrder::GreedyTrap,
             StreamOrder::BlockShuffled { block: 3, seed: 1 },
-            StreamOrder::BlockShuffled { block: 1000, seed: 1 },
+            StreamOrder::BlockShuffled {
+                block: 1000,
+                seed: 1,
+            },
         ] {
             let edges = order_edges(&inst, order);
-            assert!(is_permutation(&inst, &edges), "order {:?} lost edges", order);
+            assert!(
+                is_permutation(&inst, &edges),
+                "order {:?} lost edges",
+                order
+            );
         }
     }
 
@@ -264,15 +284,84 @@ mod tests {
         // different from set-arrival for this instance.
         let big = order_edges(
             &inst,
-            StreamOrder::BlockShuffled { block: inst.num_edges(), seed: 7 },
+            StreamOrder::BlockShuffled {
+                block: inst.num_edges(),
+                seed: 7,
+            },
         );
         assert_ne!(big, b1);
         // Deterministic per seed.
         assert_eq!(
             big,
-            order_edges(&inst, StreamOrder::BlockShuffled { block: inst.num_edges(), seed: 7 })
+            order_edges(
+                &inst,
+                StreamOrder::BlockShuffled {
+                    block: inst.num_edges(),
+                    seed: 7
+                }
+            )
         );
-        assert_eq!(StreamOrder::BlockShuffled { block: 4, seed: 0 }.name(), "block-shuffled");
+        assert_eq!(
+            StreamOrder::BlockShuffled { block: 4, seed: 0 }.name(),
+            "block-shuffled"
+        );
+    }
+
+    /// Reference (pre-optimization) interleaving: rescan all m sets per
+    /// round. Kept as the spec the live-list version must match.
+    fn interleaved_naive(inst: &SetCoverInstance) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(inst.num_edges());
+        let mut round = 0usize;
+        loop {
+            let mut emitted = false;
+            for s in 0..inst.m() as u32 {
+                let sid = crate::ids::SetId(s);
+                if let Some(&u) = inst.set(sid).get(round) {
+                    out.push(Edge { set: sid, elem: u });
+                    emitted = true;
+                }
+            }
+            if !emitted {
+                break;
+            }
+            round += 1;
+        }
+        out
+    }
+
+    #[test]
+    fn interleaved_matches_naive_on_skewed_instance() {
+        // Zipf-like skew: set 0 covers the whole universe, the rest are
+        // tiny — the regime where rescanning all m sets per round was
+        // O(m × max-set-size). The live-list version must be the exact
+        // same stream, not merely a permutation.
+        let n = 512;
+        let m = 300;
+        let mut b = InstanceBuilder::new(m, n);
+        b.add_set_elems(0, 0..n as u32); // one giant set: n rounds
+        for s in 1..m {
+            b.add_set_elems(s as u32, [(s % n) as u32, ((s * 7) % n) as u32]);
+        }
+        let inst = b.build().unwrap();
+        let edges = order_edges(&inst, StreamOrder::Interleaved);
+        assert_eq!(edges, interleaved_naive(&inst));
+        assert!(is_permutation(&inst, &edges));
+    }
+
+    #[test]
+    fn interleaved_matches_naive_with_empty_and_uneven_sets() {
+        // Mix of sizes including size-0 sets (never emitted, retired
+        // before round 0) and ties; also exercises retire-in-place order.
+        let mut b = InstanceBuilder::new(6, 8);
+        b.add_set_elems(0, [0, 1, 2, 3, 4, 5, 6, 7]);
+        // set 1 left empty
+        b.add_set_elems(2, [3]);
+        b.add_set_elems(3, [4, 5, 6]);
+        // set 4 left empty
+        b.add_set_elems(5, [7, 0]);
+        let inst = b.build().unwrap();
+        let edges = order_edges(&inst, StreamOrder::Interleaved);
+        assert_eq!(edges, interleaved_naive(&inst));
     }
 
     #[test]

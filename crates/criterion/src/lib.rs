@@ -1,0 +1,308 @@
+//! Offline vendored stand-in for the `criterion` bench harness.
+//!
+//! The build environment has no registry access, so the real `criterion`
+//! cannot be fetched. The `benches/` targets only use a small slice of
+//! its API — groups, `Throughput::Elements`, `BenchmarkId`, `iter` — and
+//! this crate implements that slice over plain [`std::time::Instant`]
+//! sampling: per benchmark it warms up briefly, takes `sample_size`
+//! samples (each batched to outlast timer resolution), and prints
+//! `median ns/iter` plus derived element throughput.
+//!
+//! No statistical outlier analysis, no HTML reports, no baselines — this
+//! is a functional measurement harness, not a criterion replacement.
+//! `SC_BENCH_QUICK=1` caps sampling for smoke runs in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (e.g. edges) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id (the group name provides the context).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so `bench_function` accepts plain
+/// strings as well as explicit ids.
+pub trait IntoBenchmarkId {
+    /// Convert to an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// The bench context; one per `criterion_group!` run.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n## {name}");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name and throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate per-iteration throughput (reported as M/s).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time a closure-driven benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&self.name, &id.id, self.throughput);
+        self
+    }
+
+    /// Time a benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&self.name, &id.id, self.throughput);
+        self
+    }
+
+    /// End the group (no-op beyond parity with the real API).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns_per_iter: Vec<f64>,
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("SC_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        let sample_size = if quick_mode() { 2 } else { sample_size };
+        Bencher {
+            sample_size,
+            samples_ns_per_iter: Vec::with_capacity(sample_size),
+        }
+    }
+
+    /// Time `routine`, called repeatedly; its return value is consumed
+    /// (and thus not optimized away).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + batch sizing: grow the batch until one batch takes
+        // ≥ ~2ms (or a hard cap), so timer resolution is irrelevant.
+        let mut batch = 1usize;
+        let target = if quick_mode() {
+            Duration::from_micros(200)
+        } else {
+            Duration::from_millis(2)
+        };
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let el = t.elapsed();
+            if el >= target || batch >= 1 << 20 {
+                break;
+            }
+            batch = if el.is_zero() {
+                batch * 16
+            } else {
+                // Aim directly for the target with 2x headroom.
+                let scale = target.as_secs_f64() / el.as_secs_f64();
+                (batch as f64 * scale.clamp(1.5, 16.0)).ceil() as usize
+            };
+        }
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples_ns_per_iter.push(ns);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.samples_ns_per_iter.is_empty() {
+            eprintln!("{group}/{id}: no samples (routine never called iter)");
+            return;
+        }
+        let mut s = self.samples_ns_per_iter.clone();
+        s.sort_by(f64::total_cmp);
+        let median = s[s.len() / 2];
+        let min = s[0];
+        let max = s[s.len() - 1];
+        let thr = match throughput {
+            Some(Throughput::Elements(e)) => {
+                format!("  ({:.2} Melem/s)", e as f64 / median * 1e3 / 1e6)
+            }
+            Some(Throughput::Bytes(b)) => {
+                format!("  ({:.2} MB/s)", b as f64 / median * 1e3 / 1e6)
+            }
+            None => String::new(),
+        };
+        eprintln!(
+            "{group}/{id}: median {} [min {}, max {}] x{}{}",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+            s.len(),
+            thr
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Define a bench group function from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define the bench `main` from group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_and_reports() {
+        std::env::set_var("SC_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim-selftest");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(64));
+        let mut calls = 0u64;
+        g.bench_function(BenchmarkId::new("sum", 64), |b| {
+            b.iter(|| {
+                calls += 1;
+                (0..64u64).sum::<u64>()
+            })
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.bench_function("plain-str-id", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert!(calls > 0, "routine must actually run");
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.00 s");
+    }
+}

@@ -48,7 +48,13 @@ impl BlogWatchConfig {
 
 /// Generate a blog-watch workload. Deterministic in `(config, seed)`.
 pub fn blog_watch(config: &BlogWatchConfig, seed: u64) -> Workload {
-    let BlogWatchConfig { topics, blogs, aggregators, niche_topics, skew } = *config;
+    let BlogWatchConfig {
+        topics,
+        blogs,
+        aggregators,
+        niche_topics,
+        skew,
+    } = *config;
     assert!(aggregators >= 1 && aggregators <= blogs);
     assert!(niche_topics >= 1 && niche_topics <= topics);
     let mut rng = seeded_rng(derive_seed(seed, 0x424c_4f47)); // "BLOG"
@@ -104,7 +110,13 @@ mod tests {
 
     #[test]
     fn niche_blogs_are_small() {
-        let cfg = BlogWatchConfig { topics: 200, blogs: 100, aggregators: 4, niche_topics: 3, skew: 1.2 };
+        let cfg = BlogWatchConfig {
+            topics: 200,
+            blogs: 100,
+            aggregators: 4,
+            niche_topics: 3,
+            skew: 1.2,
+        };
         let w = blog_watch(&cfg, 2);
         let mut big = 0;
         for s in 0..100u32 {
@@ -112,7 +124,10 @@ mod tests {
                 big += 1;
             }
         }
-        assert!(big <= 4, "only aggregators may exceed niche size, got {big}");
+        assert!(
+            big <= 4,
+            "only aggregators may exceed niche size, got {big}"
+        );
     }
 
     #[test]

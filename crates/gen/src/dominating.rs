@@ -134,8 +134,9 @@ mod tests {
         // checking that some choice of 8 sets covers the universe — here we
         // exploit construction: sets with the 8 largest sizes are the hubs
         // w.h.p. at this noise level.
-        let mut sizes: Vec<(usize, u32)> =
-            (0..200u32).map(|s| (w.instance.set_size(SetId(s)), s)).collect();
+        let mut sizes: Vec<(usize, u32)> = (0..200u32)
+            .map(|s| (w.instance.set_size(SetId(s)), s))
+            .collect();
         sizes.sort_unstable_by(|a, b| b.cmp(a));
         let mut covered = [false; 200];
         for &(_, s) in sizes.iter().take(8) {
@@ -157,6 +158,9 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        assert_eq!(gnp(30, 0.2, 7).instance.edge_vec(), gnp(30, 0.2, 7).instance.edge_vec());
+        assert_eq!(
+            gnp(30, 0.2, 7).instance.edge_vec(),
+            gnp(30, 0.2, 7).instance.edge_vec()
+        );
     }
 }

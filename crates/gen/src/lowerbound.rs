@@ -109,7 +109,9 @@ impl LbFamily {
         for &u in self.set(i) {
             in_set[u as usize] = true;
         }
-        (0..self.config.n as u32).filter(|&u| !in_set[u as usize]).collect()
+        (0..self.config.n as u32)
+            .filter(|&u| !in_set[u as usize])
+            .collect()
     }
 
     /// `|T_i^r ∩ T_j|` for one triple (the Lemma 1 quantity).
@@ -118,7 +120,10 @@ impl LbFamily {
         for &u in self.set(j) {
             in_j[u as usize] = true;
         }
-        self.part(i, r).iter().filter(|&&u| in_j[u as usize]).count()
+        self.part(i, r)
+            .iter()
+            .filter(|&&u| in_j[u as usize])
+            .count()
     }
 
     /// The maximum `|T_i^r ∩ T_j|` over `pairs` random triples `(i, r, j)`
@@ -143,8 +148,11 @@ impl LbFamily {
             for &u in self.set(j) {
                 in_j[u as usize] = generation;
             }
-            let inter =
-                self.part(i, r).iter().filter(|&&u| in_j[u as usize] == generation).count();
+            let inter = self
+                .part(i, r)
+                .iter()
+                .filter(|&&u| in_j[u as usize] == generation)
+                .count();
             max = max.max(inter);
         }
         max
@@ -183,7 +191,14 @@ mod tests {
     use super::*;
 
     fn small() -> LbFamily {
-        LbFamily::generate(LbFamilyConfig { n: 400, m: 30, t: 4 }, 11)
+        LbFamily::generate(
+            LbFamilyConfig {
+                n: 400,
+                m: 30,
+                t: 4,
+            },
+            11,
+        )
     }
 
     #[test]
@@ -248,7 +263,11 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let cfg = LbFamilyConfig { n: 100, m: 10, t: 4 };
+        let cfg = LbFamilyConfig {
+            n: 100,
+            m: 10,
+            t: 4,
+        };
         let a = LbFamily::generate(cfg, 5);
         let b = LbFamily::generate(cfg, 5);
         for i in 0..10 {

@@ -71,7 +71,13 @@ pub struct PlantedInstance {
 
 /// Generate a planted instance. Deterministic in `(config, seed)`.
 pub fn planted(config: &PlantedConfig, seed: u64) -> PlantedInstance {
-    let PlantedConfig { n, m, opt, decoy_size: (dlo, dhi), shuffle_ids } = *config;
+    let PlantedConfig {
+        n,
+        m,
+        opt,
+        decoy_size: (dlo, dhi),
+        shuffle_ids,
+    } = *config;
     assert!(opt >= 1 && m >= opt && n >= opt);
 
     let mut rng = seeded_rng(derive_seed(seed, xp_lanted()));
@@ -97,15 +103,25 @@ pub fn planted(config: &PlantedConfig, seed: u64) -> PlantedInstance {
 
     // Decoys: uniform random elements, sizes uniform in [dlo, dhi].
     for &sid in ids.iter().take(m).skip(opt) {
-        let size = if dlo == dhi { dlo } else { rng.random_range(dlo..=dhi) };
+        let size = if dlo == dhi {
+            dlo
+        } else {
+            rng.random_range(dlo..=dhi)
+        };
         for _ in 0..size {
             let u = rng.random_range(0..n as u32);
             builder.add_edge(SetId(sid), u.into());
         }
     }
 
-    let instance = builder.build().expect("planted construction is always feasible");
-    let opt_hint = if dhi <= block { OptHint::Exact(opt) } else { OptHint::UpperBound(opt) };
+    let instance = builder
+        .build()
+        .expect("planted construction is always feasible");
+    let opt_hint = if dhi <= block {
+        OptHint::Exact(opt)
+    } else {
+        OptHint::UpperBound(opt)
+    };
     planted_sets.sort_unstable();
     PlantedInstance {
         workload: Workload {
@@ -140,7 +156,10 @@ mod tests {
                 covered[u.index()] += 1;
             }
         }
-        assert!(covered.iter().all(|&c| c == 1), "planted blocks must partition U");
+        assert!(
+            covered.iter().all(|&c| c == 1),
+            "planted blocks must partition U"
+        );
     }
 
     #[test]
@@ -164,7 +183,10 @@ mod tests {
         // needs >= n / block = opt sets.
         let p = planted(&PlantedConfig::exact(64, 128, 8), 11);
         let inst = &p.workload.instance;
-        let max_size = (0..inst.m() as u32).map(|s| inst.set_size(SetId(s))).max().unwrap();
+        let max_size = (0..inst.m() as u32)
+            .map(|s| inst.set_size(SetId(s)))
+            .max()
+            .unwrap();
         assert!(max_size <= 8);
         // n / max_size >= 8 = opt
         assert!(inst.n().div_ceil(max_size) >= 8);
@@ -176,7 +198,10 @@ mod tests {
         let a = planted(&cfg, 9);
         let b = planted(&cfg, 9);
         assert_eq!(a.planted_sets, b.planted_sets);
-        assert_eq!(a.workload.instance.num_edges(), b.workload.instance.num_edges());
+        assert_eq!(
+            a.workload.instance.num_edges(),
+            b.workload.instance.num_edges()
+        );
         let c = planted(&cfg, 10);
         // Different seed should (overwhelmingly) give different decoys.
         assert!(

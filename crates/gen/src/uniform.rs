@@ -28,26 +28,42 @@ pub struct UniformConfig {
 impl UniformConfig {
     /// Sets of a fixed size.
     pub fn fixed(n: usize, m: usize, size: usize) -> Self {
-        UniformConfig { n, m, set_size: (size, size) }
+        UniformConfig {
+            n,
+            m,
+            set_size: (size, size),
+        }
     }
 
     /// Sets with sizes uniform in `[lo, hi]`.
     pub fn ranged(n: usize, m: usize, lo: usize, hi: usize) -> Self {
         assert!(1 <= lo && lo <= hi && hi <= n);
-        UniformConfig { n, m, set_size: (lo, hi) }
+        UniformConfig {
+            n,
+            m,
+            set_size: (lo, hi),
+        }
     }
 }
 
 /// Generate a uniform random instance. Deterministic in `(config, seed)`.
 pub fn uniform(config: &UniformConfig, seed: u64) -> Workload {
-    let UniformConfig { n, m, set_size: (lo, hi) } = *config;
+    let UniformConfig {
+        n,
+        m,
+        set_size: (lo, hi),
+    } = *config;
     assert!(m >= 1 && n >= 1 && lo >= 1 && hi >= lo && hi <= n);
     let mut rng = seeded_rng(derive_seed(seed, 0x0055_4e49_464f_524d)); // "UNIFORM"
 
     let mut builder = InstanceBuilder::new(m, n);
     let mut covered = vec![false; n];
     for s in 0..m as u32 {
-        let size = if lo == hi { lo } else { rng.random_range(lo..=hi) };
+        let size = if lo == hi {
+            lo
+        } else {
+            rng.random_range(lo..=hi)
+        };
         for _ in 0..size {
             let u = rng.random_range(0..n as u32);
             covered[u as usize] = true;
@@ -64,7 +80,9 @@ pub fn uniform(config: &UniformConfig, seed: u64) -> Workload {
 
     Workload {
         label: format!("uniform(n={n},m={m},size={lo}..={hi})"),
-        instance: builder.build().expect("patched uniform instance is feasible"),
+        instance: builder
+            .build()
+            .expect("patched uniform instance is feasible"),
         opt: OptHint::Unknown,
     }
 }
@@ -96,7 +114,10 @@ mod tests {
             // Chernoff margin rather than the bare mean.
             let mean_patch = 1000.0 * (-0.3f64).exp() / 30.0;
             let bound = 10.0 + setcover_core::math::chernoff_upper(mean_patch, 1e-9);
-            assert!(sz >= 1 && (sz as f64) <= bound, "set {s} size {sz} above {bound}");
+            assert!(
+                sz >= 1 && (sz as f64) <= bound,
+                "set {s} size {sz} above {bound}"
+            );
         }
         // Totals are conserved: base draws + one edge per patched element.
         assert!(patched <= 30 * 10 + 1000);
@@ -105,13 +126,19 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let cfg = UniformConfig::ranged(100, 40, 1, 10);
-        assert_eq!(uniform(&cfg, 5).instance.edge_vec(), uniform(&cfg, 5).instance.edge_vec());
+        assert_eq!(
+            uniform(&cfg, 5).instance.edge_vec(),
+            uniform(&cfg, 5).instance.edge_vec()
+        );
     }
 
     #[test]
     fn different_seeds_differ() {
         let cfg = UniformConfig::ranged(100, 40, 1, 10);
-        assert_ne!(uniform(&cfg, 5).instance.edge_vec(), uniform(&cfg, 6).instance.edge_vec());
+        assert_ne!(
+            uniform(&cfg, 5).instance.edge_vec(),
+            uniform(&cfg, 6).instance.edge_vec()
+        );
     }
 
     #[test]

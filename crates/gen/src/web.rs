@@ -53,7 +53,14 @@ impl WebConfig {
 
 /// Generate a double-power-law instance. Deterministic in `(config, seed)`.
 pub fn web_crawl(config: &WebConfig, seed: u64) -> Workload {
-    let WebConfig { n, m, beta, theta, max_set_size, spine } = *config;
+    let WebConfig {
+        n,
+        m,
+        beta,
+        theta,
+        max_set_size,
+        spine,
+    } = *config;
     assert!(spine >= 1 && spine <= m && spine <= n);
     assert!(max_set_size >= 1 && max_set_size <= n);
     let mut rng = seeded_rng(derive_seed(seed, 0x0057_4542)); // "WEB"
@@ -84,8 +91,7 @@ pub fn web_crawl(config: &WebConfig, seed: u64) -> Workload {
 
     // Tail: power-law sizes, power-law element draws.
     for (rank, &sid) in ids.iter().enumerate().skip(spine) {
-        let size = ((max_set_size as f64 / ((rank - spine + 1) as f64).powf(beta)).ceil()
-            as usize)
+        let size = ((max_set_size as f64 / ((rank - spine + 1) as f64).powf(beta)).ceil() as usize)
             .clamp(1, max_set_size);
         for _ in 0..size {
             let x = rng.random::<f64>() * total;
@@ -118,8 +124,9 @@ mod tests {
     #[test]
     fn set_sizes_are_heavy_tailed() {
         let w = web_crawl(&WebConfig::crawl(1000, 800), 2);
-        let mut sizes: Vec<usize> =
-            (0..w.instance.m() as u32).map(|s| w.instance.set_size(SetId(s))).collect();
+        let mut sizes: Vec<usize> = (0..w.instance.m() as u32)
+            .map(|s| w.instance.set_size(SetId(s)))
+            .collect();
         sizes.sort_unstable_by(|a, b| b.cmp(a));
         // Head much larger than median.
         let head = sizes[0];
@@ -148,7 +155,13 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let cfg = WebConfig::crawl(200, 150);
-        assert_eq!(web_crawl(&cfg, 9).instance.edge_vec(), web_crawl(&cfg, 9).instance.edge_vec());
-        assert_ne!(web_crawl(&cfg, 9).instance.edge_vec(), web_crawl(&cfg, 10).instance.edge_vec());
+        assert_eq!(
+            web_crawl(&cfg, 9).instance.edge_vec(),
+            web_crawl(&cfg, 9).instance.edge_vec()
+        );
+        assert_ne!(
+            web_crawl(&cfg, 9).instance.edge_vec(),
+            web_crawl(&cfg, 10).instance.edge_vec()
+        );
     }
 }

@@ -33,7 +33,12 @@ pub struct ZipfConfig {
 
 /// Generate a Zipf-degree instance. Deterministic in `(config, seed)`.
 pub fn zipf(config: &ZipfConfig, seed: u64) -> Workload {
-    let ZipfConfig { n, m, set_size, theta } = *config;
+    let ZipfConfig {
+        n,
+        m,
+        set_size,
+        theta,
+    } = *config;
     assert!(n >= 1 && m >= 1 && set_size >= 1 && set_size <= n && theta >= 0.0);
     let mut rng = seeded_rng(derive_seed(seed, 0x5a49_5046)); // "ZIPF"
 
@@ -91,7 +96,15 @@ mod tests {
 
     #[test]
     fn generates_feasible_instance() {
-        let w = zipf(&ZipfConfig { n: 300, m: 60, set_size: 8, theta: 1.1 }, 3);
+        let w = zipf(
+            &ZipfConfig {
+                n: 300,
+                m: 60,
+                set_size: 8,
+                theta: 1.1,
+            },
+            3,
+        );
         for u in 0..w.instance.n() as u32 {
             assert!(w.instance.elem_degree(ElemId(u)) >= 1);
         }
@@ -99,7 +112,15 @@ mod tests {
 
     #[test]
     fn skew_creates_high_degree_heads() {
-        let w = zipf(&ZipfConfig { n: 500, m: 400, set_size: 10, theta: 1.3 }, 7);
+        let w = zipf(
+            &ZipfConfig {
+                n: 500,
+                m: 400,
+                set_size: 10,
+                theta: 1.3,
+            },
+            7,
+        );
         let st = w.instance.stats();
         // With theta = 1.3 the head element's degree should far exceed the
         // mean degree.
@@ -113,21 +134,48 @@ mod tests {
 
     #[test]
     fn theta_zero_is_roughly_uniform() {
-        let w = zipf(&ZipfConfig { n: 500, m: 400, set_size: 10, theta: 0.0 }, 7);
+        let w = zipf(
+            &ZipfConfig {
+                n: 500,
+                m: 400,
+                set_size: 10,
+                theta: 0.0,
+            },
+            7,
+        );
         let st = w.instance.stats();
         assert!((st.max_elem_degree as f64) < 6.0 * st.avg_elem_degree);
     }
 
     #[test]
     fn deterministic_in_seed() {
-        let cfg = ZipfConfig { n: 100, m: 20, set_size: 5, theta: 1.0 };
-        assert_eq!(zipf(&cfg, 4).instance.edge_vec(), zipf(&cfg, 4).instance.edge_vec());
-        assert_ne!(zipf(&cfg, 4).instance.edge_vec(), zipf(&cfg, 5).instance.edge_vec());
+        let cfg = ZipfConfig {
+            n: 100,
+            m: 20,
+            set_size: 5,
+            theta: 1.0,
+        };
+        assert_eq!(
+            zipf(&cfg, 4).instance.edge_vec(),
+            zipf(&cfg, 4).instance.edge_vec()
+        );
+        assert_ne!(
+            zipf(&cfg, 4).instance.edge_vec(),
+            zipf(&cfg, 5).instance.edge_vec()
+        );
     }
 
     #[test]
     fn sets_have_requested_size() {
-        let w = zipf(&ZipfConfig { n: 1000, m: 50, set_size: 12, theta: 0.8 }, 9);
+        let w = zipf(
+            &ZipfConfig {
+                n: 1000,
+                m: 50,
+                set_size: 12,
+                theta: 0.8,
+            },
+            9,
+        );
         let mut at_size = 0;
         for s in 0..50u32 {
             if w.instance.set_size(SetId(s)) >= 12 {

@@ -1,0 +1,308 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The workspace originally pinned `rand = "0.10"`, which does not resolve:
+//! no `0.10.x` release of `rand` exists on crates.io, and the build
+//! environment has no registry access at all. Rather than rewrite every
+//! call site, this crate implements — under the same paths — exactly the
+//! API surface the workspace uses:
+//!
+//! * [`rngs::SmallRng`] seeded via [`SeedableRng::seed_from_u64`];
+//! * [`RngExt::random`] for the primitive types we sample;
+//! * [`RngExt::random_range`] over half-open and inclusive integer ranges;
+//! * [`seq::SliceRandom::shuffle`] (Fisher–Yates).
+//!
+//! The generator is xoshiro256++ (the same family the real `SmallRng`
+//! uses on 64-bit targets) seeded through SplitMix64, so statistical
+//! quality is adequate for Bernoulli sampling and shuffles. Streams are
+//! **stable across releases of this workspace by policy**: experiment
+//! reports and seeded tests rely on `seed_from_u64(s)` producing the same
+//! stream forever. Do not change the generator without regenerating every
+//! checked-in result.
+//!
+//! This is *not* a general-purpose `rand` replacement: anything outside
+//! the surface above (weighted distributions, `fill_bytes`, thread-local
+//! RNGs, ...) is intentionally absent so that accidental new uses fail
+//! loudly at compile time and get a deliberate decision.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs;
+pub mod seq;
+
+/// A random number generator yielding 64-bit outputs.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`'s `seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Construct the generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from an RNG's raw output, mirroring the
+/// `StandardUniform` distribution of the real crate.
+pub trait Random: Sized {
+    /// Draw one value.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for u64 {
+    #[inline]
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    #[inline]
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for usize {
+    #[inline]
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Random for bool {
+    #[inline]
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integers samplable from a bounded range.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi]` (both inclusive). `lo <= hi` is the
+    /// caller's responsibility.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Unbiased draw from `[0, span]` (inclusive) via Lemire-style widening
+/// multiplication with rejection.
+#[inline]
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == u64::MAX {
+        return rng.next_u64();
+    }
+    let bound = span + 1; // number of distinct values
+    let mut x = rng.next_u64();
+    let mut m = (x as u128) * (bound as u128);
+    let mut low = m as u64;
+    if low < bound {
+        // Reject the biased low region (Lemire's method): afterwards each
+        // of the `bound` values is hit by exactly floor(2^64/bound) inputs.
+        let threshold = bound.wrapping_neg() % bound;
+        while low < threshold {
+            x = rng.next_u64();
+            m = (x as u128) * (bound as u128);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                lo.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as $u).wrapping_sub(lo as $u);
+                lo.wrapping_add(bounded_u64(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Ranges usable with [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw a value uniformly from the range. Panics on empty ranges.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt + Decrement> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        // Non-empty half-open range == inclusive range up to `end - 1`.
+        T::sample_inclusive(rng, self.start, self.end.decrement())
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Decrement, used to convert half-open range bounds to inclusive ones.
+pub trait Decrement {
+    /// `self - 1` (wrapping; callers guarantee non-empty ranges).
+    fn decrement(self) -> Self;
+}
+
+macro_rules! impl_decrement {
+    ($($t:ty),*) => {$(
+        impl Decrement for $t {
+            #[inline]
+            fn decrement(self) -> Self {
+                self.wrapping_sub(1)
+            }
+        }
+    )*};
+}
+
+impl_decrement!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience methods on any RNG, mirroring the `Rng` extension trait.
+pub trait RngExt: RngCore {
+    /// Sample a value of type `T` from the standard distribution
+    /// (uniform over the type's bit patterns / `[0,1)` for floats).
+    #[inline]
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Sample uniformly from a range: `rng.random_range(0..n)` or
+    /// `rng.random_range(lo..=hi)`.
+    #[inline]
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        p >= 1.0 || (p > 0.0 && self.random::<f64>() < p)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let trials = 100_000;
+        let sum: f64 = (0..trials).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / trials as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let x: usize = rng.random_range(0..10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..10 should appear");
+        for _ in 0..1_000 {
+            let x: u32 = rng.random_range(5..=7);
+            assert!((5..=7).contains(&x));
+        }
+        // Single-value ranges are fine.
+        assert_eq!(rng.random_range(4usize..5), 4);
+        assert_eq!(rng.random_range(9u64..=9), 9);
+    }
+
+    #[test]
+    fn range_sampling_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = [0usize; 8];
+        let trials = 80_000;
+        for _ in 0..trials {
+            counts[rng.random_range(0usize..8)] += 1;
+        }
+        let expected = trials / 8;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected as f64).abs() / expected as f64;
+            assert!(dev < 0.05, "bucket {i} count {c} deviates {dev:.3}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let _: usize = rng.random_range(3..3);
+    }
+
+    #[test]
+    fn signed_ranges_work() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..1_000 {
+            let x: i32 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&x));
+        }
+    }
+}

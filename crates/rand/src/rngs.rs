@@ -1,0 +1,79 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, non-cryptographic PRNG: xoshiro256++ (Blackman &
+/// Vigna), the algorithm behind the real `SmallRng` on 64-bit targets.
+/// 256 bits of state, period 2^256 − 1, passes BigCrush.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the seed through SplitMix64, as the xoshiro authors
+        // recommend; guarantees the all-zero state is unreachable.
+        let mut sm = seed;
+        SmallRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_zero_state_is_unreachable_from_seeding() {
+        for seed in [0u64, 1, u64::MAX] {
+            let rng = SmallRng::seed_from_u64(seed);
+            assert_ne!(rng.s, [0, 0, 0, 0]);
+        }
+    }
+
+    #[test]
+    fn outputs_are_well_spread() {
+        // Cheap sanity check: 64 outputs from seed 0 are distinct and not
+        // obviously degenerate (some high and low bits vary).
+        let mut rng = SmallRng::seed_from_u64(0);
+        let xs: Vec<u64> = (0..64).map(|_| rng.next_u64()).collect();
+        let mut dedup = xs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), xs.len());
+        assert!(xs.iter().any(|x| x >> 63 == 1) && xs.iter().any(|x| x >> 63 == 0));
+        assert!(xs.iter().any(|x| x & 1 == 1) && xs.iter().any(|x| x & 1 == 0));
+    }
+}

@@ -1,0 +1,68 @@
+//! Sequence helpers (shuffling).
+
+use crate::{RngCore, RngExt};
+
+/// Slice extension trait providing an in-place uniform shuffle.
+pub trait SliceRandom {
+    /// Shuffle the slice in place (Fisher–Yates), uniformly over all
+    /// permutations given a uniform RNG.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_deterministic() {
+        let mut a: Vec<u32> = (0..100).collect();
+        let mut b: Vec<u32> = (0..100).collect();
+        a.shuffle(&mut SmallRng::seed_from_u64(9));
+        b.shuffle(&mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            (0..100).collect::<Vec<_>>(),
+            "overwhelmingly unlikely to be identity"
+        );
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_handles_tiny_slices() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut empty: [u32; 0] = [];
+        empty.shuffle(&mut rng);
+        let mut one = [42];
+        one.shuffle(&mut rng);
+        assert_eq!(one, [42]);
+    }
+
+    #[test]
+    fn shuffle_positions_are_roughly_uniform() {
+        // Element 0's final position should be ~uniform over 0..8.
+        let mut counts = [0usize; 8];
+        for seed in 0..8_000u64 {
+            let mut v: Vec<usize> = (0..8).collect();
+            v.shuffle(&mut SmallRng::seed_from_u64(seed));
+            counts[v.iter().position(|&x| x == 0).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - 1000.0).abs() / 1000.0;
+            assert!(dev < 0.15, "position {i} count {c}");
+        }
+    }
+}

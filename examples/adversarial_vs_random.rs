@@ -22,7 +22,10 @@ fn main() {
     );
     println!("√n = {}, m/√n = {}\n", isqrt(n), m / isqrt(n));
 
-    println!("{:<24} {:>10} {:>16} {:>8}", "run", "cover", "space (words)", "valid");
+    println!(
+        "{:<24} {:>10} {:>16} {:>8}",
+        "run", "cover", "space (words)", "valid"
+    );
     for (label, order) in [
         ("random order", StreamOrder::Uniform(3)),
         ("adversarial interleave", StreamOrder::Interleaved),

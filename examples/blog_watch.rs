@@ -28,10 +28,16 @@ fn main() {
     let w = blog_watch(&cfg, 7);
     let inst = &w.instance;
     println!("{}: N = {} crawl records", w.label, inst.num_edges());
-    println!("a reading list of {} aggregator blogs covers everything\n", cfg.aggregators);
+    println!(
+        "a reading list of {} aggregator blogs covers everything\n",
+        cfg.aggregators
+    );
 
     let greedy = greedy_cover(inst);
-    println!("offline greedy reading list:       {:>5} blogs", greedy.size());
+    println!(
+        "offline greedy reading list:       {:>5} blogs",
+        greedy.size()
+    );
 
     // The realistic crawl order: (blog, topic) records interleaved.
     let crawl = StreamOrder::Uniform(21);

@@ -25,9 +25,16 @@ fn main() {
     println!("planted dominating set size: {hubs}\n");
 
     let greedy = greedy_cover(inst);
-    println!("offline greedy:        {:>5} sets (reference)", greedy.size());
+    println!(
+        "offline greedy:        {:>5} sets (reference)",
+        greedy.size()
+    );
 
-    for order in [StreamOrder::Uniform(5), StreamOrder::Interleaved, StreamOrder::GreedyTrap] {
+    for order in [
+        StreamOrder::Uniform(5),
+        StreamOrder::Interleaved,
+        StreamOrder::GreedyTrap,
+    ] {
         let kk = run_streaming(KkSolver::new(inst.m(), inst.n(), 3), stream_of(inst, order));
         kk.cover.verify(inst).expect("valid dominating set");
         println!(
@@ -54,7 +61,9 @@ fn main() {
     let mut x = 1u64;
     for _ in 0..10_000 {
         // Tiny LCG for reproducible chords without pulling in rand here.
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let a = ((x >> 33) as u32) % n_graph as u32;
         let b = ((x >> 13) as u32) % n_graph as u32;
         if a != b {

@@ -36,9 +36,16 @@ fn main() {
     let outcome = run_streaming(solver, stream);
 
     // Every element has a certified covering set.
-    outcome.cover.verify(&instance).expect("cover must be valid");
+    outcome
+        .cover
+        .verify(&instance)
+        .expect("cover must be valid");
 
-    println!("cover: {} sets {:?}", outcome.cover.size(), outcome.cover.sets());
+    println!(
+        "cover: {} sets {:?}",
+        outcome.cover.size(),
+        outcome.cover.sets()
+    );
     println!("peak space: {}", outcome.space);
     for u in [ElemId(0), ElemId(7)] {
         let w: SetId = outcome.cover.witness(u).unwrap();

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-4113e382234d5a28.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-4113e382234d5a28: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

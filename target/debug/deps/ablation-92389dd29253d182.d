@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-92389dd29253d182.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-92389dd29253d182: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

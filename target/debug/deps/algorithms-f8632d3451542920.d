@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algorithms-f8632d3451542920.d: crates/bench/benches/algorithms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgorithms-f8632d3451542920.rmeta: crates/bench/benches/algorithms.rs Cargo.toml
+
+crates/bench/benches/algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alpha_sweep-02329f502a052d10.d: crates/bench/src/bin/alpha_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalpha_sweep-02329f502a052d10.rmeta: crates/bench/src/bin/alpha_sweep.rs Cargo.toml
+
+crates/bench/src/bin/alpha_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

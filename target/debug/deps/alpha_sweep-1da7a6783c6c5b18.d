@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alpha_sweep-1da7a6783c6c5b18.d: crates/bench/src/bin/alpha_sweep.rs
+
+/root/repo/target/debug/deps/alpha_sweep-1da7a6783c6c5b18: crates/bench/src/bin/alpha_sweep.rs
+
+crates/bench/src/bin/alpha_sweep.rs:

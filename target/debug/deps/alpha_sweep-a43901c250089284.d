@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alpha_sweep-a43901c250089284.d: crates/bench/src/bin/alpha_sweep.rs
+
+/root/repo/target/debug/deps/alpha_sweep-a43901c250089284: crates/bench/src/bin/alpha_sweep.rs
+
+crates/bench/src/bin/alpha_sweep.rs:

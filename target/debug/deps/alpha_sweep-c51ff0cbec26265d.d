@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alpha_sweep-c51ff0cbec26265d.d: crates/bench/src/bin/alpha_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalpha_sweep-c51ff0cbec26265d.rmeta: crates/bench/src/bin/alpha_sweep.rs Cargo.toml
+
+crates/bench/src/bin/alpha_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

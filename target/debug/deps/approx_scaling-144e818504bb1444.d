@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/approx_scaling-144e818504bb1444.d: crates/bench/src/bin/approx_scaling.rs
+
+/root/repo/target/debug/deps/approx_scaling-144e818504bb1444: crates/bench/src/bin/approx_scaling.rs
+
+crates/bench/src/bin/approx_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/approx_scaling-814bb5e7ce186c1e.d: crates/bench/src/bin/approx_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapprox_scaling-814bb5e7ce186c1e.rmeta: crates/bench/src/bin/approx_scaling.rs Cargo.toml
+
+crates/bench/src/bin/approx_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/approx_scaling-914d8830cdb70c16.d: crates/bench/src/bin/approx_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapprox_scaling-914d8830cdb70c16.rmeta: crates/bench/src/bin/approx_scaling.rs Cargo.toml
+
+crates/bench/src/bin/approx_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/approx_scaling-ecc8109424e32a58.d: crates/bench/src/bin/approx_scaling.rs
+
+/root/repo/target/debug/deps/approx_scaling-ecc8109424e32a58: crates/bench/src/bin/approx_scaling.rs
+
+crates/bench/src/bin/approx_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/certificate_validity-37fe4faa55eb779d.d: crates/bench/../../tests/certificate_validity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcertificate_validity-37fe4faa55eb779d.rmeta: crates/bench/../../tests/certificate_validity.rs Cargo.toml
+
+crates/bench/../../tests/certificate_validity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/certificate_validity-d3d2121aab2c2f9c.d: crates/bench/../../tests/certificate_validity.rs
+
+/root/repo/target/debug/deps/certificate_validity-d3d2121aab2c2f9c: crates/bench/../../tests/certificate_validity.rs
+
+crates/bench/../../tests/certificate_validity.rs:

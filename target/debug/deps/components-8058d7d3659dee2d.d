@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/components-8058d7d3659dee2d.d: crates/bench/benches/components.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomponents-8058d7d3659dee2d.rmeta: crates/bench/benches/components.rs Cargo.toml
+
+crates/bench/benches/components.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

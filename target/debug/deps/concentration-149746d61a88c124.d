@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concentration-149746d61a88c124.d: crates/bench/src/bin/concentration.rs
+
+/root/repo/target/debug/deps/concentration-149746d61a88c124: crates/bench/src/bin/concentration.rs
+
+crates/bench/src/bin/concentration.rs:

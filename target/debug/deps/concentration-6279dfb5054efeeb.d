@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concentration-6279dfb5054efeeb.d: crates/bench/src/bin/concentration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcentration-6279dfb5054efeeb.rmeta: crates/bench/src/bin/concentration.rs Cargo.toml
+
+crates/bench/src/bin/concentration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concentration-b2f1cf4bc6fe0fbc.d: crates/bench/src/bin/concentration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcentration-b2f1cf4bc6fe0fbc.rmeta: crates/bench/src/bin/concentration.rs Cargo.toml
+
+crates/bench/src/bin/concentration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concentration-eac206972daf7cb8.d: crates/bench/src/bin/concentration.rs
+
+/root/repo/target/debug/deps/concentration-eac206972daf7cb8: crates/bench/src/bin/concentration.rs
+
+crates/bench/src/bin/concentration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gen_instance-0a500d4bb6766d6a.d: crates/bench/src/bin/gen_instance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgen_instance-0a500d4bb6766d6a.rmeta: crates/bench/src/bin/gen_instance.rs Cargo.toml
+
+crates/bench/src/bin/gen_instance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gen_instance-49f3d44609b8f047.d: crates/bench/src/bin/gen_instance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgen_instance-49f3d44609b8f047.rmeta: crates/bench/src/bin/gen_instance.rs Cargo.toml
+
+crates/bench/src/bin/gen_instance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_instance-547f655604221e11.d: crates/bench/src/bin/gen_instance.rs
+
+/root/repo/target/debug/deps/gen_instance-547f655604221e11: crates/bench/src/bin/gen_instance.rs
+
+crates/bench/src/bin/gen_instance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_instance-9dab7cb40e88439a.d: crates/bench/src/bin/gen_instance.rs
+
+/root/repo/target/debug/deps/gen_instance-9dab7cb40e88439a: crates/bench/src/bin/gen_instance.rs
+
+crates/bench/src/bin/gen_instance.rs:

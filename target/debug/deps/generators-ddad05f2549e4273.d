@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generators-ddad05f2549e4273.d: crates/bench/benches/generators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerators-ddad05f2549e4273.rmeta: crates/bench/benches/generators.rs Cargo.toml
+
+crates/bench/benches/generators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-3aaf367f86ef3ea8.d: crates/bench/src/bin/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-3aaf367f86ef3ea8.rmeta: crates/bench/src/bin/invariants.rs Cargo.toml
+
+crates/bench/src/bin/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-bf1dfde21ad2bbdc.d: crates/bench/src/bin/invariants.rs
+
+/root/repo/target/debug/deps/invariants-bf1dfde21ad2bbdc: crates/bench/src/bin/invariants.rs
+
+crates/bench/src/bin/invariants.rs:

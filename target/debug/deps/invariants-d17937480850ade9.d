@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-d17937480850ade9.d: crates/bench/src/bin/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-d17937480850ade9.rmeta: crates/bench/src/bin/invariants.rs Cargo.toml
+
+crates/bench/src/bin/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-ec754204109c7f61.d: crates/bench/src/bin/invariants.rs
+
+/root/repo/target/debug/deps/invariants-ec754204109c7f61: crates/bench/src/bin/invariants.rs
+
+crates/bench/src/bin/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_roundtrip-d61e0fbe0544b455.d: crates/bench/../../tests/io_roundtrip.rs
+
+/root/repo/target/debug/deps/io_roundtrip-d61e0fbe0544b455: crates/bench/../../tests/io_roundtrip.rs
+
+crates/bench/../../tests/io_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/io_roundtrip-d990c07c90891f87.d: crates/bench/../../tests/io_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libio_roundtrip-d990c07c90891f87.rmeta: crates/bench/../../tests/io_roundtrip.rs Cargo.toml
+
+crates/bench/../../tests/io_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

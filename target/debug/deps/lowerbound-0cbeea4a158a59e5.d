@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lowerbound-0cbeea4a158a59e5.d: crates/bench/src/bin/lowerbound.rs
+
+/root/repo/target/debug/deps/lowerbound-0cbeea4a158a59e5: crates/bench/src/bin/lowerbound.rs
+
+crates/bench/src/bin/lowerbound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lowerbound-6907cce0032e3d50.d: crates/bench/src/bin/lowerbound.rs
+
+/root/repo/target/debug/deps/lowerbound-6907cce0032e3d50: crates/bench/src/bin/lowerbound.rs
+
+crates/bench/src/bin/lowerbound.rs:

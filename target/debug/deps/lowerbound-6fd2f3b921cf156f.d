@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lowerbound-6fd2f3b921cf156f.d: crates/bench/src/bin/lowerbound.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblowerbound-6fd2f3b921cf156f.rmeta: crates/bench/src/bin/lowerbound.rs Cargo.toml
+
+crates/bench/src/bin/lowerbound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

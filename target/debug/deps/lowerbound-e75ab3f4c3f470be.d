@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lowerbound-e75ab3f4c3f470be.d: crates/bench/src/bin/lowerbound.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblowerbound-e75ab3f4c3f470be.rmeta: crates/bench/src/bin/lowerbound.rs Cargo.toml
+
+crates/bench/src/bin/lowerbound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

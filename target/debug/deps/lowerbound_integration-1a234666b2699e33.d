@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lowerbound_integration-1a234666b2699e33.d: crates/bench/../../tests/lowerbound_integration.rs
+
+/root/repo/target/debug/deps/lowerbound_integration-1a234666b2699e33: crates/bench/../../tests/lowerbound_integration.rs
+
+crates/bench/../../tests/lowerbound_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lowerbound_integration-4f99f9a4682dd653.d: crates/bench/../../tests/lowerbound_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblowerbound_integration-4f99f9a4682dd653.rmeta: crates/bench/../../tests/lowerbound_integration.rs Cargo.toml
+
+crates/bench/../../tests/lowerbound_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/par_determinism-e5940c1d69847e33.d: crates/bench/../../tests/par_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpar_determinism-e5940c1d69847e33.rmeta: crates/bench/../../tests/par_determinism.rs Cargo.toml
+
+crates/bench/../../tests/par_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

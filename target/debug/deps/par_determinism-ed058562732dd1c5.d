@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/par_determinism-ed058562732dd1c5.d: crates/bench/../../tests/par_determinism.rs
+
+/root/repo/target/debug/deps/par_determinism-ed058562732dd1c5: crates/bench/../../tests/par_determinism.rs
+
+crates/bench/../../tests/par_determinism.rs:

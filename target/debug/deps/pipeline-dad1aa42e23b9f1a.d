@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-dad1aa42e23b9f1a.d: crates/bench/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-dad1aa42e23b9f1a: crates/bench/../../tests/pipeline.rs
+
+crates/bench/../../tests/pipeline.rs:

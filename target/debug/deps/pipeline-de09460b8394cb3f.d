@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-de09460b8394cb3f.d: crates/bench/../../tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-de09460b8394cb3f.rmeta: crates/bench/../../tests/pipeline.rs Cargo.toml
+
+crates/bench/../../tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_suite-839e7ef1701a4bd6.d: crates/bench/../../tests/property_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_suite-839e7ef1701a4bd6.rmeta: crates/bench/../../tests/property_suite.rs Cargo.toml
+
+crates/bench/../../tests/property_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_suite-a4c6c6e4a3333b2b.d: crates/bench/../../tests/property_suite.rs
+
+/root/repo/target/debug/deps/property_suite-a4c6c6e4a3333b2b: crates/bench/../../tests/property_suite.rs
+
+crates/bench/../../tests/property_suite.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rand-1cceedbd8a2e3f8e.d: crates/rand/src/lib.rs crates/rand/src/rngs.rs crates/rand/src/seq.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-1cceedbd8a2e3f8e.rmeta: crates/rand/src/lib.rs crates/rand/src/rngs.rs crates/rand/src/seq.rs Cargo.toml
+
+crates/rand/src/lib.rs:
+crates/rand/src/rngs.rs:
+crates/rand/src/seq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

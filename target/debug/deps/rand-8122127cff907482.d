@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-8122127cff907482.d: crates/rand/src/lib.rs crates/rand/src/rngs.rs crates/rand/src/seq.rs
+
+/root/repo/target/debug/deps/rand-8122127cff907482: crates/rand/src/lib.rs crates/rand/src/rngs.rs crates/rand/src/seq.rs
+
+crates/rand/src/lib.rs:
+crates/rand/src/rngs.rs:
+crates/rand/src/seq.rs:

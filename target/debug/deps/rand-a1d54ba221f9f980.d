@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rand-a1d54ba221f9f980.d: crates/rand/src/lib.rs crates/rand/src/rngs.rs crates/rand/src/seq.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-a1d54ba221f9f980.rmeta: crates/rand/src/lib.rs crates/rand/src/rngs.rs crates/rand/src/seq.rs Cargo.toml
+
+crates/rand/src/lib.rs:
+crates/rand/src/rngs.rs:
+crates/rand/src/seq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_order_integration-90fb5886c7eaf268.d: crates/bench/../../tests/random_order_integration.rs
+
+/root/repo/target/debug/deps/random_order_integration-90fb5886c7eaf268: crates/bench/../../tests/random_order_integration.rs
+
+crates/bench/../../tests/random_order_integration.rs:

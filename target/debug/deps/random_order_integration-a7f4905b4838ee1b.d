@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/random_order_integration-a7f4905b4838ee1b.d: crates/bench/../../tests/random_order_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandom_order_integration-a7f4905b4838ee1b.rmeta: crates/bench/../../tests/random_order_integration.rs Cargo.toml
+
+crates/bench/../../tests/random_order_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

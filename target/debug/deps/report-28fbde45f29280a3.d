@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-28fbde45f29280a3.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-28fbde45f29280a3: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-be1868613ba866c5.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-be1868613ba866c5: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-26c93933fcafbcac.d: crates/bench/../../tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-26c93933fcafbcac.rmeta: crates/bench/../../tests/robustness.rs Cargo.toml
+
+crates/bench/../../tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-a284ebb5eb5bc6e5.d: crates/bench/../../tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-a284ebb5eb5bc6e5: crates/bench/../../tests/robustness.rs
+
+crates/bench/../../tests/robustness.rs:

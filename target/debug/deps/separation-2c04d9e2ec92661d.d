@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/separation-2c04d9e2ec92661d.d: crates/bench/src/bin/separation.rs
+
+/root/repo/target/debug/deps/separation-2c04d9e2ec92661d: crates/bench/src/bin/separation.rs
+
+crates/bench/src/bin/separation.rs:

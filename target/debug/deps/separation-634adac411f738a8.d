@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/separation-634adac411f738a8.d: crates/bench/src/bin/separation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseparation-634adac411f738a8.rmeta: crates/bench/src/bin/separation.rs Cargo.toml
+
+crates/bench/src/bin/separation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

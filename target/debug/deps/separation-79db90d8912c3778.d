@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/separation-79db90d8912c3778.d: crates/bench/src/bin/separation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseparation-79db90d8912c3778.rmeta: crates/bench/src/bin/separation.rs Cargo.toml
+
+crates/bench/src/bin/separation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/separation-b8d64834c1f0287f.d: crates/bench/src/bin/separation.rs
+
+/root/repo/target/debug/deps/separation-b8d64834c1f0287f: crates/bench/src/bin/separation.rs
+
+crates/bench/src/bin/separation.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/setcover_comm-151510a96d852068.d: crates/comm/src/lib.rs crates/comm/src/budgeted.rs crates/comm/src/disjointness.rs crates/comm/src/party.rs crates/comm/src/reduction.rs crates/comm/src/simple_protocol.rs crates/comm/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetcover_comm-151510a96d852068.rmeta: crates/comm/src/lib.rs crates/comm/src/budgeted.rs crates/comm/src/disjointness.rs crates/comm/src/party.rs crates/comm/src/reduction.rs crates/comm/src/simple_protocol.rs crates/comm/src/sweep.rs Cargo.toml
+
+crates/comm/src/lib.rs:
+crates/comm/src/budgeted.rs:
+crates/comm/src/disjointness.rs:
+crates/comm/src/party.rs:
+crates/comm/src/reduction.rs:
+crates/comm/src/simple_protocol.rs:
+crates/comm/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/setcover_comm-411c5159a1c36d39.d: crates/comm/src/lib.rs crates/comm/src/budgeted.rs crates/comm/src/disjointness.rs crates/comm/src/party.rs crates/comm/src/reduction.rs crates/comm/src/simple_protocol.rs crates/comm/src/sweep.rs
+
+/root/repo/target/debug/deps/libsetcover_comm-411c5159a1c36d39.rlib: crates/comm/src/lib.rs crates/comm/src/budgeted.rs crates/comm/src/disjointness.rs crates/comm/src/party.rs crates/comm/src/reduction.rs crates/comm/src/simple_protocol.rs crates/comm/src/sweep.rs
+
+/root/repo/target/debug/deps/libsetcover_comm-411c5159a1c36d39.rmeta: crates/comm/src/lib.rs crates/comm/src/budgeted.rs crates/comm/src/disjointness.rs crates/comm/src/party.rs crates/comm/src/reduction.rs crates/comm/src/simple_protocol.rs crates/comm/src/sweep.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/budgeted.rs:
+crates/comm/src/disjointness.rs:
+crates/comm/src/party.rs:
+crates/comm/src/reduction.rs:
+crates/comm/src/simple_protocol.rs:
+crates/comm/src/sweep.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/setcover_gen-ae59505d3401d941.d: crates/gen/src/lib.rs crates/gen/src/coverage.rs crates/gen/src/dominating.rs crates/gen/src/hard.rs crates/gen/src/lowerbound.rs crates/gen/src/planted.rs crates/gen/src/uniform.rs crates/gen/src/web.rs crates/gen/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetcover_gen-ae59505d3401d941.rmeta: crates/gen/src/lib.rs crates/gen/src/coverage.rs crates/gen/src/dominating.rs crates/gen/src/hard.rs crates/gen/src/lowerbound.rs crates/gen/src/planted.rs crates/gen/src/uniform.rs crates/gen/src/web.rs crates/gen/src/zipf.rs Cargo.toml
+
+crates/gen/src/lib.rs:
+crates/gen/src/coverage.rs:
+crates/gen/src/dominating.rs:
+crates/gen/src/hard.rs:
+crates/gen/src/lowerbound.rs:
+crates/gen/src/planted.rs:
+crates/gen/src/uniform.rs:
+crates/gen/src/web.rs:
+crates/gen/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

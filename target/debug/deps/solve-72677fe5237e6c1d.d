@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solve-72677fe5237e6c1d.d: crates/bench/src/bin/solve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolve-72677fe5237e6c1d.rmeta: crates/bench/src/bin/solve.rs Cargo.toml
+
+crates/bench/src/bin/solve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solve-a28e4eb6fcf2af6c.d: crates/bench/src/bin/solve.rs
+
+/root/repo/target/debug/deps/solve-a28e4eb6fcf2af6c: crates/bench/src/bin/solve.rs
+
+crates/bench/src/bin/solve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solve-b9aad22342d75426.d: crates/bench/src/bin/solve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolve-b9aad22342d75426.rmeta: crates/bench/src/bin/solve.rs Cargo.toml
+
+crates/bench/src/bin/solve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solve-e759b3d4fe5875e3.d: crates/bench/src/bin/solve.rs
+
+/root/repo/target/debug/deps/solve-e759b3d4fe5875e3: crates/bench/src/bin/solve.rs
+
+crates/bench/src/bin/solve.rs:

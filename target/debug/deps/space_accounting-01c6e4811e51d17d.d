@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/space_accounting-01c6e4811e51d17d.d: crates/bench/../../tests/space_accounting.rs
+
+/root/repo/target/debug/deps/space_accounting-01c6e4811e51d17d: crates/bench/../../tests/space_accounting.rs
+
+crates/bench/../../tests/space_accounting.rs:

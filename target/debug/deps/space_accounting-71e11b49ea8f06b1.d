@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/space_accounting-71e11b49ea8f06b1.d: crates/bench/../../tests/space_accounting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspace_accounting-71e11b49ea8f06b1.rmeta: crates/bench/../../tests/space_accounting.rs Cargo.toml
+
+crates/bench/../../tests/space_accounting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streams-19c0be1d9520ba48.d: crates/bench/benches/streams.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreams-19c0be1d9520ba48.rmeta: crates/bench/benches/streams.rs Cargo.toml
+
+crates/bench/benches/streams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

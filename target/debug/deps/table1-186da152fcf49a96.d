@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-186da152fcf49a96.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-186da152fcf49a96: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

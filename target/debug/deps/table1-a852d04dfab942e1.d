@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a852d04dfab942e1.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-a852d04dfab942e1: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

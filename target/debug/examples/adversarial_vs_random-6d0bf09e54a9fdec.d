@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adversarial_vs_random-6d0bf09e54a9fdec.d: crates/bench/../../examples/adversarial_vs_random.rs
+
+/root/repo/target/debug/examples/adversarial_vs_random-6d0bf09e54a9fdec: crates/bench/../../examples/adversarial_vs_random.rs
+
+crates/bench/../../examples/adversarial_vs_random.rs:

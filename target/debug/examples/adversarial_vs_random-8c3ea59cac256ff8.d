@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adversarial_vs_random-8c3ea59cac256ff8.d: crates/bench/../../examples/adversarial_vs_random.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadversarial_vs_random-8c3ea59cac256ff8.rmeta: crates/bench/../../examples/adversarial_vs_random.rs Cargo.toml
+
+crates/bench/../../examples/adversarial_vs_random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

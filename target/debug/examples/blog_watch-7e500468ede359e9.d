@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/blog_watch-7e500468ede359e9.d: crates/bench/../../examples/blog_watch.rs Cargo.toml
+
+/root/repo/target/debug/examples/libblog_watch-7e500468ede359e9.rmeta: crates/bench/../../examples/blog_watch.rs Cargo.toml
+
+crates/bench/../../examples/blog_watch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

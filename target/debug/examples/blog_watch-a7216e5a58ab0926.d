@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blog_watch-a7216e5a58ab0926.d: crates/bench/../../examples/blog_watch.rs
+
+/root/repo/target/debug/examples/blog_watch-a7216e5a58ab0926: crates/bench/../../examples/blog_watch.rs
+
+crates/bench/../../examples/blog_watch.rs:

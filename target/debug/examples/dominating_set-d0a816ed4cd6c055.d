@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dominating_set-d0a816ed4cd6c055.d: crates/bench/../../examples/dominating_set.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdominating_set-d0a816ed4cd6c055.rmeta: crates/bench/../../examples/dominating_set.rs Cargo.toml
+
+crates/bench/../../examples/dominating_set.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

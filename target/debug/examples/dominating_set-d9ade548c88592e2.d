@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dominating_set-d9ade548c88592e2.d: crates/bench/../../examples/dominating_set.rs
+
+/root/repo/target/debug/examples/dominating_set-d9ade548c88592e2: crates/bench/../../examples/dominating_set.rs
+
+crates/bench/../../examples/dominating_set.rs:

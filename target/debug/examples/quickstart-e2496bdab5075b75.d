@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e2496bdab5075b75.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e2496bdab5075b75: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-1eb5ca94c3b022fa.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-1eb5ca94c3b022fa: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

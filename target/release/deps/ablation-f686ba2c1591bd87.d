@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-f686ba2c1591bd87.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-f686ba2c1591bd87: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

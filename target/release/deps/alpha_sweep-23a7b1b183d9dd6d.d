@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/alpha_sweep-23a7b1b183d9dd6d.d: crates/bench/src/bin/alpha_sweep.rs
+
+/root/repo/target/release/deps/alpha_sweep-23a7b1b183d9dd6d: crates/bench/src/bin/alpha_sweep.rs
+
+crates/bench/src/bin/alpha_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/alpha_sweep-a906374d8fd5c38e.d: crates/bench/src/bin/alpha_sweep.rs
+
+/root/repo/target/release/deps/alpha_sweep-a906374d8fd5c38e: crates/bench/src/bin/alpha_sweep.rs
+
+crates/bench/src/bin/alpha_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/approx_scaling-56d221587d216a0f.d: crates/bench/src/bin/approx_scaling.rs
+
+/root/repo/target/release/deps/approx_scaling-56d221587d216a0f: crates/bench/src/bin/approx_scaling.rs
+
+crates/bench/src/bin/approx_scaling.rs:

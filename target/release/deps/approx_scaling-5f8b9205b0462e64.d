@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/approx_scaling-5f8b9205b0462e64.d: crates/bench/src/bin/approx_scaling.rs
+
+/root/repo/target/release/deps/approx_scaling-5f8b9205b0462e64: crates/bench/src/bin/approx_scaling.rs
+
+crates/bench/src/bin/approx_scaling.rs:

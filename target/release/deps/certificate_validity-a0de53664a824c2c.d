@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/certificate_validity-a0de53664a824c2c.d: crates/bench/../../tests/certificate_validity.rs
+
+/root/repo/target/release/deps/certificate_validity-a0de53664a824c2c: crates/bench/../../tests/certificate_validity.rs
+
+crates/bench/../../tests/certificate_validity.rs:

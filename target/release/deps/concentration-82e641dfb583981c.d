@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concentration-82e641dfb583981c.d: crates/bench/src/bin/concentration.rs
+
+/root/repo/target/release/deps/concentration-82e641dfb583981c: crates/bench/src/bin/concentration.rs
+
+crates/bench/src/bin/concentration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concentration-d720408016993693.d: crates/bench/src/bin/concentration.rs
+
+/root/repo/target/release/deps/concentration-d720408016993693: crates/bench/src/bin/concentration.rs
+
+crates/bench/src/bin/concentration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-05de829411ea6216.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-05de829411ea6216: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-dc064ea4594921a9.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-dc064ea4594921a9.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-dc064ea4594921a9.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

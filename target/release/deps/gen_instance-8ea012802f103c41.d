@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gen_instance-8ea012802f103c41.d: crates/bench/src/bin/gen_instance.rs
+
+/root/repo/target/release/deps/gen_instance-8ea012802f103c41: crates/bench/src/bin/gen_instance.rs
+
+crates/bench/src/bin/gen_instance.rs:

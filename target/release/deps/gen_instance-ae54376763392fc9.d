@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gen_instance-ae54376763392fc9.d: crates/bench/src/bin/gen_instance.rs
+
+/root/repo/target/release/deps/gen_instance-ae54376763392fc9: crates/bench/src/bin/gen_instance.rs
+
+crates/bench/src/bin/gen_instance.rs:

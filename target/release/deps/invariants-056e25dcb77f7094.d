@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/invariants-056e25dcb77f7094.d: crates/bench/src/bin/invariants.rs
+
+/root/repo/target/release/deps/invariants-056e25dcb77f7094: crates/bench/src/bin/invariants.rs
+
+crates/bench/src/bin/invariants.rs:

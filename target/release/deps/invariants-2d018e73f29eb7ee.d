@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/invariants-2d018e73f29eb7ee.d: crates/bench/src/bin/invariants.rs
+
+/root/repo/target/release/deps/invariants-2d018e73f29eb7ee: crates/bench/src/bin/invariants.rs
+
+crates/bench/src/bin/invariants.rs:

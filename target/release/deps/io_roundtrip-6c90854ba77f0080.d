@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/io_roundtrip-6c90854ba77f0080.d: crates/bench/../../tests/io_roundtrip.rs
+
+/root/repo/target/release/deps/io_roundtrip-6c90854ba77f0080: crates/bench/../../tests/io_roundtrip.rs
+
+crates/bench/../../tests/io_roundtrip.rs:

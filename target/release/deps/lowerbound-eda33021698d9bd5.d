@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lowerbound-eda33021698d9bd5.d: crates/bench/src/bin/lowerbound.rs
+
+/root/repo/target/release/deps/lowerbound-eda33021698d9bd5: crates/bench/src/bin/lowerbound.rs
+
+crates/bench/src/bin/lowerbound.rs:

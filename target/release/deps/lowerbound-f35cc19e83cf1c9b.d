@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lowerbound-f35cc19e83cf1c9b.d: crates/bench/src/bin/lowerbound.rs
+
+/root/repo/target/release/deps/lowerbound-f35cc19e83cf1c9b: crates/bench/src/bin/lowerbound.rs
+
+crates/bench/src/bin/lowerbound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lowerbound_integration-ab7d662664a16d3c.d: crates/bench/../../tests/lowerbound_integration.rs
+
+/root/repo/target/release/deps/lowerbound_integration-ab7d662664a16d3c: crates/bench/../../tests/lowerbound_integration.rs
+
+crates/bench/../../tests/lowerbound_integration.rs:

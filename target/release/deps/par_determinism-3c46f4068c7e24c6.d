@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/par_determinism-3c46f4068c7e24c6.d: crates/bench/../../tests/par_determinism.rs
+
+/root/repo/target/release/deps/par_determinism-3c46f4068c7e24c6: crates/bench/../../tests/par_determinism.rs
+
+crates/bench/../../tests/par_determinism.rs:

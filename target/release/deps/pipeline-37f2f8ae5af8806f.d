@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-37f2f8ae5af8806f.d: crates/bench/../../tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-37f2f8ae5af8806f: crates/bench/../../tests/pipeline.rs
+
+crates/bench/../../tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_suite-86dffb76c2add48f.d: crates/bench/../../tests/property_suite.rs
+
+/root/repo/target/release/deps/property_suite-86dffb76c2add48f: crates/bench/../../tests/property_suite.rs
+
+crates/bench/../../tests/property_suite.rs:

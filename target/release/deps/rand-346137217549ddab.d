@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-346137217549ddab.d: crates/rand/src/lib.rs crates/rand/src/rngs.rs crates/rand/src/seq.rs
+
+/root/repo/target/release/deps/rand-346137217549ddab: crates/rand/src/lib.rs crates/rand/src/rngs.rs crates/rand/src/seq.rs
+
+crates/rand/src/lib.rs:
+crates/rand/src/rngs.rs:
+crates/rand/src/seq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/random_order_integration-d5844e450c990a4b.d: crates/bench/../../tests/random_order_integration.rs
+
+/root/repo/target/release/deps/random_order_integration-d5844e450c990a4b: crates/bench/../../tests/random_order_integration.rs
+
+crates/bench/../../tests/random_order_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-59c1dc950d98815e.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-59c1dc950d98815e: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

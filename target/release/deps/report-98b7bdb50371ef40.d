@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-98b7bdb50371ef40.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-98b7bdb50371ef40: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-fd09323ee73874fb.d: crates/bench/../../tests/robustness.rs
+
+/root/repo/target/release/deps/robustness-fd09323ee73874fb: crates/bench/../../tests/robustness.rs
+
+crates/bench/../../tests/robustness.rs:

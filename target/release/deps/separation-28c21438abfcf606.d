@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/separation-28c21438abfcf606.d: crates/bench/src/bin/separation.rs
+
+/root/repo/target/release/deps/separation-28c21438abfcf606: crates/bench/src/bin/separation.rs
+
+crates/bench/src/bin/separation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/separation-73e1ebdd3ef1c274.d: crates/bench/src/bin/separation.rs
+
+/root/repo/target/release/deps/separation-73e1ebdd3ef1c274: crates/bench/src/bin/separation.rs
+
+crates/bench/src/bin/separation.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/setcover_comm-7e28584fb9aba39d.d: crates/comm/src/lib.rs crates/comm/src/budgeted.rs crates/comm/src/disjointness.rs crates/comm/src/party.rs crates/comm/src/reduction.rs crates/comm/src/simple_protocol.rs crates/comm/src/sweep.rs
+
+/root/repo/target/release/deps/libsetcover_comm-7e28584fb9aba39d.rlib: crates/comm/src/lib.rs crates/comm/src/budgeted.rs crates/comm/src/disjointness.rs crates/comm/src/party.rs crates/comm/src/reduction.rs crates/comm/src/simple_protocol.rs crates/comm/src/sweep.rs
+
+/root/repo/target/release/deps/libsetcover_comm-7e28584fb9aba39d.rmeta: crates/comm/src/lib.rs crates/comm/src/budgeted.rs crates/comm/src/disjointness.rs crates/comm/src/party.rs crates/comm/src/reduction.rs crates/comm/src/simple_protocol.rs crates/comm/src/sweep.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/budgeted.rs:
+crates/comm/src/disjointness.rs:
+crates/comm/src/party.rs:
+crates/comm/src/reduction.rs:
+crates/comm/src/simple_protocol.rs:
+crates/comm/src/sweep.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/setcover_gen-00492b775671f07e.d: crates/gen/src/lib.rs crates/gen/src/coverage.rs crates/gen/src/dominating.rs crates/gen/src/hard.rs crates/gen/src/lowerbound.rs crates/gen/src/planted.rs crates/gen/src/uniform.rs crates/gen/src/web.rs crates/gen/src/zipf.rs
+
+/root/repo/target/release/deps/libsetcover_gen-00492b775671f07e.rlib: crates/gen/src/lib.rs crates/gen/src/coverage.rs crates/gen/src/dominating.rs crates/gen/src/hard.rs crates/gen/src/lowerbound.rs crates/gen/src/planted.rs crates/gen/src/uniform.rs crates/gen/src/web.rs crates/gen/src/zipf.rs
+
+/root/repo/target/release/deps/libsetcover_gen-00492b775671f07e.rmeta: crates/gen/src/lib.rs crates/gen/src/coverage.rs crates/gen/src/dominating.rs crates/gen/src/hard.rs crates/gen/src/lowerbound.rs crates/gen/src/planted.rs crates/gen/src/uniform.rs crates/gen/src/web.rs crates/gen/src/zipf.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/coverage.rs:
+crates/gen/src/dominating.rs:
+crates/gen/src/hard.rs:
+crates/gen/src/lowerbound.rs:
+crates/gen/src/planted.rs:
+crates/gen/src/uniform.rs:
+crates/gen/src/web.rs:
+crates/gen/src/zipf.rs:

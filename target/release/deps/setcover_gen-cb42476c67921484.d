@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/setcover_gen-cb42476c67921484.d: crates/gen/src/lib.rs crates/gen/src/coverage.rs crates/gen/src/dominating.rs crates/gen/src/hard.rs crates/gen/src/lowerbound.rs crates/gen/src/planted.rs crates/gen/src/uniform.rs crates/gen/src/web.rs crates/gen/src/zipf.rs
+
+/root/repo/target/release/deps/setcover_gen-cb42476c67921484: crates/gen/src/lib.rs crates/gen/src/coverage.rs crates/gen/src/dominating.rs crates/gen/src/hard.rs crates/gen/src/lowerbound.rs crates/gen/src/planted.rs crates/gen/src/uniform.rs crates/gen/src/web.rs crates/gen/src/zipf.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/coverage.rs:
+crates/gen/src/dominating.rs:
+crates/gen/src/hard.rs:
+crates/gen/src/lowerbound.rs:
+crates/gen/src/planted.rs:
+crates/gen/src/uniform.rs:
+crates/gen/src/web.rs:
+crates/gen/src/zipf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solve-4f876533fc04c4d4.d: crates/bench/src/bin/solve.rs
+
+/root/repo/target/release/deps/solve-4f876533fc04c4d4: crates/bench/src/bin/solve.rs
+
+crates/bench/src/bin/solve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solve-f3e0763fdc06736c.d: crates/bench/src/bin/solve.rs
+
+/root/repo/target/release/deps/solve-f3e0763fdc06736c: crates/bench/src/bin/solve.rs
+
+crates/bench/src/bin/solve.rs:

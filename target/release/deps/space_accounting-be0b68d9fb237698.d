@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/space_accounting-be0b68d9fb237698.d: crates/bench/../../tests/space_accounting.rs
+
+/root/repo/target/release/deps/space_accounting-be0b68d9fb237698: crates/bench/../../tests/space_accounting.rs
+
+crates/bench/../../tests/space_accounting.rs:

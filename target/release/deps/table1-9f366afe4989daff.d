@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-9f366afe4989daff.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-9f366afe4989daff: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-b4d6a7778a75041a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-b4d6a7778a75041a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

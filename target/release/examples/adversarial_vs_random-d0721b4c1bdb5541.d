@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adversarial_vs_random-d0721b4c1bdb5541.d: crates/bench/../../examples/adversarial_vs_random.rs
+
+/root/repo/target/release/examples/adversarial_vs_random-d0721b4c1bdb5541: crates/bench/../../examples/adversarial_vs_random.rs
+
+crates/bench/../../examples/adversarial_vs_random.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/blog_watch-ea4af197d9101aa1.d: crates/bench/../../examples/blog_watch.rs
+
+/root/repo/target/release/examples/blog_watch-ea4af197d9101aa1: crates/bench/../../examples/blog_watch.rs
+
+crates/bench/../../examples/blog_watch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dominating_set-282ccb720ba5b121.d: crates/bench/../../examples/dominating_set.rs
+
+/root/repo/target/release/examples/dominating_set-282ccb720ba5b121: crates/bench/../../examples/dominating_set.rs
+
+crates/bench/../../examples/dominating_set.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-2cdb43599a688111.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-2cdb43599a688111: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

@@ -18,7 +18,10 @@ fn check_certificate(inst: &SetCoverInstance, cover: &Cover) {
         let uid = ElemId(u);
         let w = cover.witness(uid).expect("total certificate");
         assert!(inst.contains(w, uid), "witness {w} does not contain {uid}");
-        assert!(cover.sets().binary_search(&w).is_ok(), "witness {w} not in cover");
+        assert!(
+            cover.sets().binary_search(&w).is_ok(),
+            "witness {w} not in cover"
+        );
     }
     // The cover contains no set the certificate never uses *only if* the
     // algorithm added it for coverage it later didn't need — allowed by
@@ -38,18 +41,34 @@ fn kk_certificates_on_all_orders() {
         StreamOrder::Uniform(2),
         StreamOrder::GreedyTrap,
     ] {
-        let out = run_on_edges(KkSolver::new(inst.m(), inst.n(), 3), &order_edges(inst, order));
+        let out = run_on_edges(
+            KkSolver::new(inst.m(), inst.n(), 3),
+            &order_edges(inst, order),
+        );
         check_certificate(inst, &out.cover);
     }
 }
 
 #[test]
 fn algorithm2_certificates_on_skewed_workload() {
-    let w = zipf(&ZipfConfig { n: 200, m: 150, set_size: 7, theta: 1.3 }, 2);
+    let w = zipf(
+        &ZipfConfig {
+            n: 200,
+            m: 150,
+            set_size: 7,
+            theta: 1.3,
+        },
+        2,
+    );
     let inst = &w.instance;
     for seed in 0..5u64 {
         let out = run_on_edges(
-            AdversarialSolver::new(inst.m(), inst.n(), AdversarialConfig::sqrt_n(inst.n()), seed),
+            AdversarialSolver::new(
+                inst.m(),
+                inst.n(),
+                AdversarialConfig::sqrt_n(inst.n()),
+                seed,
+            ),
             &order_edges(inst, StreamOrder::Uniform(seed)),
         );
         check_certificate(inst, &out.cover);
@@ -60,7 +79,11 @@ fn algorithm2_certificates_on_skewed_workload() {
 fn algorithm1_certificates_with_wrong_length_estimates() {
     let p = planted(&PlantedConfig::exact(100, 1000, 10), 3);
     let inst = &p.workload.instance;
-    for n_est in [inst.num_edges() / 7, inst.num_edges(), inst.num_edges() * 13] {
+    for n_est in [
+        inst.num_edges() / 7,
+        inst.num_edges(),
+        inst.num_edges() * 13,
+    ] {
         let out = run_on_edges(
             RandomOrderSolver::new(
                 inst.m(),

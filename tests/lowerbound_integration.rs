@@ -12,7 +12,11 @@ use setcover_gen::lowerbound::{LbFamily, LbFamilyConfig};
 use setcover_gen::planted::{planted, PlantedConfig};
 
 fn game(case: DisjCase, seed: u64) -> (ReductionOutcome, DisjointnessInstance) {
-    let cfg = LbFamilyConfig { n: 4096, m: 101, t: 8 };
+    let cfg = LbFamilyConfig {
+        n: 4096,
+        m: 101,
+        t: 8,
+    };
     let fam = LbFamily::generate(cfg, seed);
     let disj = DisjointnessInstance::generate(101, 8, case, seed);
     assert!(disj.verify_promise());
@@ -32,17 +36,27 @@ fn reduction_distinguishes_over_multiple_seeds() {
 
     for seed in 0..3u64 {
         let (oi, di) = game(DisjCase::UniquelyIntersecting, seed);
-        assert!(oi.correct(threshold, DisjCase::UniquelyIntersecting), "seed {seed}");
+        assert!(
+            oi.correct(threshold, DisjCase::UniquelyIntersecting),
+            "seed {seed}"
+        );
         // The best run is the common index.
         assert_eq!(oi.best_run as u32, di.intersection.unwrap(), "seed {seed}");
         let (od, _) = game(DisjCase::PairwiseDisjoint, seed);
-        assert!(od.correct(threshold, DisjCase::PairwiseDisjoint), "seed {seed}");
+        assert!(
+            od.correct(threshold, DisjCase::PairwiseDisjoint),
+            "seed {seed}"
+        );
     }
 }
 
 #[test]
 fn reduction_works_with_algorithm_2_as_the_streaming_algorithm() {
-    let cfg = LbFamilyConfig { n: 4096, m: 101, t: 8 };
+    let cfg = LbFamilyConfig {
+        n: 4096,
+        m: 101,
+        t: 8,
+    };
     let fam = LbFamily::generate(cfg, 7);
     let maxint = fam.max_part_intersection_sampled(400, 7).max(1);
 
@@ -122,7 +136,11 @@ fn simple_protocol_on_whole_set_assignment_acts_like_sqrt_n() {
 
 #[test]
 fn message_sizes_reflect_algorithm_state() {
-    let cfg = LbFamilyConfig { n: 1024, m: 51, t: 4 };
+    let cfg = LbFamilyConfig {
+        n: 1024,
+        m: 51,
+        t: 4,
+    };
     let fam = LbFamily::generate(cfg, 8);
     let disj = DisjointnessInstance::generate(51, 4, DisjCase::PairwiseDisjoint, 8);
     let maxint = 5;
@@ -130,7 +148,11 @@ fn message_sizes_reflect_algorithm_state() {
     assert_eq!(out.messages.len(), 4);
     // KK forwards Θ(m_instance + n) words at every boundary.
     for h in &out.messages.handoffs {
-        assert!(h.state_words >= 52, "party {} state too small", h.from_party);
+        assert!(
+            h.state_words >= 52,
+            "party {} state too small",
+            h.from_party
+        );
     }
     assert!(out.messages.total_words() >= out.messages.max_message_words());
 }

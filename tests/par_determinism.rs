@@ -1,0 +1,74 @@
+//! The serial-equivalence guarantee, tested end-to-end: every
+//! experiment's report text must be **byte-identical** no matter how
+//! many worker threads execute its trial grid. Seeds are functions of
+//! grid coordinates and results are reassembled in grid order, so a
+//! `threads=8` run and a `threads=1` run are the same computation
+//! scheduled differently.
+
+use setcover_bench::experiments::{alpha_sweep, concentration, separation, table1};
+use setcover_bench::TrialRunner;
+
+#[test]
+fn separation_report_is_identical_across_thread_counts() {
+    let p = separation::Params {
+        n: 1024,
+        m: Some(4096),
+        opt: 4,
+        trials: 2,
+    };
+    let serial = separation::run_with(&p, &TrialRunner::serial());
+    assert_eq!(serial, separation::run(&p), "run() must be the serial path");
+    for threads in [2, 8] {
+        let par = separation::run_with(&p, &TrialRunner::new(threads));
+        assert_eq!(serial, par, "separation diverged at threads={threads}");
+    }
+}
+
+#[test]
+fn alpha_sweep_report_is_identical_across_thread_counts() {
+    let p = alpha_sweep::Params {
+        n: 256,
+        m: Some(2048),
+        trials: 2,
+    };
+    let serial = alpha_sweep::run_with(&p, &TrialRunner::serial());
+    for threads in [2, 8] {
+        let par = alpha_sweep::run_with(&p, &TrialRunner::new(threads));
+        assert_eq!(serial, par, "alpha_sweep diverged at threads={threads}");
+    }
+}
+
+#[test]
+fn table1_report_is_identical_across_thread_counts() {
+    let p = table1::Params {
+        n: 144,
+        m: Some(1296),
+        trials: 2,
+    };
+    let serial = table1::run_with(&p, &TrialRunner::serial());
+    let par = table1::run_with(&p, &TrialRunner::new(8));
+    assert_eq!(serial, par);
+}
+
+#[test]
+fn concentration_report_is_identical_across_thread_counts() {
+    let p = concentration::Params { trials: 30 };
+    let serial = concentration::run_with(&p, &TrialRunner::serial());
+    let par = concentration::run_with(&p, &TrialRunner::new(8));
+    assert_eq!(serial, par);
+}
+
+#[test]
+fn parallel_runs_account_the_same_edges() {
+    let p = alpha_sweep::Params {
+        n: 256,
+        m: Some(2048),
+        trials: 1,
+    };
+    let serial = TrialRunner::serial();
+    let par = TrialRunner::new(4);
+    let _ = alpha_sweep::run_with(&p, &serial);
+    let _ = alpha_sweep::run_with(&p, &par);
+    assert!(serial.total_edges() > 0);
+    assert_eq!(serial.total_edges(), par.total_edges());
+}

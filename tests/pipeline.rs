@@ -21,7 +21,15 @@ fn workloads() -> Vec<Workload> {
     vec![
         planted(&PlantedConfig::exact(120, 480, 10), 1).workload,
         uniform(&UniformConfig::ranged(150, 90, 2, 15), 2),
-        zipf(&ZipfConfig { n: 140, m: 80, set_size: 6, theta: 1.2 }, 3),
+        zipf(
+            &ZipfConfig {
+                n: 140,
+                m: 80,
+                set_size: 6,
+                theta: 1.2,
+            },
+            3,
+        ),
         blog_watch(&BlogWatchConfig::default_shape(130, 70), 4),
         gnp(60, 0.08, 5),
         planted_hubs(90, 6, 120, 6),
@@ -54,12 +62,7 @@ fn all_solvers_run(inst: &SetCoverInstance, edges: &[Edge], seed: u64) -> Vec<Ru
             edges,
         ),
         run_on_edges(
-            ElementSamplingSolver::new(
-                m,
-                n,
-                ElementSamplingConfig::for_alpha(8.0, m, 1.0),
-                seed,
-            ),
+            ElementSamplingSolver::new(m, n, ElementSamplingConfig::for_alpha(8.0, m, 1.0), seed),
             edges,
         ),
         run_on_edges(SetArrivalThresholdSolver::new(m, n), edges),
@@ -74,7 +77,12 @@ fn every_algorithm_covers_every_workload_on_every_order() {
         let inst = &w.instance;
         for order in orders() {
             let edges = order_edges(inst, order);
-            assert_eq!(edges.len(), inst.num_edges(), "{}: order lost edges", w.label);
+            assert_eq!(
+                edges.len(),
+                inst.num_edges(),
+                "{}: order lost edges",
+                w.label
+            );
             for out in all_solvers_run(inst, &edges, 31 + wi as u64) {
                 out.cover.verify(inst).unwrap_or_else(|e| {
                     panic!("{} on {} / {:?}: {e}", out.algorithm, w.label, order)
@@ -100,7 +108,10 @@ fn store_all_is_the_quality_ceiling() {
     let inst = &w.instance;
     let edges = order_edges(inst, StreamOrder::Uniform(8));
     let outs = all_solvers_run(inst, &edges, 77);
-    let store_all = outs.iter().find(|o| o.algorithm == "store-all-greedy").unwrap();
+    let store_all = outs
+        .iter()
+        .find(|o| o.algorithm == "store-all-greedy")
+        .unwrap();
     for out in &outs {
         assert!(
             store_all.cover.size() <= out.cover.size() + 2,

@@ -1,4 +1,7 @@
-//! Property-based tests (proptest) on the core invariants:
+//! Property-based tests on the core invariants, with hand-rolled seeded
+//! case generation (the proptest dependency is unavailable offline; a
+//! fixed-seed loop over randomized cases keeps the same coverage and is
+//! exactly reproducible):
 //!
 //! * instance construction round-trips and validates;
 //! * every order adapter emits a permutation of the edge set;
@@ -7,7 +10,8 @@
 //! * math helpers satisfy their defining inequalities;
 //! * Lemma 1 families partition correctly for arbitrary configs.
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
 
 use setcover_algos::{
     AdversarialConfig, AdversarialSolver, FirstSetSolver, KkSolver, RandomOrderConfig,
@@ -19,112 +23,142 @@ use setcover_core::stream::{order_edges, StreamOrder};
 use setcover_core::{InstanceBuilder, SetCoverInstance};
 use setcover_gen::lowerbound::{LbFamily, LbFamilyConfig};
 
-/// Strategy: a feasible random instance described by (m, n, extra edges).
-fn arb_instance() -> impl Strategy<Value = SetCoverInstance> {
-    (2usize..12, 2usize..40, proptest::collection::vec((0u32..12, 0u32..40), 0..150)).prop_map(
-        |(m, n, edges)| {
-            let mut b = InstanceBuilder::new(m, n);
-            // Feasibility spine: element u belongs to set u % m.
-            for u in 0..n as u32 {
-                b.add_edge((u % m as u32).into(), u.into());
-            }
-            for (s, u) in edges {
-                b.add_edge((s % m as u32).into(), (u % n as u32).into());
-            }
-            b.build().expect("spine guarantees feasibility")
-        },
-    )
+const CASES: u64 = 64;
+
+/// A feasible random instance: m ∈ [2, 12), n ∈ [2, 40), up to 150 extra
+/// random edges on top of a feasibility spine.
+fn arb_instance(rng: &mut SmallRng) -> SetCoverInstance {
+    let m = rng.random_range(2usize..12);
+    let n = rng.random_range(2usize..40);
+    let extra = rng.random_range(0usize..150);
+    let mut b = InstanceBuilder::new(m, n);
+    // Feasibility spine: element u belongs to set u % m.
+    for u in 0..n as u32 {
+        b.add_edge((u % m as u32).into(), u.into());
+    }
+    for _ in 0..extra {
+        let s = rng.random_range(0u32..12) % m as u32;
+        let u = rng.random_range(0u32..40) % n as u32;
+        b.add_edge(s.into(), u.into());
+    }
+    b.build().expect("spine guarantees feasibility")
 }
 
-fn arb_order() -> impl Strategy<Value = StreamOrder> {
-    prop_oneof![
-        Just(StreamOrder::SetArrival),
-        any::<u64>().prop_map(StreamOrder::SetArrivalShuffled),
-        Just(StreamOrder::Interleaved),
-        Just(StreamOrder::ElementGrouped),
-        any::<u64>().prop_map(StreamOrder::Uniform),
-        Just(StreamOrder::GreedyTrap),
-    ]
+fn arb_order(rng: &mut SmallRng) -> StreamOrder {
+    match rng.random_range(0usize..6) {
+        0 => StreamOrder::SetArrival,
+        1 => StreamOrder::SetArrivalShuffled(rng.random::<u64>()),
+        2 => StreamOrder::Interleaved,
+        3 => StreamOrder::ElementGrouped,
+        4 => StreamOrder::Uniform(rng.random::<u64>()),
+        _ => StreamOrder::GreedyTrap,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn orders_are_permutations(inst in arb_instance(), order in arb_order()) {
+#[test]
+fn orders_are_permutations() {
+    let mut rng = SmallRng::seed_from_u64(0x0bde_0001);
+    for _ in 0..CASES {
+        let inst = arb_instance(&mut rng);
+        let order = arb_order(&mut rng);
         let edges = order_edges(&inst, order);
-        prop_assert_eq!(edges.len(), inst.num_edges());
+        assert_eq!(edges.len(), inst.num_edges());
         let mut sorted = edges;
         sorted.sort();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), inst.num_edges());
-        prop_assert_eq!(sorted, inst.edge_vec());
+        assert_eq!(
+            sorted.len(),
+            inst.num_edges(),
+            "{order:?} lost or duplicated edges"
+        );
+        assert_eq!(sorted, inst.edge_vec());
     }
+}
 
-    #[test]
-    fn kk_always_produces_valid_cover(
-        inst in arb_instance(),
-        order in arb_order(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn kk_always_produces_valid_cover() {
+    let mut rng = SmallRng::seed_from_u64(0x0bde_0002);
+    for _ in 0..CASES {
+        let inst = arb_instance(&mut rng);
+        let order = arb_order(&mut rng);
+        let seed = rng.random::<u64>();
         let edges = order_edges(&inst, order);
         let out = run_on_edges(KkSolver::new(inst.m(), inst.n(), seed), &edges);
-        prop_assert!(out.cover.verify(&inst).is_ok());
-        prop_assert!(out.cover.size() <= inst.n());
+        assert!(out.cover.verify(&inst).is_ok());
+        assert!(out.cover.size() <= inst.n());
     }
+}
 
-    #[test]
-    fn algorithm2_always_produces_valid_cover(
-        inst in arb_instance(),
-        order in arb_order(),
-        seed in any::<u64>(),
-        alpha in 1.0f64..64.0,
-    ) {
+#[test]
+fn algorithm2_always_produces_valid_cover() {
+    let mut rng = SmallRng::seed_from_u64(0x0bde_0003);
+    for _ in 0..CASES {
+        let inst = arb_instance(&mut rng);
+        let order = arb_order(&mut rng);
+        let seed = rng.random::<u64>();
+        let alpha = 1.0 + rng.random::<f64>() * 63.0;
         let edges = order_edges(&inst, order);
         let out = run_on_edges(
-            AdversarialSolver::new(inst.m(), inst.n(), AdversarialConfig::with_alpha(alpha), seed),
+            AdversarialSolver::new(
+                inst.m(),
+                inst.n(),
+                AdversarialConfig::with_alpha(alpha),
+                seed,
+            ),
             &edges,
         );
-        prop_assert!(out.cover.verify(&inst).is_ok());
+        assert!(out.cover.verify(&inst).is_ok());
     }
+}
 
-    #[test]
-    fn algorithm1_always_produces_valid_cover(
-        inst in arb_instance(),
-        order in arb_order(),
-        seed in any::<u64>(),
-        n_mult in 1usize..4,
-    ) {
+#[test]
+fn algorithm1_always_produces_valid_cover() {
+    let mut rng = SmallRng::seed_from_u64(0x0bde_0004);
+    for _ in 0..CASES {
+        let inst = arb_instance(&mut rng);
+        let order = arb_order(&mut rng);
+        let seed = rng.random::<u64>();
+        let n_mult = rng.random_range(1usize..4);
         let edges = order_edges(&inst, order);
         // Deliberately wrong stream-length estimates: correctness must
         // not depend on the guess (quality does — NGuessing handles it).
         let n_est = (inst.num_edges() * n_mult).max(1);
         let out = run_on_edges(
             RandomOrderSolver::new(
-                inst.m(), inst.n(), n_est, RandomOrderConfig::practical(), seed,
+                inst.m(),
+                inst.n(),
+                n_est,
+                RandomOrderConfig::practical(),
+                seed,
             ),
             &edges,
         );
-        prop_assert!(out.cover.verify(&inst).is_ok());
-        prop_assert!(out.cover.size() <= inst.n());
+        assert!(out.cover.verify(&inst).is_ok());
+        assert!(out.cover.size() <= inst.n());
     }
+}
 
-    #[test]
-    fn greedy_cover_is_valid_and_bounded(inst in arb_instance()) {
+#[test]
+fn greedy_cover_is_valid_and_bounded() {
+    let mut rng = SmallRng::seed_from_u64(0x0bde_0005);
+    for _ in 0..CASES {
+        let inst = arb_instance(&mut rng);
         let cover = setcover_algos::greedy_cover(&inst);
-        prop_assert!(cover.verify(&inst).is_ok());
-        prop_assert!(cover.size() <= inst.n());
-        prop_assert!(cover.size() >= 1);
+        assert!(cover.verify(&inst).is_ok());
+        assert!(cover.size() <= inst.n());
+        assert!(cover.size() >= 1);
     }
+}
 
-    #[test]
-    fn first_set_cover_size_equals_distinct_first_sets(
-        inst in arb_instance(),
-        order in arb_order(),
-    ) {
+#[test]
+fn first_set_cover_size_equals_distinct_first_sets() {
+    let mut rng = SmallRng::seed_from_u64(0x0bde_0006);
+    for _ in 0..CASES {
+        let inst = arb_instance(&mut rng);
+        let order = arb_order(&mut rng);
         let edges = order_edges(&inst, order);
         let out = run_on_edges(FirstSetSolver::new(inst.m(), inst.n()), &edges);
-        prop_assert!(out.cover.verify(&inst).is_ok());
+        assert!(out.cover.verify(&inst).is_ok());
         // The cover is exactly the set of first-seen sets per element.
         let mut first = vec![None; inst.n()];
         for e in &edges {
@@ -135,51 +169,69 @@ proptest! {
         let mut distinct: Vec<_> = first.into_iter().flatten().collect();
         distinct.sort();
         distinct.dedup();
-        prop_assert_eq!(out.cover.sets(), &distinct[..]);
+        assert_eq!(out.cover.sets(), &distinct[..]);
     }
+}
 
-    #[test]
-    fn isqrt_defining_property(x in any::<usize>()) {
+#[test]
+fn isqrt_defining_property() {
+    let mut rng = SmallRng::seed_from_u64(0x0bde_0007);
+    let check = |x: usize| {
         let r = isqrt(x);
-        prop_assert!(r.checked_mul(r).is_some_and(|sq| sq <= x) || x == 0);
-        prop_assert!((r + 1).checked_mul(r + 1).is_none_or(|sq| sq > x));
+        assert!(r.checked_mul(r).is_some_and(|sq| sq <= x) || x == 0);
+        assert!((r + 1).checked_mul(r + 1).is_none_or(|sq| sq > x));
         let rc = isqrt_ceil(x);
-        prop_assert!(rc >= r);
-        prop_assert!(rc <= r + 1);
+        assert!(rc >= r);
+        assert!(rc <= r + 1);
+    };
+    for x in [0usize, 1, 2, 3, 4, usize::MAX, usize::MAX - 1] {
+        check(x);
     }
+    for _ in 0..CASES {
+        check(rng.random::<usize>());
+    }
+}
 
-    #[test]
-    fn lb_family_partitions_are_exact(
-        n_exp in 6u32..12,
-        t in 2usize..6,
-        m in 2usize..10,
-        seed in any::<u64>(),
-    ) {
-        let n = 1usize << n_exp;
+#[test]
+fn lb_family_partitions_are_exact() {
+    let mut rng = SmallRng::seed_from_u64(0x0bde_0008);
+    let mut tested = 0;
+    while tested < CASES {
+        let n = 1usize << rng.random_range(6u32..12);
+        let t = rng.random_range(2usize..6);
+        let m = rng.random_range(2usize..10);
+        let seed = rng.random::<u64>();
         let cfg = LbFamilyConfig { n, m, t };
-        prop_assume!(cfg.set_size() <= n);
+        if cfg.set_size() > n {
+            continue; // prop_assume equivalent
+        }
+        tested += 1;
         let fam = LbFamily::generate(cfg, seed);
         for i in 0..m {
             let mut all: Vec<u32> = (0..t).flat_map(|r| fam.part(i, r).to_vec()).collect();
-            prop_assert_eq!(all.len(), cfg.set_size());
+            assert_eq!(all.len(), cfg.set_size());
             all.sort_unstable();
             let before = all.len();
             all.dedup();
-            prop_assert_eq!(all.len(), before, "duplicates within a set");
-            prop_assert!(all.iter().all(|&u| (u as usize) < n));
+            assert_eq!(all.len(), before, "duplicates within a set");
+            assert!(all.iter().all(|&u| (u as usize) < n));
         }
         // Complement partitions the universe.
         let comp = fam.complement(0);
-        prop_assert_eq!(comp.len(), n - cfg.set_size());
+        assert_eq!(comp.len(), n - cfg.set_size());
     }
+}
 
-    #[test]
-    fn chernoff_bounds_bracket_the_mean(mu in 0.0f64..1e6, fail_exp in 1i32..12) {
-        let fail = 10f64.powi(-fail_exp);
+#[test]
+fn chernoff_bounds_bracket_the_mean() {
+    let mut rng = SmallRng::seed_from_u64(0x0bde_0009);
+    for _ in 0..CASES {
+        let mu = rng.random::<f64>() * 1e6;
+        let fail = 10f64.powi(-rng.random_range(1i32..12));
         let up = setcover_core::math::chernoff_upper(mu, fail);
         let lo = setcover_core::math::chernoff_lower(mu, fail);
-        prop_assert!(up >= mu);
-        prop_assert!(lo <= mu);
-        prop_assert!(lo >= 0.0);
+        assert!(up >= mu);
+        assert!(lo <= mu);
+        assert!(lo >= 0.0);
     }
 }

@@ -33,13 +33,7 @@ fn space_is_m_over_sqrt_n_scale_at_paper_regime() {
     let p = planted(&PlantedConfig::exact(n, m, 7), 2);
     let inst = &p.workload.instance;
     let out = run_streaming(
-        RandomOrderSolver::new(
-            m,
-            n,
-            inst.num_edges(),
-            RandomOrderConfig::practical(),
-            5,
-        ),
+        RandomOrderSolver::new(m, n, inst.num_edges(), RandomOrderConfig::practical(), 5),
         stream_of(inst, StreamOrder::Uniform(6)),
     );
     out.cover.verify(inst).unwrap();
@@ -60,7 +54,10 @@ fn space_is_m_over_sqrt_n_scale_at_paper_regime() {
         out.space.algorithmic_peak_words()
     );
     // And far below what KK uses on the same instance.
-    let kk = run_streaming(KkSolver::new(m, n, 5), stream_of(inst, StreamOrder::Uniform(6)));
+    let kk = run_streaming(
+        KkSolver::new(m, n, 5),
+        stream_of(inst, StreamOrder::Uniform(6)),
+    );
     assert!(out.space.algorithmic_peak_words() * 2 < kk.space.algorithmic_peak_words());
 }
 
@@ -115,7 +112,10 @@ fn practical_preset_fires_the_machinery_on_large_planted_sets() {
     cover.verify(inst).unwrap();
     let probe = solver.take_probe().unwrap();
     let specials: usize = probe.epochs.iter().map(|e| e.specials).sum();
-    assert!(specials > 0, "practical preset should detect special sets here");
+    assert!(
+        specials > 0,
+        "practical preset should detect special sets here"
+    );
 }
 
 #[test]
@@ -167,8 +167,7 @@ fn best_of_k_improves_random_order_variance() {
 
 #[test]
 fn schedule_is_exposed_and_consistent() {
-    let solver =
-        RandomOrderSolver::new(10_000, 400, 500_000, RandomOrderConfig::practical(), 1);
+    let solver = RandomOrderSolver::new(10_000, 400, 500_000, RandomOrderConfig::practical(), 1);
     let (k, epochs, batches) = solver.schedule();
     assert!(k >= 1);
     assert_eq!(epochs, 3); // practical preset
@@ -178,8 +177,12 @@ fn schedule_is_exposed_and_consistent() {
         assert!(solver.subepoch_len(i) >= 1);
     }
     // fill_budget: planned main-phase edges ≈ N/2.
-    let planned: usize =
-        (1..=k).map(|i| solver.subepoch_len(i) * batches * epochs as usize).sum();
+    let planned: usize = (1..=k)
+        .map(|i| solver.subepoch_len(i) * batches * epochs as usize)
+        .sum();
     assert!(planned <= 500_000 / 2 + 1000);
-    assert!(planned >= 500_000 / 4, "budget should be mostly used, got {planned}");
+    assert!(
+        planned >= 500_000 / 4,
+        "budget should be mostly used, got {planned}"
+    );
 }

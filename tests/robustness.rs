@@ -84,7 +84,10 @@ fn truncated_stream_covers_what_arrived() {
         if !s {
             let set = inst.sets_containing(setcover_core::ElemId(u as u32))[0];
             b.add_edge(set, setcover_core::ElemId(u as u32));
-            tail.push(Edge { set, elem: setcover_core::ElemId(u as u32) });
+            tail.push(Edge {
+                set,
+                elem: setcover_core::ElemId(u as u32),
+            });
         }
     }
     let truncated = b.build().unwrap();

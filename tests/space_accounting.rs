@@ -2,8 +2,8 @@
 //! the paper's asymptotic separations on one shared instance.
 
 use setcover_algos::{
-    AdversarialConfig, AdversarialSolver, BestOfK, ElementSamplingConfig,
-    ElementSamplingSolver, KkSolver, RandomOrderConfig, RandomOrderSolver,
+    AdversarialConfig, AdversarialSolver, BestOfK, ElementSamplingConfig, ElementSamplingSolver,
+    KkSolver, RandomOrderConfig, RandomOrderSolver,
 };
 use setcover_core::math::isqrt;
 use setcover_core::solver::run_on_edges;
@@ -56,7 +56,10 @@ fn space_ordering_matches_table_1() {
     // KK is exactly m counters.
     assert_eq!(kk_w, m);
     // Alg 1's per-set state is m/√n + n (epoch-0 element counters).
-    assert!(alg1_w <= m / isqrt(n) + n + 200, "alg1 {alg1_w} above budget");
+    assert!(
+        alg1_w <= m / isqrt(n) + n + 200,
+        "alg1 {alg1_w} above budget"
+    );
 }
 
 #[test]
@@ -85,12 +88,16 @@ fn component_breakdown_distinguishes_structures() {
         RandomOrderSolver::new(m, n, edges.len(), RandomOrderConfig::practical(), 2),
         &edges,
     );
-    let has_tracked = alg1
-        .space
-        .peak_by_component
-        .iter()
-        .any(|(c, _)| matches!(c, SpaceComponent::TrackedSets | SpaceComponent::TrackedEdges));
-    assert!(has_tracked, "algorithm 1 must charge its tracked structures");
+    let has_tracked = alg1.space.peak_by_component.iter().any(|(c, _)| {
+        matches!(
+            c,
+            SpaceComponent::TrackedSets | SpaceComponent::TrackedEdges
+        )
+    });
+    assert!(
+        has_tracked,
+        "algorithm 1 must charge its tracked structures"
+    );
 }
 
 #[test]
@@ -112,9 +119,15 @@ fn algorithm2_space_shrinks_quadratically_ish_in_alpha() {
     let w16 = level_words(16.0);
     let w64 = level_words(64.0);
     let w256 = level_words(256.0);
-    assert!(w16 > w64 && w64 > w256, "no monotone decay: {w16}, {w64}, {w256}");
+    assert!(
+        w16 > w64 && w64 > w256,
+        "no monotone decay: {w16}, {w64}, {w256}"
+    );
     // 4x alpha should shrink the map by clearly more than 2x.
-    assert!(w16 as f64 / w64 as f64 > 2.0, "decay too slow: {w16} -> {w64}");
+    assert!(
+        w16 as f64 / w64 as f64 > 2.0,
+        "decay too slow: {w16} -> {w64}"
+    );
 }
 
 #[test]
@@ -136,18 +149,25 @@ fn element_sampling_space_tracks_rho() {
     let lo = stored(0.1);
     let hi = stored(0.8);
     assert!(lo > 0);
-    assert!(hi > 4 * lo, "stored edges should scale ~linearly with rho: {lo} vs {hi}");
+    assert!(
+        hi > 4 * lo,
+        "stored edges should scale ~linearly with rho: {lo} vs {hi}"
+    );
 }
 
 #[test]
 fn best_of_k_space_is_additive() {
     let (inst, m, n) = fixture();
     let edges = order_edges(&inst, StreamOrder::Uniform(11));
-    let single = run_on_edges(KkSolver::new(m, n, 5), &edges).space.peak_words;
-    let tripled =
-        run_on_edges(BestOfK::new(3, |i| KkSolver::new(m, n, 5 + i as u64)), &edges)
-            .space
-            .peak_words;
+    let single = run_on_edges(KkSolver::new(m, n, 5), &edges)
+        .space
+        .peak_words;
+    let tripled = run_on_edges(
+        BestOfK::new(3, |i| KkSolver::new(m, n, 5 + i as u64)),
+        &edges,
+    )
+    .space
+    .peak_words;
     assert!(tripled >= 3 * m);
     assert!(tripled >= 2 * single, "copies must not share state");
 }
