@@ -41,12 +41,10 @@
 //! constants, preserving the *shape* of the space/approximation trade-off
 //! (see DESIGN.md §3). Every deviation is a config field.
 
-use std::collections::{HashMap, HashSet};
-
 use rand::rngs::SmallRng;
 
 use setcover_core::math::{isqrt, log2f};
-use setcover_core::rng::{coin, seeded_rng};
+use setcover_core::rng::{bernoulli_hits, coin, seeded_rng};
 use setcover_core::space::{map_entry_words, SpaceComponent, SpaceMeter};
 use setcover_core::{Cover, Edge, SetId, SpaceReport, StreamingSetCover};
 
@@ -216,6 +214,58 @@ pub struct ProbeLog {
     pub subepoch_lens: Vec<usize>,
 }
 
+/// A dense bitset over set ids with an O(1) cardinality, replacing the
+/// `HashSet<u32>` that used to sit on the per-edge tracking path: `contains`
+/// is a single word probe (no hashing, no probing chains), and the whole
+/// structure is `m/64` words — real memory well under one byte per set.
+///
+/// Note the *model* space accounting (`SpaceComponent::TrackedSets`) is
+/// unchanged: the meter still charges one word per tracked set, since the
+/// paper's Õ-analysis counts tracked identities, not the container's
+/// physical layout.
+#[derive(Debug, Default)]
+struct DenseSetBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseSetBits {
+    fn for_universe(m: usize) -> Self {
+        DenseSetBits {
+            words: vec![0; m.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn contains(&self, s: u32) -> bool {
+        (self.words[(s >> 6) as usize] >> (s & 63)) & 1 == 1
+    }
+
+    /// Insert; returns `true` if the bit was newly set (HashSet semantics).
+    #[inline]
+    fn insert(&mut self, s: u32) -> bool {
+        let w = &mut self.words[(s >> 6) as usize];
+        let bit = 1u64 << (s & 63);
+        if *w & bit == 0 {
+            *w |= bit;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     /// Epoch-0 detection prefix.
@@ -266,11 +316,21 @@ pub struct RandomOrderSolver {
     generation: u32,
 
     /// Tracked specials of the previous epoch (`Q̃`) and the sample being
-    /// built this epoch (`Q̃'`).
-    tracked: HashSet<u32>,
-    tracked_next: HashSet<u32>,
-    /// Tracked-edge counts per element (`T`).
-    t_counts: HashMap<u32, u32>,
+    /// built this epoch (`Q̃'`), as dense bitsets (see [`DenseSetBits`]).
+    tracked: DenseSetBits,
+    tracked_next: DenseSetBits,
+    /// Tracked-edge counts per element (`T`) as a generation-stamped dense
+    /// array (same trick as the batch `counters`): `t_gen[u] != t_generation`
+    /// means "no entry for `u` this epoch", so epoch turnover is O(1) with
+    /// no clearing pass and the per-edge update is two array probes instead
+    /// of a `HashMap` entry lookup.
+    t_counts: Vec<u32>,
+    t_gen: Vec<u32>,
+    t_generation: u32,
+    /// Elements touched by tracking this epoch, in first-touch order —
+    /// restricts end-of-epoch threshold scans (and model-space release) to
+    /// the entries that exist, exactly as iterating the old map did.
+    t_touched: Vec<u32>,
 
     meter: SpaceMeter,
     probe: Option<ProbeLog>,
@@ -353,20 +413,20 @@ impl RandomOrderSolver {
                 .max(1);
         let mark0_threshold = 1.085 * config.c * log_m * config.epoch0_mult;
 
-        // Epoch-0 pre-sampling: each set w.p. p0 = C·√n·log m / m.
+        // Epoch-0 pre-sampling: each set w.p. p0 = C·√n·log m / m, via
+        // geometric skips — O(expected hits ≈ √n·log m) RNG draws instead
+        // of m coin flips.
         let p0 = (config.c * sqrt_n * log_m / m as f64).min(1.0);
         let mut sol = SolutionBuilder::new(m, n);
         let mut epoch0_sampled = 0usize;
         let mut degenerate = false;
-        for s in 0..m as u32 {
-            if coin(&mut rng, p0) {
-                if sol.len() >= n {
-                    degenerate = true;
-                    break;
-                }
-                sol.add(SetId(s), &mut meter);
-                epoch0_sampled += 1;
+        for s in bernoulli_hits(&mut rng, m, p0) {
+            if sol.len() >= n {
+                degenerate = true;
+                break;
             }
+            sol.add(SetId(s as u32), &mut meter);
+            epoch0_sampled += 1;
         }
 
         // Per-element epoch-0 counters (released after detection).
@@ -409,9 +469,12 @@ impl RandomOrderSolver {
             counters: vec![0; batch_size],
             counter_gen: vec![0; batch_size],
             generation: 0,
-            tracked: HashSet::new(),
-            tracked_next: HashSet::new(),
-            t_counts: HashMap::new(),
+            tracked: DenseSetBits::for_universe(m),
+            tracked_next: DenseSetBits::for_universe(m),
+            t_counts: vec![0; n],
+            t_gen: vec![0; n],
+            t_generation: 1,
+            t_touched: Vec::new(),
             meter,
             probe: None,
             cur_epoch_probe: EpochProbe::default(),
@@ -533,24 +596,39 @@ impl RandomOrderSolver {
     fn finish_epoch(&mut self, i: u32) {
         let threshold = self.mark_threshold(i);
         let mut marked_by_tracking = 0usize;
-        for (&u, &cnt) in &self.t_counts {
+        let tracked_edges = self.t_touched.len();
+        for idx in 0..self.t_touched.len() {
+            let u = self.t_touched[idx];
+            let cnt = self.t_counts[u as usize];
             if cnt as f64 >= threshold && self.marked.mark(setcover_core::ElemId(u)) {
                 marked_by_tracking += 1;
             }
         }
-        // Release T and swap Q̃ ← Q̃'.
+        // Release T (generation bump: all stamps go stale at once) and
+        // swap Q̃ ← Q̃'.
         self.meter.release(
             SpaceComponent::TrackedEdges,
-            self.t_counts.len() * map_entry_words(2),
+            tracked_edges * map_entry_words(2),
         );
-        self.t_counts.clear();
+        self.t_touched.clear();
+        self.t_generation = self.t_generation.wrapping_add(1);
+        if self.t_generation == 0 {
+            // Extremely rare wrap: hard reset so stale stamps can't match.
+            self.t_gen.iter_mut().for_each(|g| *g = 0);
+            self.t_generation = 1;
+        }
         self.meter
             .release(SpaceComponent::TrackedSets, self.tracked.len());
-        self.tracked = std::mem::take(&mut self.tracked_next);
+        std::mem::swap(&mut self.tracked, &mut self.tracked_next);
+        self.tracked_next.clear();
 
         if let Some(p) = &mut self.probe {
             let mut ep = std::mem::take(&mut self.cur_epoch_probe);
             ep.marked_by_tracking = marked_by_tracking;
+            // Deferred from the per-edge path: T only grows within an
+            // epoch, so its size at epoch end equals the last per-edge
+            // value the old code wrote.
+            ep.tracked_edges = tracked_edges;
             p.epochs.push(ep);
         }
     }
@@ -562,10 +640,12 @@ impl RandomOrderSolver {
             .release(SpaceComponent::TrackedSets, self.tracked.len());
         self.tracked.clear();
         let q0 = self.config.q0.unwrap_or(1.0 / self.n as f64);
-        for s in 0..self.m as u32 {
-            if coin(&mut self.rng, q0) {
-                self.tracked.insert(s);
-            }
+        // Geometric skips: O(expected hits ≈ m/n) instead of m coin flips.
+        let Self {
+            rng, tracked, m, ..
+        } = self;
+        for s in bernoulli_hits(rng, *m, q0) {
+            tracked.insert(s as u32);
         }
         self.meter
             .charge(SpaceComponent::TrackedSets, self.tracked.len());
@@ -635,14 +715,18 @@ impl RandomOrderSolver {
         if self.marked.is_marked(e.elem) {
             return;
         }
-        // Lines 24–25: track edges from Q̃.
-        if self.tracked.contains(&e.set.0) {
-            let entry = self.t_counts.entry(e.elem.0).or_insert(0);
-            if *entry == 0 {
+        // Lines 24–25: track edges from Q̃. One bit probe + two array
+        // slots — no hashing on the per-edge path.
+        if self.tracked.contains(e.set.0) {
+            let u = e.elem.index();
+            if self.t_gen[u] != self.t_generation {
+                self.t_gen[u] = self.t_generation;
+                self.t_counts[u] = 0;
+                self.t_touched.push(e.elem.0);
                 self.meter
                     .charge(SpaceComponent::TrackedEdges, map_entry_words(2));
             }
-            *entry += 1;
+            self.t_counts[u] += 1;
         }
         // Lines 26–30: batch counter and special-set sampling.
         if self.batch_of(e.set) == k {
@@ -686,9 +770,8 @@ impl RandomOrderSolver {
                 }
             }
         }
-        if self.probe.is_some() {
-            self.cur_epoch_probe.tracked_edges = self.t_counts.len();
-        }
+        // (`cur_epoch_probe.tracked_edges` is now stamped once at epoch
+        // end in `finish_epoch`, not on every edge.)
     }
 }
 

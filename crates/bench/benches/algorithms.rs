@@ -1,6 +1,10 @@
 //! Throughput benches: edges/second for every streaming algorithm, plus
 //! the offline greedy, on a planted workload. One group per algorithm;
 //! criterion reports elements (edges) per second via `Throughput`.
+//!
+//! Every streaming bench drives the solver from the lazy edge stream —
+//! the same zero-materialization path the experiment harness uses — so
+//! the numbers include order generation, exactly like a real run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -10,14 +14,15 @@ use setcover_algos::{
     FirstSetSolver, GreedySolver, KkSolver, RandomOrderConfig, RandomOrderSolver,
     SetArrivalThresholdSolver,
 };
-use setcover_core::solver::run_on_edges;
-use setcover_core::stream::{order_edges, StreamOrder};
-use setcover_core::{Edge, OfflineSetCover, SetCoverInstance};
+use setcover_core::solver::run_streaming;
+use setcover_core::stream::{stream_of, StreamOrder};
+use setcover_core::{OfflineSetCover, SetCoverInstance};
 use setcover_gen::planted::{planted, PlantedConfig};
+
+const ORDER: StreamOrder = StreamOrder::Uniform(7);
 
 struct Fixture {
     inst: SetCoverInstance,
-    edges: Vec<Edge>,
     n: usize,
     m: usize,
 }
@@ -28,28 +33,31 @@ fn fixture(n: usize, m: usize) -> Fixture {
         42,
     );
     let inst = p.workload.instance;
-    let edges = order_edges(&inst, StreamOrder::Uniform(7));
-    Fixture { n, m, edges, inst }
+    Fixture { n, m, inst }
 }
 
 fn bench_streaming(c: &mut Criterion) {
     let f = fixture(1024, 16_384);
+    let nn = f.inst.num_edges();
     let mut g = c.benchmark_group("streaming");
     g.sample_size(10);
-    g.throughput(Throughput::Elements(f.edges.len() as u64));
+    g.throughput(Throughput::Elements(nn as u64));
 
     g.bench_function(BenchmarkId::new("kk", "n=1024"), |b| {
         b.iter(|| {
-            run_on_edges(KkSolver::new(f.m, f.n, 1), black_box(&f.edges))
-                .cover
-                .size()
+            run_streaming(
+                KkSolver::new(f.m, f.n, 1),
+                stream_of(black_box(&f.inst), ORDER),
+            )
+            .cover
+            .size()
         })
     });
     g.bench_function(BenchmarkId::new("adversarial-low-space", "n=1024"), |b| {
         b.iter(|| {
-            run_on_edges(
+            run_streaming(
                 AdversarialSolver::new(f.m, f.n, AdversarialConfig::sqrt_n(f.n), 1),
-                black_box(&f.edges),
+                stream_of(black_box(&f.inst), ORDER),
             )
             .cover
             .size()
@@ -57,9 +65,9 @@ fn bench_streaming(c: &mut Criterion) {
     });
     g.bench_function(BenchmarkId::new("random-order", "n=1024"), |b| {
         b.iter(|| {
-            run_on_edges(
-                RandomOrderSolver::new(f.m, f.n, f.edges.len(), RandomOrderConfig::practical(), 1),
-                black_box(&f.edges),
+            run_streaming(
+                RandomOrderSolver::new(f.m, f.n, nn, RandomOrderConfig::practical(), 1),
+                stream_of(black_box(&f.inst), ORDER),
             )
             .cover
             .size()
@@ -67,14 +75,14 @@ fn bench_streaming(c: &mut Criterion) {
     });
     g.bench_function(BenchmarkId::new("element-sampling", "n=1024"), |b| {
         b.iter(|| {
-            run_on_edges(
+            run_streaming(
                 ElementSamplingSolver::new(
                     f.m,
                     f.n,
                     ElementSamplingConfig::for_alpha(32.0, f.m, 1.0),
                     1,
                 ),
-                black_box(&f.edges),
+                stream_of(black_box(&f.inst), ORDER),
             )
             .cover
             .size()
@@ -82,9 +90,9 @@ fn bench_streaming(c: &mut Criterion) {
     });
     g.bench_function(BenchmarkId::new("set-arrival-threshold", "n=1024"), |b| {
         b.iter(|| {
-            run_on_edges(
+            run_streaming(
                 SetArrivalThresholdSolver::new(f.m, f.n),
-                black_box(&f.edges),
+                stream_of(black_box(&f.inst), ORDER),
             )
             .cover
             .size()
@@ -92,9 +100,12 @@ fn bench_streaming(c: &mut Criterion) {
     });
     g.bench_function(BenchmarkId::new("first-set", "n=1024"), |b| {
         b.iter(|| {
-            run_on_edges(FirstSetSolver::new(f.m, f.n), black_box(&f.edges))
-                .cover
-                .size()
+            run_streaming(
+                FirstSetSolver::new(f.m, f.n),
+                stream_of(black_box(&f.inst), ORDER),
+            )
+            .cover
+            .size()
         })
     });
     g.finish();
@@ -104,7 +115,7 @@ fn bench_offline(c: &mut Criterion) {
     let f = fixture(1024, 16_384);
     let mut g = c.benchmark_group("offline");
     g.sample_size(10);
-    g.throughput(Throughput::Elements(f.edges.len() as u64));
+    g.throughput(Throughput::Elements(f.inst.num_edges() as u64));
     g.bench_function("greedy", |b| {
         b.iter(|| GreedySolver.solve(black_box(&f.inst)).size())
     });
@@ -117,12 +128,15 @@ fn bench_kk_scaling(c: &mut Criterion) {
     g.sample_size(10);
     for m in [4_096usize, 16_384, 65_536] {
         let f = fixture(576, m);
-        g.throughput(Throughput::Elements(f.edges.len() as u64));
+        g.throughput(Throughput::Elements(f.inst.num_edges() as u64));
         g.bench_with_input(BenchmarkId::from_parameter(m), &f, |b, f| {
             b.iter(|| {
-                run_on_edges(KkSolver::new(f.m, f.n, 1), black_box(&f.edges))
-                    .cover
-                    .size()
+                run_streaming(
+                    KkSolver::new(f.m, f.n, 1),
+                    stream_of(black_box(&f.inst), ORDER),
+                )
+                .cover
+                .size()
             })
         });
     }

@@ -65,20 +65,26 @@ fn bench_reduction(c: &mut Criterion) {
 
 fn bench_io(c: &mut Criterion) {
     use setcover_core::io::{read_stream, write_stream};
-    use setcover_core::stream::{order_edges, StreamOrder};
+    use setcover_core::stream::{stream_of, StreamOrder};
     let p = planted(&PlantedConfig::exact(512, 4096, 16), 11);
     let inst = p.workload.instance;
-    let edges = order_edges(&inst, StreamOrder::Uniform(2));
+    let order = StreamOrder::Uniform(2);
     let mut buf = Vec::new();
-    write_stream(inst.m(), inst.n(), &edges, &mut buf).unwrap();
+    write_stream(inst.m(), inst.n(), stream_of(&inst, order), &mut buf).unwrap();
 
     let mut g = c.benchmark_group("io");
     g.sample_size(10);
-    g.throughput(Throughput::Elements(edges.len() as u64));
+    g.throughput(Throughput::Elements(inst.num_edges() as u64));
     g.bench_function("write-stream", |b| {
         b.iter(|| {
             let mut out = Vec::with_capacity(buf.len());
-            write_stream(inst.m(), inst.n(), black_box(&edges), &mut out).unwrap();
+            write_stream(
+                inst.m(),
+                inst.n(),
+                stream_of(black_box(&inst), order),
+                &mut out,
+            )
+            .unwrap();
             out.len()
         })
     });
@@ -90,21 +96,19 @@ fn bench_io(c: &mut Criterion) {
 
 fn bench_multipass(c: &mut Criterion) {
     use setcover_algos::MultiPassSieve;
-    use setcover_core::solver::run_multipass;
-    use setcover_core::stream::{order_edges, StreamOrder};
+    use setcover_core::solver::run_multipass_streams;
+    use setcover_core::stream::{stream_of, StreamOrder};
     let p = planted(&PlantedConfig::exact(512, 4096, 16), 12);
     let inst = p.workload.instance;
-    let edges = order_edges(&inst, StreamOrder::Interleaved);
     let mut g = c.benchmark_group("multipass");
     g.sample_size(10);
-    g.throughput(Throughput::Elements(edges.len() as u64));
+    g.throughput(Throughput::Elements(inst.num_edges() as u64));
     for passes in [1usize, 4] {
         g.bench_function(format!("sieve-p{passes}"), |b| {
             b.iter(|| {
-                run_multipass(
-                    MultiPassSieve::new(inst.m(), inst.n(), passes),
-                    black_box(&edges),
-                )
+                run_multipass_streams(MultiPassSieve::new(inst.m(), inst.n(), passes), || {
+                    stream_of(black_box(&inst), StreamOrder::Interleaved)
+                })
                 .cover
                 .size()
             })

@@ -1,34 +1,183 @@
-//! Stream-order adapter benches: cost of materializing each arrival order.
+//! Materialized-vs-lazy stream throughput, plus the random-order solver's
+//! end-to-end per-edge rate on the lazy path.
+//!
+//! Writes every measurement to `BENCH_streams.json` at the repo root
+//! (override with `SC_STREAMS_JSON=<path>`). With
+//! `SC_STREAMS_BENCH_ENFORCE=1` the run exits non-zero if lazy set-arrival
+//! throughput falls more than 25% below the materialized path at the
+//! largest N — the CI perf-smoke gate. `SC_BENCH_QUICK=1` caps sampling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, take_results, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::io::Write as _;
 
-use setcover_core::stream::{order_edges, StreamOrder};
-use setcover_gen::planted::{planted, PlantedConfig};
+use setcover_algos::{RandomOrderConfig, RandomOrderSolver};
+use setcover_core::solver::run_streaming;
+use setcover_core::stream::{order_edges, stream_of, EdgeStream, StreamOrder};
+use setcover_core::SetCoverInstance;
+use setcover_gen::uniform::{uniform, UniformConfig};
 
-fn bench_orders(c: &mut Criterion) {
-    let p = planted(&PlantedConfig::exact(1024, 16_384, 16), 5);
-    let inst = p.workload.instance;
-    let mut g = c.benchmark_group("stream-orders");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(inst.num_edges() as u64));
+/// Target stream lengths. Sets have a fixed size so N = m · size exactly.
+const SET_SIZE: usize = 20;
+const TARGET_NS: [usize; 3] = [100_000, 1_000_000, 10_000_000];
 
-    for order in [
-        StreamOrder::SetArrival,
-        StreamOrder::SetArrivalShuffled(3),
-        StreamOrder::Interleaved,
-        StreamOrder::ElementGrouped,
-        StreamOrder::Uniform(3),
-        StreamOrder::GreedyTrap,
-    ] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(order.name()),
-            &order,
-            |b, &o| b.iter(|| order_edges(black_box(&inst), o).len()),
-        );
+fn instance_with_edges(target_n: usize) -> SetCoverInstance {
+    let m = target_n / SET_SIZE;
+    let n = 4096;
+    uniform(&UniformConfig::ranged(n, m, SET_SIZE, SET_SIZE), 42).instance
+}
+
+/// Consume a lazy stream, folding edges so nothing is optimized away.
+fn drain_lazy(inst: &SetCoverInstance, order: StreamOrder) -> u64 {
+    let mut stream = stream_of(inst, order);
+    let mut acc = 0u64;
+    while let Some(e) = stream.next_edge() {
+        acc = acc.wrapping_add(e.set.0 as u64 ^ e.elem.0 as u64);
     }
+    acc
+}
+
+/// Materialize the order (today's oracle path), then fold it the same way.
+fn drain_materialized(inst: &SetCoverInstance, order: StreamOrder) -> u64 {
+    let edges = order_edges(inst, order);
+    let mut acc = 0u64;
+    for e in &edges {
+        acc = acc.wrapping_add(e.set.0 as u64 ^ e.elem.0 as u64);
+    }
+    acc
+}
+
+fn bench_materialized_vs_lazy(c: &mut Criterion) {
+    for &target in &TARGET_NS {
+        let inst = instance_with_edges(target);
+        let nn = inst.num_edges();
+        let mut g = c.benchmark_group(format!("streams-n{target}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(nn as u64));
+        for order in [
+            StreamOrder::SetArrival,
+            StreamOrder::Interleaved,
+            StreamOrder::Uniform(3),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new("materialized", order.name()),
+                &order,
+                |b, &o| b.iter(|| drain_materialized(black_box(&inst), o)),
+            );
+            g.bench_with_input(BenchmarkId::new("lazy", order.name()), &order, |b, &o| {
+                b.iter(|| drain_lazy(black_box(&inst), o))
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_random_order_solver(c: &mut Criterion) {
+    // End-to-end per-edge rate of Algorithm 1 on the lazy uniform stream:
+    // the hot loop whose tracking path went from hash maps to dense
+    // generation-stamped arrays.
+    let inst = instance_with_edges(1_000_000);
+    let nn = inst.num_edges();
+    let (m, n) = (inst.m(), inst.n());
+    let mut g = c.benchmark_group("random-order-solver");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(nn as u64));
+    g.bench_function("lazy-uniform", |b| {
+        b.iter(|| {
+            run_streaming(
+                RandomOrderSolver::new(m, n, nn, RandomOrderConfig::practical(), 1),
+                stream_of(black_box(&inst), StreamOrder::Uniform(5)),
+            )
+            .cover
+            .size()
+        })
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_orders);
-criterion_main!(benches);
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialize results, enforce the regression gate, write the JSON file.
+fn emit_json_and_enforce() {
+    let results = take_results();
+    let quick = std::env::var_os("SC_BENCH_QUICK").is_some_and(|v| v != "0");
+
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!(
+        "  \"bench\": \"streams\",\n  \"quick\": {quick},\n"
+    ));
+    body.push_str(&format!("  \"set_size\": {SET_SIZE},\n"));
+    body.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let thr = r
+            .melems_per_sec()
+            .map_or("null".to_string(), |t| format!("{t:.3}"));
+        let elems = r.elements.map_or("null".to_string(), |e| e.to_string());
+        body.push_str(&format!(
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"median_ns_per_iter\": {:.1}, \
+             \"min_ns_per_iter\": {:.1}, \"max_ns_per_iter\": {:.1}, \"samples\": {}, \
+             \"elements\": {}, \"medges_per_sec\": {}}}{}\n",
+            json_escape(&r.group),
+            json_escape(&r.id),
+            r.median_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            elems,
+            thr,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+
+    let path = std::env::var("SC_STREAMS_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_streams.json", env!("CARGO_MANIFEST_DIR")));
+    let mut f = std::fs::File::create(&path).expect("create BENCH_streams.json");
+    f.write_all(body.as_bytes())
+        .expect("write BENCH_streams.json");
+    eprintln!("\nstreams bench results -> {path}");
+
+    // Perf-smoke gate: on the largest N, lazy set-arrival must stay within
+    // 25% of the materialized path's throughput.
+    let biggest = format!("streams-n{}", TARGET_NS[TARGET_NS.len() - 1]);
+    let median_of = |id: &str| {
+        results
+            .iter()
+            .find(|r| r.group == biggest && r.id == id)
+            .map(|r| r.median_ns)
+    };
+    let gate = match (
+        median_of("materialized/set-arrival"),
+        median_of("lazy/set-arrival"),
+    ) {
+        // Throughput ∝ 1/median: lazy regresses >25% below materialized
+        // when its median time exceeds materialized/0.75.
+        (Some(mat), Some(lazy)) => {
+            let ratio = mat / lazy; // lazy throughput / materialized throughput
+            eprintln!("perf-smoke: lazy/materialized set-arrival throughput ratio = {ratio:.2}");
+            ratio >= 0.75
+        }
+        _ => {
+            eprintln!("perf-smoke: set-arrival results missing; gate skipped");
+            true
+        }
+    };
+    if !gate && std::env::var_os("SC_STREAMS_BENCH_ENFORCE").is_some_and(|v| v != "0") {
+        eprintln!("perf-smoke FAILED: lazy set-arrival throughput >25% below materialized");
+        std::process::exit(1);
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_materialized_vs_lazy,
+    bench_random_order_solver
+);
+
+fn main() {
+    benches();
+    emit_json_and_enforce();
+}

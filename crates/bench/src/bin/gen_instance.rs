@@ -21,7 +21,7 @@ use std::io::BufWriter;
 use setcover_bench::harness::{arg_f64, arg_str, arg_usize};
 use setcover_core::io::{write_instance, write_stream};
 use setcover_core::math::isqrt;
-use setcover_core::stream::{order_edges, StreamOrder};
+use setcover_core::stream::{stream_of, StreamOrder};
 use setcover_gen::coverage::{blog_watch, BlogWatchConfig};
 use setcover_gen::dominating::{gnp, planted_hubs};
 use setcover_gen::hard::{degree_spike, kk_level_trap};
@@ -89,9 +89,15 @@ fn main() {
             }
         };
         let stream_out = arg_str("stream_out").unwrap_or_else(|| format!("{kind}.scs"));
-        let edges = order_edges(&w.instance, order);
         let f = BufWriter::new(File::create(&stream_out).expect("create stream file"));
-        write_stream(w.instance.m(), w.instance.n(), &edges, f).expect("write stream");
+        // The lazy stream serializes straight from the CSR — no Vec<Edge>.
+        write_stream(
+            w.instance.m(),
+            w.instance.n(),
+            stream_of(&w.instance, order),
+            f,
+        )
+        .expect("write stream");
         println!("stream ({}) -> {stream_out}", order.name());
     }
 }

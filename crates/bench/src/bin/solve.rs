@@ -22,18 +22,37 @@ use setcover_algos::{
 };
 use setcover_bench::harness::{arg_f64, arg_str, arg_usize};
 use setcover_core::io::{read_instance, read_stream};
-use setcover_core::solver::{run_multipass, run_on_edges, RunOutcome};
-use setcover_core::stream::{order_edges, StreamOrder};
-use setcover_core::{Edge, SetCoverInstance};
+use setcover_core::solver::{
+    run_multipass, run_multipass_streams, run_on_edges, run_streaming, RunOutcome,
+};
+use setcover_core::stream::{stream_of, StreamOrder};
+use setcover_core::{Edge, SetCoverInstance, StreamingSetCover};
 
-fn load() -> (SetCoverInstance, Vec<Edge>) {
+/// Where the edge sequence comes from: a materialized `.scs` replay
+/// buffer (order lives in the file), or a lazy order regenerated from the
+/// instance CSR — the default `inst=` path materializes nothing.
+enum Source {
+    Replay(Vec<Edge>),
+    Lazy(StreamOrder),
+}
+
+impl Source {
+    fn num_edges(&self, inst: &SetCoverInstance) -> usize {
+        match self {
+            Source::Replay(edges) => edges.len(),
+            Source::Lazy(_) => inst.num_edges(),
+        }
+    }
+}
+
+fn load() -> (SetCoverInstance, Source) {
     if let Some(path) = arg_str("stream") {
         let f = BufReader::new(File::open(&path).expect("open stream file"));
         let parsed = read_stream(f).expect("parse stream");
         let inst = parsed
             .to_instance()
             .expect("stream must describe a feasible instance");
-        (inst, parsed.edges)
+        (inst, Source::Replay(parsed.edges))
     } else if let Some(path) = arg_str("inst") {
         let f = BufReader::new(File::open(&path).expect("open instance file"));
         let inst = read_instance(f).expect("parse instance");
@@ -49,11 +68,21 @@ fn load() -> (SetCoverInstance, Vec<Edge>) {
                 std::process::exit(2);
             }
         };
-        let edges = order_edges(&inst, order);
-        (inst, edges)
+        (inst, Source::Lazy(order))
     } else {
         eprintln!("pass stream=<file.scs> or inst=<file.sc>");
         std::process::exit(2);
+    }
+}
+
+fn run_solver<A: StreamingSetCover>(
+    solver: A,
+    inst: &SetCoverInstance,
+    src: &Source,
+) -> RunOutcome {
+    match src {
+        Source::Replay(edges) => run_on_edges(solver, edges),
+        Source::Lazy(order) => run_streaming(solver, stream_of(inst, *order)),
     }
 }
 
@@ -77,31 +106,31 @@ fn report(inst: &SetCoverInstance, out: RunOutcome) {
 }
 
 fn main() {
-    let (inst, edges) = load();
+    let (inst, src) = load();
     let (m, n) = (inst.m(), inst.n());
+    let nn = src.num_edges(&inst);
     let seed = arg_usize("seed", 7) as u64;
     let algo = arg_str("algo").unwrap_or_else(|| "kk".to_string());
-    println!(
-        "instance: m = {m}, n = {n}, N = {} stream edges",
-        edges.len()
-    );
+    println!("instance: m = {m}, n = {n}, N = {nn} stream edges");
 
     match algo.as_str() {
-        "kk" => report(&inst, run_on_edges(KkSolver::new(m, n, seed), &edges)),
+        "kk" => report(&inst, run_solver(KkSolver::new(m, n, seed), &inst, &src)),
         "alg1" => report(
             &inst,
-            run_on_edges(
-                RandomOrderSolver::new(m, n, edges.len(), RandomOrderConfig::practical(), seed),
-                &edges,
+            run_solver(
+                RandomOrderSolver::new(m, n, nn, RandomOrderConfig::practical(), seed),
+                &inst,
+                &src,
             ),
         ),
         "alg2" => {
             let alpha = arg_f64("alpha", 2.0 * (n as f64).sqrt());
             report(
                 &inst,
-                run_on_edges(
+                run_solver(
                     AdversarialSolver::new(m, n, AdversarialConfig::with_alpha(alpha), seed),
-                    &edges,
+                    &inst,
+                    &src,
                 ),
             )
         }
@@ -109,26 +138,34 @@ fn main() {
             let alpha = arg_f64("alpha", (n as f64).sqrt() / 2.0);
             report(
                 &inst,
-                run_on_edges(
+                run_solver(
                     ElementSamplingSolver::new(
                         m,
                         n,
                         ElementSamplingConfig::for_alpha(alpha.max(1.0), m, 1.0),
                         seed,
                     ),
-                    &edges,
+                    &inst,
+                    &src,
                 ),
             )
         }
         "set-arrival" => report(
             &inst,
-            run_on_edges(SetArrivalThresholdSolver::new(m, n), &edges),
+            run_solver(SetArrivalThresholdSolver::new(m, n), &inst, &src),
         ),
-        "first-set" => report(&inst, run_on_edges(FirstSetSolver::new(m, n), &edges)),
-        "store-all" => report(&inst, run_on_edges(StoreAllSolver::new(m, n), &edges)),
+        "first-set" => report(&inst, run_solver(FirstSetSolver::new(m, n), &inst, &src)),
+        "store-all" => report(&inst, run_solver(StoreAllSolver::new(m, n), &inst, &src)),
         "multipass" => {
             let passes = arg_usize("passes", 4);
-            let out = run_multipass(MultiPassSieve::new(m, n, passes), &edges);
+            let out = match &src {
+                Source::Replay(edges) => run_multipass(MultiPassSieve::new(m, n, passes), edges),
+                Source::Lazy(order) => {
+                    run_multipass_streams(MultiPassSieve::new(m, n, passes), || {
+                        stream_of(&inst, *order)
+                    })
+                }
+            };
             out.cover.verify(&inst).expect("valid cover");
             println!(
                 "algorithm: {} ({} passes used)",

@@ -4,13 +4,13 @@
 
 use setcover_algos::{KkConfig, KkSolver, MultiPassSieve, RandomOrderConfig, RandomOrderSolver};
 use setcover_core::math::isqrt;
-use setcover_core::solver::run_multipass;
-use setcover_core::stream::{order_edges, StreamOrder};
+use setcover_core::solver::run_multipass_streams;
+use setcover_core::stream::{stream_of, EdgeStream, StreamOrder};
 use setcover_core::StreamingSetCover;
 use setcover_gen::hard::kk_level_trap;
 use setcover_gen::planted::{planted, PlantedConfig};
 
-use crate::harness::{measure, trial_seeds, Measurement};
+use crate::harness::{measure_order, trial_seeds, Measurement};
 use crate::par::TrialRunner;
 use crate::Table;
 
@@ -57,12 +57,9 @@ fn kk_level_width(r: &mut Report, trials: usize, runner: &TrialRunner) {
         "KK level width ablation (paper: width = √n)",
         &["width/√n", "width", "planted ratio", "trap ratio"],
     );
-    // The edge orders don't depend on the width under test; build each
-    // workload's stream once (in parallel) instead of once per width.
+    // Each trial regenerates the interleaved order lazily from its
+    // workload's CSR — no shared `Vec<Edge>` buffers.
     let workloads = [&pl, &trap];
-    let streams: Vec<Vec<setcover_core::Edge>> = runner.grid(&workloads, |_, w| {
-        order_edges(&w.instance, StreamOrder::Interleaved)
-    });
 
     // Grid: (width × workload × trial); seeds keyed on the width
     // multiplier exactly as the serial loops always were.
@@ -80,15 +77,15 @@ fn kk_level_width(r: &mut Report, trials: usize, runner: &TrialRunner) {
     let runs = runner.measure_grid(&grid, |_, &(num, wi, seed)| {
         let inst = &workloads[wi].instance;
         let width = (num * sqrt_n / 4).max(1);
-        measure(
+        measure_order(
             KkSolver::with_config(
                 inst.m(),
                 inst.n(),
                 KkConfig::paper(inst.n()).with_level_width(width),
                 seed,
             ),
-            &streams[wi],
             inst,
+            StreamOrder::Interleaved,
             opt,
         )
     });
@@ -147,19 +144,21 @@ fn randomness_dose(r: &mut Report, runner: &TrialRunner) {
         .map(|b| b.max(1))
         .collect();
     let rows = runner.grid(&blocks, |_, &block| {
-        let edges = order_edges(inst, StreamOrder::BlockShuffled { block, seed: 5 });
         let mut cfg = RandomOrderConfig::practical().with_probe();
         cfg.q0 = Some(0.01);
         let mut solver = RandomOrderSolver::new(m, n, nn, cfg, 7);
-        for &e in &edges {
+        let mut stream = stream_of(inst, StreamOrder::BlockShuffled { block, seed: 5 });
+        let mut edges = 0usize;
+        while let Some(e) = stream.next_edge() {
             solver.process_edge(e);
+            edges += 1;
         }
         let cover = solver.finalize();
         cover.verify(inst).expect("valid");
         let probe = solver.take_probe().unwrap();
         let specials: usize = probe.epochs.iter().map(|e| e.specials).sum();
         let marked: usize = probe.epochs.iter().map(|e| e.marked_by_tracking).sum();
-        (specials, marked, cover.size(), edges.len())
+        (specials, marked, cover.size(), edges)
     });
     for (&block, &(specials, marked, cover, edges)) in blocks.iter().zip(&rows) {
         runner.add_edges(edges);
@@ -186,7 +185,6 @@ fn passes_sweep(r: &mut Report, runner: &TrialRunner) {
     let opt = 16;
     let pl = planted(&PlantedConfig::exact(n, m, opt), 3).workload;
     let inst = &pl.instance;
-    let edges = order_edges(inst, StreamOrder::Interleaved);
 
     let mut table = Table::new(
         "multi-pass sieve: cover vs passes",
@@ -201,7 +199,9 @@ fn passes_sweep(r: &mut Report, runner: &TrialRunner) {
     );
     let pass_counts = [1usize, 2, 3, 4, 6, 8, 12];
     let outs = runner.grid(&pass_counts, |_, &passes| {
-        let out = run_multipass(MultiPassSieve::new(m, n, passes), &edges);
+        let out = run_multipass_streams(MultiPassSieve::new(m, n, passes), || {
+            stream_of(inst, StreamOrder::Interleaved)
+        });
         out.cover.verify(inst).expect("valid");
         out
     });
@@ -235,7 +235,6 @@ fn mark_floor_sweep(r: &mut Report, runner: &TrialRunner) {
         4,
     );
     let inst = &pl.workload.instance;
-    let edges = order_edges(inst, StreamOrder::Uniform(9));
 
     let mut table = Table::new(
         "Algorithm 1 mark_floor ablation (optimistic-marking threshold floor)",
@@ -247,7 +246,8 @@ fn mark_floor_sweep(r: &mut Report, runner: &TrialRunner) {
         cfg.mark_floor = floor;
         cfg.q0 = Some(0.01);
         let mut solver = RandomOrderSolver::new(m, n, inst.num_edges(), cfg, 11);
-        for &e in &edges {
+        let mut stream = stream_of(inst, StreamOrder::Uniform(9));
+        while let Some(e) = stream.next_edge() {
             solver.process_edge(e);
         }
         let cover = solver.finalize();
@@ -257,7 +257,7 @@ fn mark_floor_sweep(r: &mut Report, runner: &TrialRunner) {
         (marked, cover.size(), valid)
     });
     for (&floor, &(marked, cover, valid)) in floors.iter().zip(&rows) {
-        runner.add_edges(edges.len());
+        runner.add_edges(inst.num_edges());
         table.row(&[
             format!("{floor:.0}"),
             marked.to_string(),

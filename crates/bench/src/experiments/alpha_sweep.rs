@@ -2,10 +2,10 @@
 
 use setcover_algos::{AdversarialConfig, AdversarialSolver};
 use setcover_core::math::isqrt;
-use setcover_core::stream::{order_edges, StreamOrder};
+use setcover_core::stream::StreamOrder;
 use setcover_gen::planted::{planted, PlantedConfig};
 
-use crate::harness::{measure, trial_seeds, Measurement};
+use crate::harness::{measure_order, trial_seeds, Measurement};
 use crate::par::TrialRunner;
 use crate::table::{fmt_words, sparkline_log};
 use crate::{loglog_slope, Table};
@@ -57,7 +57,6 @@ pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
 
     let pl = planted(&PlantedConfig::exact(n, m, opt), 0x0a15_e0e9);
     let inst = &pl.workload.instance;
-    let adv = order_edges(inst, StreamOrder::Interleaved);
 
     let mut table = Table::new(
         "Algorithm 2: space & ratio vs α",
@@ -85,10 +84,10 @@ pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
         .collect();
     let runs = runner.measure_grid(&grid, |_, &(c, seed)| {
         let alpha = (c * sqrt_n) as f64;
-        measure(
+        measure_order(
             AdversarialSolver::new(m, n, AdversarialConfig::with_alpha(alpha), seed),
-            &adv,
             inst,
+            StreamOrder::Interleaved,
             opt,
         )
     });

@@ -2,10 +2,10 @@
 
 use setcover_algos::{KkSolver, RandomOrderConfig, RandomOrderSolver};
 use setcover_core::math::isqrt;
-use setcover_core::stream::{order_edges, StreamOrder};
+use setcover_core::stream::StreamOrder;
 use setcover_gen::planted::{planted, PlantedConfig};
 
-use crate::harness::{measure, trial_seeds, Measurement};
+use crate::harness::{measure_order, trial_seeds, Measurement};
 use crate::par::TrialRunner;
 use crate::table::sparkline_log;
 use crate::{loglog_slope, Table};
@@ -60,15 +60,15 @@ pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
     let mut kk_pts = Vec::new();
     let mut ro_pts = Vec::new();
 
-    // Stage 1: build each n's instance and adversarial stream (the
-    // per-point workloads dominate setup time at large n).
+    // Stage 1: build each n's instance (the per-point workloads dominate
+    // setup time at large n). Orders are regenerated lazily per trial from
+    // the CSR, so no adversarial `Vec<Edge>` is kept per point.
     let built: Vec<_> = runner.grid(&ns, |_, &n| {
         let sqrt_n = isqrt(n);
         let opt = (sqrt_n / 2).max(2);
         let m = (n * n / 16).max(4 * n);
         let pl = planted(&PlantedConfig::exact(n, m, opt), n as u64);
-        let adv = order_edges(&pl.workload.instance, StreamOrder::Interleaved);
-        (pl, adv, m, opt)
+        (pl, m, opt)
     });
 
     // Stage 2: flatten (n × algorithm × trial) into one measured grid;
@@ -88,14 +88,18 @@ pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
         })
         .collect();
     let runs = runner.measure_grid(&grid, |_, &(ni, is_kk, i, seed)| {
-        let (pl, adv, m, opt) = &built[ni];
+        let (pl, m, opt) = &built[ni];
         let inst = &pl.workload.instance;
         let n = ns[ni];
         if is_kk {
-            measure(KkSolver::new(*m, n, seed), adv, inst, *opt)
+            measure_order(
+                KkSolver::new(*m, n, seed),
+                inst,
+                StreamOrder::Interleaved,
+                *opt,
+            )
         } else {
-            let rnd = order_edges(inst, StreamOrder::Uniform(7000 + i as u64));
-            measure(
+            measure_order(
                 RandomOrderSolver::new(
                     *m,
                     n,
@@ -103,8 +107,8 @@ pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
                     RandomOrderConfig::practical(),
                     seed,
                 ),
-                &rnd,
                 inst,
+                StreamOrder::Uniform(7000 + i as u64),
                 *opt,
             )
         }
@@ -112,7 +116,7 @@ pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
 
     for (ni, &n) in ns.iter().enumerate() {
         let sqrt_n = isqrt(n);
-        let m = built[ni].2;
+        let m = built[ni].1;
         let chunk = &runs[ni * 2 * trials..(ni + 1) * 2 * trials];
         let mut kk = Measurement::default();
         let mut ro = Measurement::default();

@@ -3,7 +3,7 @@
 
 use setcover_algos::{RandomOrderConfig, RandomOrderSolver};
 use setcover_core::math::isqrt;
-use setcover_core::stream::{order_edges, StreamOrder};
+use setcover_core::stream::{stream_of, EdgeStream, StreamOrder};
 use setcover_core::{SetId, StreamingSetCover};
 use setcover_gen::planted::{planted, PlantedConfig};
 
@@ -58,16 +58,21 @@ pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
         0x0001_fa11,
     );
     let inst = &pl.workload.instance;
-    let edges = order_edges(inst, StreamOrder::Uniform(17));
+    // The probing run and the I2 post-scan below both replay the same
+    // deterministic lazy order — no materialized `Vec<Edge>` needed.
+    let order = StreamOrder::Uniform(17);
 
     let mut config = RandomOrderConfig::practical().with_probe();
     config.q0 = Some(0.015);
     let mut solver = RandomOrderSolver::new(m, n, inst.num_edges(), config, 23);
-    for &e in &edges {
+    let mut stream = stream_of(inst, order);
+    let mut seen = 0usize;
+    while let Some(e) = stream.next_edge() {
         solver.process_edge(e);
+        seen += 1;
     }
     let cover = solver.finalize();
-    runner.add_edges(edges.len());
+    runner.add_edges(seen);
     cover
         .verify(inst)
         .expect("probing run must still be correct");
@@ -156,7 +161,7 @@ pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
         incl.entry(ev.set.0).or_insert(ev.edge_index);
     }
     let mut pos_of: std::collections::HashMap<(u32, u32), usize> = Default::default();
-    for (idx, e) in edges.iter().enumerate() {
+    for (idx, e) in stream_of(inst, order).enumerate() {
         if incl.contains_key(&e.set.0) {
             pos_of.insert((e.set.0, e.elem.0), idx);
         }

@@ -2,11 +2,11 @@
 
 use setcover_algos::{FirstSetSolver, KkSolver, RandomOrderConfig, RandomOrderSolver};
 use setcover_core::math::isqrt;
-use setcover_core::stream::{order_edges, StreamOrder};
+use setcover_core::stream::{stream_of, EdgeStream, StreamOrder};
 use setcover_core::StreamingSetCover;
 use setcover_gen::planted::{planted, PlantedConfig};
 
-use crate::harness::{measure, trial_seeds, MeasuredRun, Measurement};
+use crate::harness::{measure_order, trial_seeds, MeasuredRun, Measurement};
 use crate::par::{Task, TrialRunner};
 use crate::table::fmt_words;
 use crate::Table;
@@ -99,21 +99,18 @@ pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
         ],
     );
 
-    // Stage 1: materialize every order's edge sequence (each a full
-    // permutation of the instance — worth parallelizing on its own).
-    let edge_sets: Vec<Vec<setcover_core::Edge>> =
-        runner.grid(&orders, |_, &order| order_edges(inst, order));
-
-    // Stage 2: flatten the heterogeneous (order × algorithm × trial) work
-    // into one task list. Per order: `trials` random-order runs, 1 probe
-    // run, `trials` kk runs, 1 first-set run — a fixed chunk of
+    // Flatten the heterogeneous (order × algorithm × trial) work into one
+    // task list; every task regenerates its order lazily from the shared
+    // instance CSR (no per-order `Vec<Edge>` buffers — the former stage-1
+    // materialization is gone). Per order: `trials` random-order runs,
+    // 1 probe run, `trials` kk runs, 1 first-set run — a fixed chunk of
     // `2·trials + 2` grid cells, reassembled below in that layout.
     let chunk = 2 * trials + 2;
     let mut tasks: Vec<Task<Out>> = Vec::with_capacity(orders.len() * chunk);
-    for edges in &edge_sets {
+    for &order in &orders {
         for seed in trial_seeds(1, trials) {
             tasks.push(Box::new(move || {
-                Out::Run(measure(
+                Out::Run(measure_order(
                     RandomOrderSolver::new(
                         m,
                         n,
@@ -121,8 +118,8 @@ pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
                         RandomOrderConfig::practical(),
                         seed,
                     ),
-                    edges,
                     inst,
+                    order,
                     opt,
                 ))
             }));
@@ -135,35 +132,36 @@ pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
                 RandomOrderConfig::practical().with_probe(),
                 trial_seeds(1, 1)[0],
             );
-            for &e in edges {
+            let mut stream = stream_of(inst, order);
+            let mut edges = 0usize;
+            while let Some(e) = stream.next_edge() {
                 probed.process_edge(e);
+                edges += 1;
             }
             let _ = probed.finalize();
             let probe = probed.take_probe().expect("probe enabled");
             Out::Probe {
                 specials: probe.epochs.iter().map(|e| e.specials).sum(),
                 marked_t: probe.epochs.iter().map(|e| e.marked_by_tracking).sum(),
-                edges: edges.len(),
+                edges,
             }
         }));
         for seed in trial_seeds(2, trials) {
             tasks.push(Box::new(move || {
-                Out::Run(measure(KkSolver::new(m, n, seed), edges, inst, opt))
+                Out::Run(measure_order(KkSolver::new(m, n, seed), inst, order, opt))
             }));
         }
         tasks.push(Box::new(move || {
-            Out::Run(measure(FirstSetSolver::new(m, n), edges, inst, opt))
+            Out::Run(measure_order(FirstSetSolver::new(m, n), inst, order, opt))
         }));
     }
     let outs = runner.run_tasks(tasks);
-    runner.add_edges(
-        outs.iter()
-            .map(|o| match o {
-                Out::Run(r) => r.edges,
-                Out::Probe { edges, .. } => *edges,
-            })
-            .sum(),
-    );
+    for o in &outs {
+        match o {
+            Out::Run(r) => runner.add_run(r),
+            Out::Probe { edges, .. } => runner.add_edges(*edges),
+        }
+    }
 
     for (oi, order) in orders.iter().enumerate() {
         let chunk_outs = &outs[oi * chunk..(oi + 1) * chunk];

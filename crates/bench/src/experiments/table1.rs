@@ -6,10 +6,10 @@ use setcover_algos::{
     RandomOrderConfig, RandomOrderSolver,
 };
 use setcover_core::math::isqrt;
-use setcover_core::stream::{order_edges, StreamOrder};
+use setcover_core::stream::StreamOrder;
 use setcover_gen::planted::{planted, PlantedConfig};
 
-use crate::harness::{measure, trial_seeds, Measurement};
+use crate::harness::{measure_order, trial_seeds, Measurement};
 use crate::par::TrialRunner;
 use crate::table::fmt_words;
 use crate::Table;
@@ -83,7 +83,7 @@ pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
         ],
     );
 
-    let adv = order_edges(inst, StreamOrder::Interleaved);
+    let adv = StreamOrder::Interleaved;
     let es_alpha = (sqrt_n / 2).max(2) as f64;
     let a2_alpha = 2.0 * sqrt_n as f64;
 
@@ -101,30 +101,21 @@ pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
     let runs = runner.measure_grid(&grid, |_, &(row, i, seed)| match row {
         1 => {
             let cfg = ElementSamplingConfig::for_alpha(es_alpha, m, 1.0);
-            measure(ElementSamplingSolver::new(m, n, cfg, seed), &adv, inst, opt)
+            measure_order(ElementSamplingSolver::new(m, n, cfg, seed), inst, adv, opt)
         }
-        2 => measure(KkSolver::new(m, n, seed), &adv, inst, opt),
-        3 => measure(
+        2 => measure_order(KkSolver::new(m, n, seed), inst, adv, opt),
+        3 => measure_order(
             AdversarialSolver::new(m, n, AdversarialConfig::with_alpha(a2_alpha), seed),
-            &adv,
             inst,
+            adv,
             opt,
         ),
-        _ => {
-            let rnd = order_edges(inst, StreamOrder::Uniform(1000 + i as u64));
-            measure(
-                RandomOrderSolver::new(
-                    m,
-                    n,
-                    inst.num_edges(),
-                    RandomOrderConfig::practical(),
-                    seed,
-                ),
-                &rnd,
-                inst,
-                opt,
-            )
-        }
+        _ => measure_order(
+            RandomOrderSolver::new(m, n, inst.num_edges(), RandomOrderConfig::practical(), seed),
+            inst,
+            StreamOrder::Uniform(1000 + i as u64),
+            opt,
+        ),
     });
     let row_meas = |row: usize| {
         let mut meas = Measurement::default();

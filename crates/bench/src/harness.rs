@@ -6,7 +6,8 @@
 //! quality, space and throughput.
 
 use setcover_core::math::approx_ratio;
-use setcover_core::solver::run_on_edges;
+use setcover_core::solver::{run_on_edges, run_streaming, RunOutcome};
+use setcover_core::stream::{stream_of, StreamOrder};
 use setcover_core::{Edge, SetCoverInstance, StreamingSetCover};
 
 use crate::stats::Summary;
@@ -16,6 +17,10 @@ use crate::stats::Summary;
 pub struct MeasuredRun {
     /// Algorithm name.
     pub algorithm: &'static str,
+    /// Stream-order name the run consumed (see [`StreamOrder::name`]), or
+    /// `"replayed"` for runs over a caller-materialized buffer. Used by
+    /// the per-order throughput footers.
+    pub order: &'static str,
     /// Final cover size.
     pub cover_size: usize,
     /// `cover_size / opt_reference`.
@@ -31,29 +36,55 @@ pub struct MeasuredRun {
     pub millis: f64,
 }
 
+fn verified(
+    out: RunOutcome,
+    order: &'static str,
+    inst: &SetCoverInstance,
+    opt: usize,
+) -> MeasuredRun {
+    if let Err(e) = out.cover.verify(inst) {
+        panic!("{} produced an invalid cover: {e}", out.algorithm);
+    }
+    MeasuredRun {
+        algorithm: out.algorithm,
+        order,
+        cover_size: out.cover.size(),
+        ratio: approx_ratio(out.cover.size(), opt),
+        peak_words: out.space.peak_words,
+        algorithmic_words: out.space.algorithmic_peak_words(),
+        edges: out.edges_processed,
+        millis: out.elapsed.as_secs_f64() * 1e3,
+    }
+}
+
 /// Run a solver over a prepared edge sequence, verify, and measure.
 ///
 /// Panics (with context) if the produced cover is invalid — experiments
-/// must never report numbers from broken covers.
+/// must never report numbers from broken covers. Prefer [`measure_order`]
+/// unless a materialized buffer already exists (replay analyses, stream
+/// files): this entry charges Θ(N) harness memory for the buffer.
 pub fn measure<A: StreamingSetCover>(
     solver: A,
     edges: &[Edge],
     inst: &SetCoverInstance,
     opt_reference: usize,
 ) -> MeasuredRun {
-    let out = run_on_edges(solver, edges);
-    if let Err(e) = out.cover.verify(inst) {
-        panic!("{} produced an invalid cover: {e}", out.algorithm);
-    }
-    MeasuredRun {
-        algorithm: out.algorithm,
-        cover_size: out.cover.size(),
-        ratio: approx_ratio(out.cover.size(), opt_reference),
-        peak_words: out.space.peak_words,
-        algorithmic_words: out.space.algorithmic_peak_words(),
-        edges: out.edges_processed,
-        millis: out.elapsed.as_secs_f64() * 1e3,
-    }
+    verified(run_on_edges(solver, edges), "replayed", inst, opt_reference)
+}
+
+/// Run a solver over the **lazy** stream for `order`, verify, and measure
+/// — the default experiment path. No `Vec<Edge>` is materialized: the
+/// stream yields edges straight from the instance CSR, so the harness
+/// working set per in-flight trial is O(m) (O(N) `u32` indices for the
+/// edge-permuted orders) instead of 8·N bytes.
+pub fn measure_order<A: StreamingSetCover>(
+    solver: A,
+    inst: &SetCoverInstance,
+    order: StreamOrder,
+    opt_reference: usize,
+) -> MeasuredRun {
+    let out = run_streaming(solver, stream_of(inst, order));
+    verified(out, order.name(), inst, opt_reference)
 }
 
 /// A collection of runs of the same configuration over different seeds.
@@ -165,6 +196,30 @@ mod tests {
     }
 
     #[test]
+    fn measure_order_tags_the_order_and_sees_every_edge() {
+        let p = planted(&PlantedConfig::exact(64, 128, 8), 1);
+        let inst = &p.workload.instance;
+        let run = measure_order(
+            KkSolver::new(inst.m(), inst.n(), 3),
+            inst,
+            StreamOrder::Interleaved,
+            8,
+        );
+        assert_eq!(run.order, "interleaved");
+        assert_eq!(run.edges, inst.num_edges());
+        // Lazy and replayed paths are the same computation: identical
+        // covers for identical (solver seed, edge sequence).
+        let replay = measure(
+            KkSolver::new(inst.m(), inst.n(), 3),
+            &order_edges(inst, StreamOrder::Interleaved),
+            inst,
+            8,
+        );
+        assert_eq!(replay.order, "replayed");
+        assert_eq!(run.cover_size, replay.cover_size);
+    }
+
+    #[test]
     fn measurement_aggregates() {
         let p = planted(&PlantedConfig::exact(64, 128, 8), 1);
         let inst = &p.workload.instance;
@@ -189,6 +244,7 @@ mod tests {
     fn medges_skips_untimeable_runs() {
         let timed = MeasuredRun {
             algorithm: "a",
+            order: "replayed",
             cover_size: 1,
             ratio: 1.0,
             peak_words: 1,

@@ -30,6 +30,6 @@ pub mod stats;
 pub mod table;
 
 pub use harness::{trial_seeds, MeasuredRun, Measurement};
-pub use par::{par_grid, timed_report, timed_report_vs_serial, Task, TrialRunner};
+pub use par::{emit_run_footer, par_grid, timed_report, timed_report_vs_serial, Task, TrialRunner};
 pub use stats::{loglog_slope, Summary};
 pub use table::Table;

@@ -23,10 +23,31 @@
 //! the scope joins — exactly like the serial path, just possibly after
 //! finishing other cells first.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::harness::{arg_usize, MeasuredRun};
+
+/// Peak resident set size of this process (`VmHWM`) in KiB, from
+/// `/proc/self/status`. `None` off Linux or if the file is unreadable.
+/// Used by the memory footers: the *delta* of this high-water mark across
+/// an experiment is the experiment's real peak-memory cost, which the
+/// lazy streams are supposed to keep at Θ(m) per in-flight trial.
+pub fn peak_rss_kb() -> Option<u64> {
+    proc_status_kb("VmHWM:")
+}
+
+fn proc_status_kb(key: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with(key))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
 
 /// Run `f` over every item of a grid, on up to `threads` workers, and
 /// return the results in grid (input) order.
@@ -79,6 +100,13 @@ pub type Task<'a, R> = Box<dyn FnOnce() -> R + Send + 'a>;
 pub struct TrialRunner {
     threads: usize,
     edges: AtomicU64,
+    /// Per-stream-order `(edges, solver milliseconds)` totals, keyed by
+    /// [`MeasuredRun::order`]; `BTreeMap` so footer lines print in a
+    /// stable order.
+    order_stats: Mutex<BTreeMap<&'static str, (u64, f64)>>,
+    /// `VmHWM` when this runner was created: the footer reports the
+    /// delta, i.e. how far this run pushed the process peak RSS.
+    rss_baseline_kb: Option<u64>,
 }
 
 impl TrialRunner {
@@ -87,6 +115,8 @@ impl TrialRunner {
         TrialRunner {
             threads: threads.max(1),
             edges: AtomicU64::new(0),
+            order_stats: Mutex::new(BTreeMap::new()),
+            rss_baseline_kb: peak_rss_kb(),
         }
     }
 
@@ -142,8 +172,41 @@ impl TrialRunner {
         F: Fn(usize, &T) -> MeasuredRun + Sync,
     {
         let runs = self.grid(items, f);
-        self.add_edges(runs.iter().map(|r| r.edges).sum());
+        for r in &runs {
+            self.add_run(r);
+        }
         runs
+    }
+
+    /// Account one measured run: its edges toward the aggregate total and
+    /// its (order, edges, millis) toward the per-order throughput footer.
+    /// Experiments that schedule runs outside [`TrialRunner::measure_grid`]
+    /// (e.g. via [`TrialRunner::run_tasks`]) call this per run.
+    pub fn add_run(&self, run: &MeasuredRun) {
+        self.add_edges(run.edges);
+        let mut stats = self.order_stats.lock().expect("order stats poisoned");
+        let entry = stats.entry(run.order).or_insert((0, 0.0));
+        entry.0 += run.edges as u64;
+        if run.millis.is_finite() && run.millis > 0.0 {
+            entry.1 += run.millis;
+        }
+    }
+
+    /// Per-order `(order, edges, solver millis)` totals accounted so far,
+    /// in stable (alphabetical) order.
+    pub fn order_stats(&self) -> Vec<(&'static str, u64, f64)> {
+        self.order_stats
+            .lock()
+            .expect("order stats poisoned")
+            .iter()
+            .map(|(&o, &(e, ms))| (o, e, ms))
+            .collect()
+    }
+
+    /// How far this run has pushed the process peak RSS (KiB) since the
+    /// runner was created; `None` when `/proc` is unavailable.
+    pub fn peak_rss_delta_kb(&self) -> Option<u64> {
+        Some(peak_rss_kb()?.saturating_sub(self.rss_baseline_kb?))
     }
 
     /// Account `edges` processed edges (for aggregate-throughput
@@ -176,6 +239,32 @@ fn footer(name: &str, threads: usize, secs: f64, edges: u64) -> String {
     format!("[{name}] threads={threads} wall={secs:.2}s edges={edges} aggregate={tp}")
 }
 
+/// Print the full stderr footer block for a finished run: the headline
+/// wall-clock/throughput line, the peak-RSS delta (how far this run
+/// pushed the process high-water mark — the lazy streams keep this at
+/// Θ(m) per in-flight trial), and one Medges/s line per stream order.
+pub fn emit_run_footer(name: &str, runner: &TrialRunner, secs: f64) {
+    eprintln!(
+        "{}",
+        footer(name, runner.threads(), secs, runner.total_edges())
+    );
+    if let (Some(delta), Some(peak)) = (runner.peak_rss_delta_kb(), peak_rss_kb()) {
+        eprintln!(
+            "[{name}] peak-rss={:.1} MiB (delta +{:.1} MiB)",
+            peak as f64 / 1024.0,
+            delta as f64 / 1024.0
+        );
+    }
+    for (order, edges, ms) in runner.order_stats() {
+        let tp = if ms > 0.0 {
+            format!("{:.2} Medges/s", edges as f64 / ms / 1e3)
+        } else {
+            "n/a".to_string()
+        };
+        eprintln!("[{name}]   order {order}: {tp} ({edges} edges)");
+    }
+}
+
 /// Run `f` on `runner`, print a timing footer to **stderr** (stdout
 /// carries only the deterministic report text), and return the report.
 pub fn timed_report<F>(name: &str, runner: &TrialRunner, f: F) -> String
@@ -185,10 +274,7 @@ where
     let start = std::time::Instant::now();
     let text = f(runner);
     let secs = start.elapsed().as_secs_f64();
-    eprintln!(
-        "{}",
-        footer(name, runner.threads(), secs, runner.total_edges())
-    );
+    emit_run_footer(name, runner, secs);
     text
 }
 
@@ -204,10 +290,7 @@ where
     let start = std::time::Instant::now();
     let text = f(runner);
     let par_secs = start.elapsed().as_secs_f64();
-    eprintln!(
-        "{}",
-        footer(name, runner.threads(), par_secs, runner.total_edges())
-    );
+    emit_run_footer(name, runner, par_secs);
     if runner.threads() > 1 {
         let serial = TrialRunner::serial();
         let start = std::time::Instant::now();
@@ -293,6 +376,50 @@ mod tests {
                 result.is_err(),
                 "case {case}: panic must surface (len={len}, bad={bad})"
             );
+        }
+    }
+
+    #[test]
+    fn per_order_stats_accumulate_in_stable_order() {
+        let runner = TrialRunner::new(2);
+        let base = MeasuredRun {
+            algorithm: "a",
+            order: "uniform-random",
+            cover_size: 1,
+            ratio: 1.0,
+            peak_words: 1,
+            algorithmic_words: 1,
+            edges: 1_000,
+            millis: 2.0,
+        };
+        runner.add_run(&base);
+        runner.add_run(&MeasuredRun {
+            order: "set-arrival",
+            edges: 500,
+            millis: 0.0, // below timer resolution: edges count, time doesn't
+            ..base.clone()
+        });
+        runner.add_run(&MeasuredRun {
+            edges: 3_000,
+            millis: 1.0,
+            ..base
+        });
+        let stats = runner.order_stats();
+        assert_eq!(
+            stats,
+            vec![("set-arrival", 500, 0.0), ("uniform-random", 4_000, 3.0)]
+        );
+        assert_eq!(runner.total_edges(), 4_500);
+    }
+
+    #[test]
+    fn peak_rss_is_readable_on_linux() {
+        if cfg!(target_os = "linux") {
+            let kb = peak_rss_kb().expect("VmHWM present in /proc/self/status");
+            assert!(kb > 0);
+            let runner = TrialRunner::new(1);
+            // Delta is measured from runner creation: small and non-negative.
+            assert!(runner.peak_rss_delta_kb().is_some());
         }
     }
 

@@ -111,6 +111,24 @@ impl SetCoverInstance {
         self.set(s).binary_search(&u).is_ok()
     }
 
+    /// The `idx`-th edge in canonical order (by set, then element) — the
+    /// order [`edge_vec`](Self::edge_vec) materializes. Decodes the flat
+    /// edge index directly from the CSR arrays: the owning set is found by
+    /// binary search on `set_offsets` (`O(log m)`), the element is a direct
+    /// lookup. This is what lets shuffled stream orders store a compact
+    /// `u32` index permutation instead of a `Vec<Edge>`.
+    #[inline]
+    pub fn edge_at(&self, idx: usize) -> Edge {
+        debug_assert!(idx < self.num_edges());
+        // Last offset <= idx owns the edge; `partition_point` skips over
+        // empty sets (whose offsets tie with their successor's).
+        let s = self.set_offsets.partition_point(|&o| o <= idx) - 1;
+        Edge {
+            set: SetId(s as u32),
+            elem: self.set_elems[idx],
+        }
+    }
+
     /// Iterate over all edges in canonical order (by set, then element).
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         (0..self.m).flat_map(move |i| {
@@ -140,6 +158,14 @@ impl SetCoverInstance {
             let d = self.elem_offsets[i + 1] - self.elem_offsets[i];
             min_deg = min_deg.min(d);
             max_deg = max_deg.max(d);
+        }
+        // Degenerate instances (the loops above never ran, or every slot is
+        // empty) must not leak the `usize::MAX` fold identity into reports.
+        if min_set == usize::MAX {
+            min_set = 0;
+        }
+        if min_deg == usize::MAX {
+            min_deg = 0;
         }
         InstanceStats {
             n: self.n,
@@ -367,6 +393,23 @@ mod tests {
         let mut sorted = edges.clone();
         sorted.sort();
         assert_eq!(edges, sorted);
+    }
+
+    #[test]
+    fn edge_at_decodes_canonical_indices() {
+        // Mix of empty sets (offset ties) and uneven sizes: `edge_at` must
+        // agree with `edge_vec` at every flat index.
+        let mut b = InstanceBuilder::new(5, 6);
+        // set 0 left empty
+        b.add_set_elems(1, [0, 3, 5]);
+        // set 2 left empty
+        b.add_set_elems(3, [1]);
+        b.add_set_elems(4, [2, 4]);
+        let inst = b.build().unwrap();
+        let edges = inst.edge_vec();
+        for (i, &e) in edges.iter().enumerate() {
+            assert_eq!(inst.edge_at(i), e, "index {i}");
+        }
     }
 
     #[test]

@@ -154,7 +154,18 @@ pub fn read_instance<R: BufRead>(r: R) -> Result<SetCoverInstance, IoError> {
 }
 
 /// Serialize a concrete stream (ordered edges) in `.scs` format.
-pub fn write_stream<W: Write>(m: usize, n: usize, edges: &[Edge], mut w: W) -> Result<(), IoError> {
+///
+/// Accepts any exact-size edge iterator, so a lazy
+/// [`stream_of`](crate::stream::stream_of) stream serializes without
+/// materializing a `Vec<Edge>`; pass `edges.iter().copied()` for a
+/// buffer.
+pub fn write_stream<I, W>(m: usize, n: usize, edges: I, mut w: W) -> Result<(), IoError>
+where
+    I: IntoIterator<Item = Edge>,
+    I::IntoIter: ExactSizeIterator,
+    W: Write,
+{
+    let edges = edges.into_iter();
     writeln!(w, "c edge-arrival-setcover stream (order is significant)")?;
     writeln!(w, "p setstream {m} {n} {}", edges.len())?;
     for e in edges {
@@ -301,7 +312,7 @@ mod tests {
         let mut edges = order_edges(&inst, StreamOrder::Interleaved);
         edges.push(edges[0]); // inject a duplicate
         let mut buf = Vec::new();
-        write_stream(inst.m(), inst.n(), &edges, &mut buf).unwrap();
+        write_stream(inst.m(), inst.n(), edges.iter().copied(), &mut buf).unwrap();
         let back = read_stream(&buf[..]).unwrap();
         assert_eq!(back.m, 3);
         assert_eq!(back.n, 4);

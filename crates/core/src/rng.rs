@@ -45,6 +45,60 @@ pub fn coin<R: RngExt>(rng: &mut R, p: f64) -> bool {
     }
 }
 
+/// Geometric-skip Bernoulli sampling: iterate the hit indices of `len`
+/// independent `Coin(p)` flips in `O(expected hits)` time instead of `len`
+/// RNG draws.
+///
+/// The number of failures before the next success of a Bernoulli(`p`)
+/// process is geometric, so each hit is found with a single uniform draw
+/// via inverse-transform sampling: `skip = ⌊ln(1−u) / ln(1−p)⌋`. The hit
+/// *marginals* are exactly Bernoulli(`p`) per index, but the consumed RNG
+/// stream differs from flipping `len` individual coins — callers switching
+/// from a flip loop to this sampler change their seeded trajectories (one
+/// draw per hit instead of one per index).
+///
+/// Edge cases mirror [`coin`]: `p >= 1` yields every index without
+/// consuming any RNG draws; `p <= 0` yields nothing (also draw-free).
+pub fn bernoulli_hits<'r, R: RngExt>(
+    rng: &'r mut R,
+    len: usize,
+    p: f64,
+) -> impl Iterator<Item = usize> + 'r {
+    // ln(1-p) < 0 for p in (0,1); precompute once per call.
+    let log_q = if p > 0.0 && p < 1.0 {
+        (1.0 - p).ln()
+    } else {
+        f64::NAN
+    };
+    let mut next = 0usize;
+    std::iter::from_fn(move || {
+        if next >= len {
+            return None;
+        }
+        if p >= 1.0 {
+            let i = next;
+            next += 1;
+            return Some(i);
+        }
+        if p <= 0.0 {
+            next = len;
+            return None;
+        }
+        // Inverse-transform the geometric skip. `1 - u` is in (0, 1] so
+        // the log is finite or -inf; -inf / log_q = +inf floors to a skip
+        // past `len`, terminating cleanly.
+        let u: f64 = rng.random();
+        let skip = ((1.0 - u).ln() / log_q).floor();
+        if !skip.is_finite() || skip >= (len - next) as f64 {
+            next = len;
+            return None;
+        }
+        let i = next + skip as usize;
+        next = i + 1;
+        Some(i)
+    })
+}
+
 /// A counting wrapper around [`coin`] that records how many flips were made,
 /// used by tests that validate sampling rates.
 #[derive(Debug)]
@@ -117,6 +171,54 @@ mod tests {
         }
         let rate = c.heads as f64 / c.flips as f64;
         assert!((rate - 0.3).abs() < 0.01, "rate {rate} far from 0.3");
+    }
+
+    #[test]
+    fn bernoulli_hits_edge_probabilities_consume_no_randomness() {
+        let mut a = seeded_rng(5);
+        let all: Vec<usize> = bernoulli_hits(&mut a, 7, 1.5).collect();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5, 6]);
+        let none: Vec<usize> = bernoulli_hits(&mut a, 7, -0.1).collect();
+        assert!(none.is_empty());
+        // The RNG state is untouched for p outside (0, 1): it must match a
+        // fresh RNG with the same seed, exactly like `coin`'s early returns.
+        let mut b = seeded_rng(5);
+        assert_eq!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn bernoulli_hits_is_deterministic_and_sorted() {
+        let mut a = seeded_rng(11);
+        let mut b = seeded_rng(11);
+        let ha: Vec<usize> = bernoulli_hits(&mut a, 10_000, 0.01).collect();
+        let hb: Vec<usize> = bernoulli_hits(&mut b, 10_000, 0.01).collect();
+        assert_eq!(ha, hb);
+        assert!(ha.windows(2).all(|w| w[0] < w[1]), "hits must be ascending");
+        assert!(ha.iter().all(|&i| i < 10_000));
+    }
+
+    #[test]
+    fn bernoulli_hits_rate_is_approximately_p() {
+        // Marginal hit rate over many independent runs ≈ p.
+        let len = 1_000;
+        let p = 0.05;
+        let mut total = 0usize;
+        let runs = 400;
+        for seed in 0..runs {
+            let mut rng = seeded_rng(seed);
+            total += bernoulli_hits(&mut rng, len, p).count();
+        }
+        let rate = total as f64 / (len * runs as usize) as f64;
+        assert!((rate - p).abs() < 0.005, "rate {rate} far from {p}");
+    }
+
+    #[test]
+    fn bernoulli_hits_cost_scales_with_hits_not_len() {
+        // O(expected hits): a sparse sample over a huge range terminates
+        // immediately (this would spin for minutes with per-index flips).
+        let mut rng = seeded_rng(2);
+        let hits = bernoulli_hits(&mut rng, 1_000_000_000, 1e-8).count();
+        assert!(hits < 100, "way too many hits: {hits}");
     }
 
     #[test]

@@ -103,6 +103,42 @@ pub fn run_multipass<A: MultiPassSetCover>(mut solver: A, edges: &[Edge]) -> Mul
     }
 }
 
+/// Drive a multi-pass solver with a **fresh stream per pass** instead of a
+/// replay buffer: `make_stream` is called once per pass and must yield the
+/// same edge sequence each time (lazy [`crate::stream::stream_of`] streams
+/// do — they are deterministic in the order's seed). This is the
+/// zero-materialization analogue of [`run_multipass`].
+pub fn run_multipass_streams<A, S, F>(mut solver: A, mut make_stream: F) -> MultiPassOutcome
+where
+    A: MultiPassSetCover,
+    S: EdgeStream,
+    F: FnMut() -> S,
+{
+    let start = Instant::now();
+    let mut passes_used = 0usize;
+    let mut processed = 0usize;
+    for pass in 0..solver.max_passes() {
+        if !solver.begin_pass(pass) {
+            break;
+        }
+        passes_used += 1;
+        let mut stream = make_stream();
+        while let Some(e) = stream.next_edge() {
+            solver.process_edge(e);
+            processed += 1;
+        }
+    }
+    let cover = solver.finalize();
+    MultiPassOutcome {
+        algorithm: solver.name(),
+        cover,
+        space: solver.space(),
+        passes_used,
+        edges_processed: processed,
+        elapsed: start.elapsed(),
+    }
+}
+
 /// An offline (whole-instance) Set Cover algorithm.
 pub trait OfflineSetCover {
     /// Stable algorithm name for reports.

@@ -67,7 +67,9 @@ impl EdgeStream for VecStream {
     #[inline]
     fn next_edge(&mut self) -> Option<Edge> {
         let e = self.edges.get(self.pos).copied();
-        self.pos += 1;
+        if e.is_some() {
+            self.pos += 1;
+        }
         e
     }
 
@@ -129,6 +131,11 @@ impl StreamOrder {
 }
 
 /// Materialize the instance's edges in the given arrival order.
+///
+/// This is the reference oracle for [`LazyStream`]: the lazy stream must
+/// yield this exact sequence. Production paths go through [`stream_of`]
+/// and never build the `Vec<Edge>`; call this only when a materialized
+/// buffer is genuinely needed (replay analysis, file export, tests).
 pub fn order_edges(inst: &SetCoverInstance, order: StreamOrder) -> Vec<Edge> {
     match order {
         StreamOrder::SetArrival => inst.edge_vec(),
@@ -212,9 +219,276 @@ pub fn order_edges(inst: &SetCoverInstance, order: StreamOrder) -> Vec<Edge> {
     }
 }
 
-/// Materialize an ordered [`VecStream`] for the instance.
-pub fn stream_of(inst: &SetCoverInstance, order: StreamOrder) -> VecStream {
-    VecStream::new(order_edges(inst, order))
+/// Internal cursor state of a [`LazyStream`], one variant per traversal
+/// shape. Auxiliary state is O(m) `u32`s for set-permuted orders, O(N)
+/// `u32`s for edge-permuted orders, and O(1) otherwise — never a
+/// `Vec<Edge>`.
+#[derive(Debug, Clone)]
+enum LazyState {
+    /// Sets contiguous, visited in `order` (or id order when `None`):
+    /// `SetArrival`, `SetArrivalShuffled`, `GreedyTrap`.
+    Sets {
+        /// Permutation of set ids, or `None` for the identity.
+        order: Option<Vec<u32>>,
+        /// Index into `order` (or the id range) of the current set.
+        set_pos: usize,
+        /// Index of the next element within the current set.
+        elem_pos: usize,
+    },
+    /// Elements contiguous in id order: `ElementGrouped`.
+    Elems {
+        /// Current element id.
+        elem_pos: usize,
+        /// Index of the next set within `sets_containing(elem_pos)`.
+        set_pos: usize,
+    },
+    /// Round-robin with in-place retirement: `Interleaved`. This is the
+    /// live-list `retain` of [`order_edges`] unrolled into an incremental
+    /// read/write cursor pair: sets that still have an element after the
+    /// current round are compacted to the front for the next round.
+    Interleaved {
+        /// Non-exhausted set ids; `..write` is the compacted next round,
+        /// `read..` the remainder of the current round.
+        live: Vec<u32>,
+        /// Next slot of the current round to read.
+        read: usize,
+        /// Next slot to compact a surviving set into.
+        write: usize,
+        /// Current round-robin round (element index within each set).
+        round: usize,
+    },
+    /// A permutation of canonical edge indices decoded on the fly via
+    /// [`SetCoverInstance::edge_at`]: `Uniform`, `BlockShuffled`.
+    Perm {
+        /// Shuffled canonical edge indices (`u32`: ⅓ of a `Vec<Edge>`).
+        idx: Vec<u32>,
+        /// Next position in `idx`.
+        pos: usize,
+    },
+}
+
+/// A lazily generated [`EdgeStream`] yielding edges straight from the
+/// instance CSR, byte-identical to [`order_edges`] for the same
+/// [`StreamOrder`] (asserted by the equivalence test suite) but without
+/// ever materializing a `Vec<Edge>`.
+#[derive(Debug, Clone)]
+pub struct LazyStream<'a> {
+    inst: &'a SetCoverInstance,
+    state: LazyState,
+    yielded: usize,
+    total: usize,
+}
+
+impl<'a> LazyStream<'a> {
+    /// Build the lazy stream for `order` over `inst`. Seeded orders consume
+    /// their RNG exactly as [`order_edges`] does (Fisher–Yates is
+    /// value-independent, so shuffling an index array draws the same
+    /// random sequence as shuffling the edges themselves).
+    pub fn new(inst: &'a SetCoverInstance, order: StreamOrder) -> Self {
+        let total = inst.num_edges();
+        debug_assert!(u32::try_from(total.max(inst.m())).is_ok());
+        let state = match order {
+            StreamOrder::SetArrival => LazyState::Sets {
+                order: None,
+                set_pos: 0,
+                elem_pos: 0,
+            },
+            StreamOrder::SetArrivalShuffled(seed) => {
+                let mut rng = seeded_rng(seed);
+                let mut set_ids: Vec<u32> = (0..inst.m() as u32).collect();
+                set_ids.shuffle(&mut rng);
+                LazyState::Sets {
+                    order: Some(set_ids),
+                    set_pos: 0,
+                    elem_pos: 0,
+                }
+            }
+            StreamOrder::GreedyTrap => {
+                let mut set_ids: Vec<u32> = (0..inst.m() as u32).collect();
+                set_ids.sort_by_key(|&s| (inst.set_size(crate::ids::SetId(s)), s));
+                LazyState::Sets {
+                    order: Some(set_ids),
+                    set_pos: 0,
+                    elem_pos: 0,
+                }
+            }
+            StreamOrder::ElementGrouped => LazyState::Elems {
+                elem_pos: 0,
+                set_pos: 0,
+            },
+            StreamOrder::Interleaved => {
+                let live: Vec<u32> = (0..inst.m() as u32)
+                    .filter(|&s| inst.set_size(crate::ids::SetId(s)) > 0)
+                    .collect();
+                LazyState::Interleaved {
+                    live,
+                    read: 0,
+                    write: 0,
+                    round: 0,
+                }
+            }
+            StreamOrder::Uniform(seed) => {
+                let mut idx: Vec<u32> = (0..total as u32).collect();
+                let mut rng = seeded_rng(seed);
+                idx.shuffle(&mut rng);
+                LazyState::Perm { idx, pos: 0 }
+            }
+            StreamOrder::BlockShuffled { block, seed } => {
+                let mut idx: Vec<u32> = (0..total as u32).collect();
+                let mut rng = seeded_rng(seed);
+                let block = block.max(1);
+                for chunk in idx.chunks_mut(block) {
+                    chunk.shuffle(&mut rng);
+                }
+                LazyState::Perm { idx, pos: 0 }
+            }
+        };
+        LazyStream {
+            inst,
+            state,
+            yielded: 0,
+            total,
+        }
+    }
+
+    /// Words of auxiliary cursor state (in `u32`s), for memory-model tests
+    /// and footers: 0 for `SetArrival`/`ElementGrouped`, ≤ m for the other
+    /// set-contiguous orders and `Interleaved`, N for permuted orders —
+    /// always at most ⅓ the `8 N` bytes a materialized `Vec<Edge>` costs.
+    pub fn aux_u32s(&self) -> usize {
+        match &self.state {
+            LazyState::Sets { order, .. } => order.as_ref().map_or(0, |v| v.len()),
+            LazyState::Elems { .. } => 0,
+            LazyState::Interleaved { live, .. } => live.len(),
+            LazyState::Perm { idx, .. } => idx.len(),
+        }
+    }
+}
+
+impl EdgeStream for LazyStream<'_> {
+    fn next_edge(&mut self) -> Option<Edge> {
+        let inst = self.inst;
+        let e = match &mut self.state {
+            LazyState::Sets {
+                order,
+                set_pos,
+                elem_pos,
+            } => loop {
+                if *set_pos >= inst.m() {
+                    break None;
+                }
+                let s = match order {
+                    Some(ids) => ids[*set_pos],
+                    None => *set_pos as u32,
+                };
+                let sid = crate::ids::SetId(s);
+                let elems = inst.set(sid);
+                if *elem_pos < elems.len() {
+                    let e = Edge {
+                        set: sid,
+                        elem: elems[*elem_pos],
+                    };
+                    *elem_pos += 1;
+                    break Some(e);
+                }
+                *set_pos += 1;
+                *elem_pos = 0;
+            },
+            LazyState::Elems { elem_pos, set_pos } => loop {
+                if *elem_pos >= inst.n() {
+                    break None;
+                }
+                let uid = crate::ids::ElemId(*elem_pos as u32);
+                let sets = inst.sets_containing(uid);
+                if *set_pos < sets.len() {
+                    let e = Edge {
+                        set: sets[*set_pos],
+                        elem: uid,
+                    };
+                    *set_pos += 1;
+                    break Some(e);
+                }
+                *elem_pos += 1;
+                *set_pos = 0;
+            },
+            LazyState::Interleaved {
+                live,
+                read,
+                write,
+                round,
+            } => loop {
+                if *read >= live.len() {
+                    // Round over: survivors were compacted to `..write`.
+                    live.truncate(*write);
+                    *read = 0;
+                    *write = 0;
+                    *round += 1;
+                    if live.is_empty() {
+                        break None;
+                    }
+                    continue;
+                }
+                let s = live[*read];
+                *read += 1;
+                let sid = crate::ids::SetId(s);
+                let elems = inst.set(sid);
+                let e = Edge {
+                    set: sid,
+                    elem: elems[*round],
+                };
+                if elems.len() > *round + 1 {
+                    live[*write] = s;
+                    *write += 1;
+                }
+                break Some(e);
+            },
+            LazyState::Perm { idx, pos } => {
+                if *pos < idx.len() {
+                    let e = inst.edge_at(idx[*pos] as usize);
+                    *pos += 1;
+                    Some(e)
+                } else {
+                    None
+                }
+            }
+        };
+        match e {
+            Some(_) => self.yielded += 1,
+            None => debug_assert_eq!(
+                self.yielded, self.total,
+                "lazy stream exhausted early: yielded {} of {} edges",
+                self.yielded, self.total
+            ),
+        }
+        e
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.total)
+    }
+}
+
+impl Iterator for LazyStream<'_> {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Edge> {
+        self.next_edge()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.total - self.yielded;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for LazyStream<'_> {}
+
+/// The lazy ordered stream for the instance: yields the identical edge
+/// sequence to `VecStream::new(order_edges(inst, order))` with O(m) (or,
+/// for edge-permuted orders, `N` `u32`s of) cursor state instead of a
+/// materialized `Vec<Edge>`.
+pub fn stream_of(inst: &SetCoverInstance, order: StreamOrder) -> LazyStream<'_> {
+    LazyStream::new(inst, order)
 }
 
 /// The adversarial order portfolio used by experiments: every deterministic
@@ -428,6 +702,99 @@ mod tests {
         }
         assert_eq!(count, inst.num_edges());
         assert!(s.next_edge().is_none());
+    }
+
+    fn all_orders() -> Vec<StreamOrder> {
+        vec![
+            StreamOrder::SetArrival,
+            StreamOrder::SetArrivalShuffled(7),
+            StreamOrder::Interleaved,
+            StreamOrder::ElementGrouped,
+            StreamOrder::Uniform(42),
+            StreamOrder::GreedyTrap,
+            StreamOrder::BlockShuffled { block: 3, seed: 1 },
+            StreamOrder::BlockShuffled {
+                block: 1000,
+                seed: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn lazy_streams_match_order_edges() {
+        let inst = inst();
+        for order in all_orders() {
+            let lazy: Vec<Edge> = LazyStream::new(&inst, order).collect();
+            assert_eq!(lazy, order_edges(&inst, order), "lazy diverged: {order:?}");
+        }
+    }
+
+    #[test]
+    fn lazy_streams_know_their_length_and_stay_exhausted() {
+        let inst = inst();
+        for order in all_orders() {
+            let mut s = LazyStream::new(&inst, order);
+            assert_eq!(s.len_hint(), Some(inst.num_edges()), "{order:?}");
+            let mut count = 0;
+            while s.next_edge().is_some() {
+                count += 1;
+            }
+            assert_eq!(count, inst.num_edges(), "{order:?}");
+            // Exhausted streams must stay exhausted, without panicking or
+            // advancing internal cursors without bound.
+            for _ in 0..3 {
+                assert!(s.next_edge().is_none(), "{order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_streams_never_hold_edge_buffers() {
+        // The whole point: auxiliary state is at most N u32s (edge-index
+        // permutations), m u32s (set permutations / live list), or zero.
+        let inst = inst();
+        let n_edges = inst.num_edges();
+        let m = inst.m();
+        assert_eq!(
+            LazyStream::new(&inst, StreamOrder::SetArrival).aux_u32s(),
+            0
+        );
+        assert_eq!(
+            LazyStream::new(&inst, StreamOrder::ElementGrouped).aux_u32s(),
+            0
+        );
+        assert_eq!(
+            LazyStream::new(&inst, StreamOrder::SetArrivalShuffled(3)).aux_u32s(),
+            m
+        );
+        assert_eq!(
+            LazyStream::new(&inst, StreamOrder::GreedyTrap).aux_u32s(),
+            m
+        );
+        assert!(LazyStream::new(&inst, StreamOrder::Interleaved).aux_u32s() <= m);
+        assert_eq!(
+            LazyStream::new(&inst, StreamOrder::Uniform(5)).aux_u32s(),
+            n_edges
+        );
+        assert_eq!(
+            LazyStream::new(&inst, StreamOrder::BlockShuffled { block: 4, seed: 5 }).aux_u32s(),
+            n_edges
+        );
+    }
+
+    #[test]
+    fn vec_stream_does_not_advance_past_end() {
+        let edges = inst().edge_vec();
+        let len = edges.len();
+        let mut s = VecStream::new(edges);
+        for _ in 0..len {
+            assert!(s.next_edge().is_some());
+        }
+        // Repeated exhausted calls must be stable no-ops.
+        for _ in 0..10 {
+            assert!(s.next_edge().is_none());
+        }
+        assert_eq!(s.edges().len(), len);
     }
 
     #[test]

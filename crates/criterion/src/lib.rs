@@ -16,7 +16,50 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished benchmark's summary, recorded in the in-process results
+/// registry so bench binaries can post-process their own measurements
+/// (e.g. emit machine-readable JSON or enforce regression gates).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name (from `benchmark_group`).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest sample (ns/iter).
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Elements per iteration, when the group declared
+    /// [`Throughput::Elements`].
+    pub elements: Option<u64>,
+}
+
+impl BenchResult {
+    /// Median throughput in million elements per second, if the group
+    /// declared an element count.
+    pub fn melems_per_sec(&self) -> Option<f64> {
+        // e elems per median_ns nanoseconds = e/median · 1e9 elems/s,
+        // i.e. e/median · 1e3 Melems/s.
+        self.elements
+            .filter(|_| self.median_ns > 0.0)
+            .map(|e| e as f64 / self.median_ns * 1e3)
+    }
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drain every benchmark result recorded since the last call (process
+/// global; benches run single-threaded so ordering is program order).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *RESULTS.lock().expect("results registry poisoned"))
+}
 
 /// Throughput annotation for a benchmark group.
 #[derive(Debug, Clone, Copy)]
@@ -219,12 +262,14 @@ impl Bencher {
         let median = s[s.len() / 2];
         let min = s[0];
         let max = s[s.len() - 1];
+        // x per median ns = x/median · 1e9 per second = x/median · 1e3
+        // mega-units per second.
         let thr = match throughput {
             Some(Throughput::Elements(e)) => {
-                format!("  ({:.2} Melem/s)", e as f64 / median * 1e3 / 1e6)
+                format!("  ({:.2} Melem/s)", e as f64 / median * 1e3)
             }
             Some(Throughput::Bytes(b)) => {
-                format!("  ({:.2} MB/s)", b as f64 / median * 1e3 / 1e6)
+                format!("  ({:.2} MB/s)", b as f64 / median * 1e3)
             }
             None => String::new(),
         };
@@ -236,6 +281,21 @@ impl Bencher {
             s.len(),
             thr
         );
+        RESULTS
+            .lock()
+            .expect("results registry poisoned")
+            .push(BenchResult {
+                group: group.to_string(),
+                id: id.to_string(),
+                median_ns: median,
+                min_ns: min,
+                max_ns: max,
+                samples: s.len(),
+                elements: match throughput {
+                    Some(Throughput::Elements(e)) => Some(e),
+                    _ => None,
+                },
+            });
     }
 }
 
@@ -296,6 +356,29 @@ mod tests {
         g.bench_function("plain-str-id", |b| b.iter(|| 1 + 1));
         g.finish();
         assert!(calls > 0, "routine must actually run");
+    }
+
+    #[test]
+    fn results_registry_records_medians_and_throughput() {
+        std::env::set_var("SC_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("registry-selftest");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(1_000));
+        g.bench_function("spin", |b| b.iter(|| (0..1_000u64).sum::<u64>()));
+        g.finish();
+        // Other tests share the process-global registry; filter to ours.
+        let ours: Vec<BenchResult> = take_results()
+            .into_iter()
+            .filter(|r| r.group == "registry-selftest")
+            .collect();
+        assert_eq!(ours.len(), 1);
+        let r = &ours[0];
+        assert_eq!(r.id, "spin");
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert_eq!(r.elements, Some(1_000));
+        assert!(r.melems_per_sec().unwrap() > 0.0);
     }
 
     #[test]

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithms-c989d9e1b36f9d78.d: crates/bench/benches/algorithms.rs
+
+/root/repo/target/debug/deps/algorithms-c989d9e1b36f9d78: crates/bench/benches/algorithms.rs
+
+crates/bench/benches/algorithms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/components-8b4e24e3f96fd93f.d: crates/bench/benches/components.rs
+
+/root/repo/target/debug/deps/components-8b4e24e3f96fd93f: crates/bench/benches/components.rs
+
+crates/bench/benches/components.rs:

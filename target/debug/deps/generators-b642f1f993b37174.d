@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generators-b642f1f993b37174.d: crates/bench/benches/generators.rs
+
+/root/repo/target/debug/deps/generators-b642f1f993b37174: crates/bench/benches/generators.rs
+
+crates/bench/benches/generators.rs:

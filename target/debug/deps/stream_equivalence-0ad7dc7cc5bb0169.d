@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream_equivalence-0ad7dc7cc5bb0169.d: crates/bench/../../tests/stream_equivalence.rs
+
+/root/repo/target/debug/deps/stream_equivalence-0ad7dc7cc5bb0169: crates/bench/../../tests/stream_equivalence.rs
+
+crates/bench/../../tests/stream_equivalence.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/streams-c89117cb402839b6.d: crates/bench/benches/streams.rs
+
+/root/repo/target/debug/deps/streams-c89117cb402839b6: crates/bench/benches/streams.rs
+
+crates/bench/benches/streams.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/algorithms-6298e7ecf826bb5f.d: crates/bench/benches/algorithms.rs Cargo.toml
+
+/root/repo/target/release/deps/libalgorithms-6298e7ecf826bb5f.rmeta: crates/bench/benches/algorithms.rs Cargo.toml
+
+crates/bench/benches/algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/alpha_sweep-7f2a9141bcfc4606.d: crates/bench/src/bin/alpha_sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libalpha_sweep-7f2a9141bcfc4606.rmeta: crates/bench/src/bin/alpha_sweep.rs Cargo.toml
+
+crates/bench/src/bin/alpha_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/approx_scaling-3f30321b5920e44e.d: crates/bench/src/bin/approx_scaling.rs Cargo.toml
+
+/root/repo/target/release/deps/libapprox_scaling-3f30321b5920e44e.rmeta: crates/bench/src/bin/approx_scaling.rs Cargo.toml
+
+crates/bench/src/bin/approx_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

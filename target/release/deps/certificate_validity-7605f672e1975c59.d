@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/certificate_validity-7605f672e1975c59.d: crates/bench/../../tests/certificate_validity.rs Cargo.toml
+
+/root/repo/target/release/deps/libcertificate_validity-7605f672e1975c59.rmeta: crates/bench/../../tests/certificate_validity.rs Cargo.toml
+
+crates/bench/../../tests/certificate_validity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

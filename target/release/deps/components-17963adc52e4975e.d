@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/components-17963adc52e4975e.d: crates/bench/benches/components.rs Cargo.toml
+
+/root/repo/target/release/deps/libcomponents-17963adc52e4975e.rmeta: crates/bench/benches/components.rs Cargo.toml
+
+crates/bench/benches/components.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

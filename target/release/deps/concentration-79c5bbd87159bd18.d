@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/concentration-79c5bbd87159bd18.d: crates/bench/src/bin/concentration.rs Cargo.toml
+
+/root/repo/target/release/deps/libconcentration-79c5bbd87159bd18.rmeta: crates/bench/src/bin/concentration.rs Cargo.toml
+
+crates/bench/src/bin/concentration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/concentration-cd9e6f38c420a4de.d: crates/bench/src/bin/concentration.rs Cargo.toml
+
+/root/repo/target/release/deps/libconcentration-cd9e6f38c420a4de.rmeta: crates/bench/src/bin/concentration.rs Cargo.toml
+
+crates/bench/src/bin/concentration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

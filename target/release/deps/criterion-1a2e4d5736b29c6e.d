@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-1a2e4d5736b29c6e.d: crates/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-1a2e4d5736b29c6e.rmeta: crates/criterion/src/lib.rs Cargo.toml
+
+crates/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

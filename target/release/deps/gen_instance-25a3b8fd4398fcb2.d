@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gen_instance-25a3b8fd4398fcb2.d: crates/bench/src/bin/gen_instance.rs Cargo.toml
+
+/root/repo/target/release/deps/libgen_instance-25a3b8fd4398fcb2.rmeta: crates/bench/src/bin/gen_instance.rs Cargo.toml
+
+crates/bench/src/bin/gen_instance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

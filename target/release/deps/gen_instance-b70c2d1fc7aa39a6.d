@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gen_instance-b70c2d1fc7aa39a6.d: crates/bench/src/bin/gen_instance.rs Cargo.toml
+
+/root/repo/target/release/deps/libgen_instance-b70c2d1fc7aa39a6.rmeta: crates/bench/src/bin/gen_instance.rs Cargo.toml
+
+crates/bench/src/bin/gen_instance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/generators-44045f07839c27f0.d: crates/bench/benches/generators.rs Cargo.toml
+
+/root/repo/target/release/deps/libgenerators-44045f07839c27f0.rmeta: crates/bench/benches/generators.rs Cargo.toml
+
+crates/bench/benches/generators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/invariants-573dec3dfc909680.d: crates/bench/src/bin/invariants.rs Cargo.toml
+
+/root/repo/target/release/deps/libinvariants-573dec3dfc909680.rmeta: crates/bench/src/bin/invariants.rs Cargo.toml
+
+crates/bench/src/bin/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

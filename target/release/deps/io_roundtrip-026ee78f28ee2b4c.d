@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/io_roundtrip-026ee78f28ee2b4c.d: crates/bench/../../tests/io_roundtrip.rs Cargo.toml
+
+/root/repo/target/release/deps/libio_roundtrip-026ee78f28ee2b4c.rmeta: crates/bench/../../tests/io_roundtrip.rs Cargo.toml
+
+crates/bench/../../tests/io_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

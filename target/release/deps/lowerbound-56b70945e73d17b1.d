@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lowerbound-56b70945e73d17b1.d: crates/bench/src/bin/lowerbound.rs Cargo.toml
+
+/root/repo/target/release/deps/liblowerbound-56b70945e73d17b1.rmeta: crates/bench/src/bin/lowerbound.rs Cargo.toml
+
+crates/bench/src/bin/lowerbound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

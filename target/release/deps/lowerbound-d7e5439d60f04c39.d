@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lowerbound-d7e5439d60f04c39.d: crates/bench/src/bin/lowerbound.rs Cargo.toml
+
+/root/repo/target/release/deps/liblowerbound-d7e5439d60f04c39.rmeta: crates/bench/src/bin/lowerbound.rs Cargo.toml
+
+crates/bench/src/bin/lowerbound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

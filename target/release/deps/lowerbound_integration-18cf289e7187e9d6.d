@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lowerbound_integration-18cf289e7187e9d6.d: crates/bench/../../tests/lowerbound_integration.rs Cargo.toml
+
+/root/repo/target/release/deps/liblowerbound_integration-18cf289e7187e9d6.rmeta: crates/bench/../../tests/lowerbound_integration.rs Cargo.toml
+
+crates/bench/../../tests/lowerbound_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

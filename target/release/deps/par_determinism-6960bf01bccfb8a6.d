@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/par_determinism-6960bf01bccfb8a6.d: crates/bench/../../tests/par_determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libpar_determinism-6960bf01bccfb8a6.rmeta: crates/bench/../../tests/par_determinism.rs Cargo.toml
+
+crates/bench/../../tests/par_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pipeline-f1ce63045b67c70e.d: crates/bench/../../tests/pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libpipeline-f1ce63045b67c70e.rmeta: crates/bench/../../tests/pipeline.rs Cargo.toml
+
+crates/bench/../../tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

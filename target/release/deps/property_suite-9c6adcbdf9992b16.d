@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/property_suite-9c6adcbdf9992b16.d: crates/bench/../../tests/property_suite.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperty_suite-9c6adcbdf9992b16.rmeta: crates/bench/../../tests/property_suite.rs Cargo.toml
+
+crates/bench/../../tests/property_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

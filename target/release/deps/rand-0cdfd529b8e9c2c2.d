@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rand-0cdfd529b8e9c2c2.d: crates/rand/src/lib.rs crates/rand/src/rngs.rs crates/rand/src/seq.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-0cdfd529b8e9c2c2.rmeta: crates/rand/src/lib.rs crates/rand/src/rngs.rs crates/rand/src/seq.rs Cargo.toml
+
+crates/rand/src/lib.rs:
+crates/rand/src/rngs.rs:
+crates/rand/src/seq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

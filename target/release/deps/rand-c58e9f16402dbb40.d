@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rand-c58e9f16402dbb40.d: crates/rand/src/lib.rs crates/rand/src/rngs.rs crates/rand/src/seq.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-c58e9f16402dbb40.rmeta: crates/rand/src/lib.rs crates/rand/src/rngs.rs crates/rand/src/seq.rs Cargo.toml
+
+crates/rand/src/lib.rs:
+crates/rand/src/rngs.rs:
+crates/rand/src/seq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/random_order_integration-f4213e58c1cb3420.d: crates/bench/../../tests/random_order_integration.rs Cargo.toml
+
+/root/repo/target/release/deps/librandom_order_integration-f4213e58c1cb3420.rmeta: crates/bench/../../tests/random_order_integration.rs Cargo.toml
+
+crates/bench/../../tests/random_order_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/report-07ec3f1020b86629.d: crates/bench/src/bin/report.rs Cargo.toml
+
+/root/repo/target/release/deps/libreport-07ec3f1020b86629.rmeta: crates/bench/src/bin/report.rs Cargo.toml
+
+crates/bench/src/bin/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

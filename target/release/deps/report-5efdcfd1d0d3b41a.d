@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/report-5efdcfd1d0d3b41a.d: crates/bench/src/bin/report.rs Cargo.toml
+
+/root/repo/target/release/deps/libreport-5efdcfd1d0d3b41a.rmeta: crates/bench/src/bin/report.rs Cargo.toml
+
+crates/bench/src/bin/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/robustness-17385a63677c08ee.d: crates/bench/../../tests/robustness.rs Cargo.toml
+
+/root/repo/target/release/deps/librobustness-17385a63677c08ee.rmeta: crates/bench/../../tests/robustness.rs Cargo.toml
+
+crates/bench/../../tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/separation-31df54c893ef2ff2.d: crates/bench/src/bin/separation.rs Cargo.toml
+
+/root/repo/target/release/deps/libseparation-31df54c893ef2ff2.rmeta: crates/bench/src/bin/separation.rs Cargo.toml
+
+crates/bench/src/bin/separation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

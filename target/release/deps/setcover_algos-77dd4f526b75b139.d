@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/setcover_algos-77dd4f526b75b139.d: crates/algos/src/lib.rs crates/algos/src/adversarial.rs crates/algos/src/amplify.rs crates/algos/src/common.rs crates/algos/src/dominating.rs crates/algos/src/element_sampling.rs crates/algos/src/greedy.rs crates/algos/src/kk.rs crates/algos/src/multipass.rs crates/algos/src/packing.rs crates/algos/src/random_order.rs crates/algos/src/set_arrival.rs crates/algos/src/trivial.rs Cargo.toml
+
+/root/repo/target/release/deps/libsetcover_algos-77dd4f526b75b139.rmeta: crates/algos/src/lib.rs crates/algos/src/adversarial.rs crates/algos/src/amplify.rs crates/algos/src/common.rs crates/algos/src/dominating.rs crates/algos/src/element_sampling.rs crates/algos/src/greedy.rs crates/algos/src/kk.rs crates/algos/src/multipass.rs crates/algos/src/packing.rs crates/algos/src/random_order.rs crates/algos/src/set_arrival.rs crates/algos/src/trivial.rs Cargo.toml
+
+crates/algos/src/lib.rs:
+crates/algos/src/adversarial.rs:
+crates/algos/src/amplify.rs:
+crates/algos/src/common.rs:
+crates/algos/src/dominating.rs:
+crates/algos/src/element_sampling.rs:
+crates/algos/src/greedy.rs:
+crates/algos/src/kk.rs:
+crates/algos/src/multipass.rs:
+crates/algos/src/packing.rs:
+crates/algos/src/random_order.rs:
+crates/algos/src/set_arrival.rs:
+crates/algos/src/trivial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

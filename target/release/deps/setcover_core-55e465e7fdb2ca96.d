@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/setcover_core-55e465e7fdb2ca96.d: crates/core/src/lib.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/io.rs crates/core/src/math.rs crates/core/src/rng.rs crates/core/src/solver.rs crates/core/src/space.rs crates/core/src/stream.rs Cargo.toml
+
+/root/repo/target/release/deps/libsetcover_core-55e465e7fdb2ca96.rmeta: crates/core/src/lib.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/io.rs crates/core/src/math.rs crates/core/src/rng.rs crates/core/src/solver.rs crates/core/src/space.rs crates/core/src/stream.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cover.rs:
+crates/core/src/error.rs:
+crates/core/src/ids.rs:
+crates/core/src/instance.rs:
+crates/core/src/io.rs:
+crates/core/src/math.rs:
+crates/core/src/rng.rs:
+crates/core/src/solver.rs:
+crates/core/src/space.rs:
+crates/core/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

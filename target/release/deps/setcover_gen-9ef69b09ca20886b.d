@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/setcover_gen-9ef69b09ca20886b.d: crates/gen/src/lib.rs crates/gen/src/coverage.rs crates/gen/src/dominating.rs crates/gen/src/hard.rs crates/gen/src/lowerbound.rs crates/gen/src/planted.rs crates/gen/src/uniform.rs crates/gen/src/web.rs crates/gen/src/zipf.rs Cargo.toml
+
+/root/repo/target/release/deps/libsetcover_gen-9ef69b09ca20886b.rmeta: crates/gen/src/lib.rs crates/gen/src/coverage.rs crates/gen/src/dominating.rs crates/gen/src/hard.rs crates/gen/src/lowerbound.rs crates/gen/src/planted.rs crates/gen/src/uniform.rs crates/gen/src/web.rs crates/gen/src/zipf.rs Cargo.toml
+
+crates/gen/src/lib.rs:
+crates/gen/src/coverage.rs:
+crates/gen/src/dominating.rs:
+crates/gen/src/hard.rs:
+crates/gen/src/lowerbound.rs:
+crates/gen/src/planted.rs:
+crates/gen/src/uniform.rs:
+crates/gen/src/web.rs:
+crates/gen/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

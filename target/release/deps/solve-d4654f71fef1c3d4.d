@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/solve-d4654f71fef1c3d4.d: crates/bench/src/bin/solve.rs Cargo.toml
+
+/root/repo/target/release/deps/libsolve-d4654f71fef1c3d4.rmeta: crates/bench/src/bin/solve.rs Cargo.toml
+
+crates/bench/src/bin/solve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

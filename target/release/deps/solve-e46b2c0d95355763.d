@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/solve-e46b2c0d95355763.d: crates/bench/src/bin/solve.rs Cargo.toml
+
+/root/repo/target/release/deps/libsolve-e46b2c0d95355763.rmeta: crates/bench/src/bin/solve.rs Cargo.toml
+
+crates/bench/src/bin/solve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

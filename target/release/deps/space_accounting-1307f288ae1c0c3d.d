@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/space_accounting-1307f288ae1c0c3d.d: crates/bench/../../tests/space_accounting.rs Cargo.toml
+
+/root/repo/target/release/deps/libspace_accounting-1307f288ae1c0c3d.rmeta: crates/bench/../../tests/space_accounting.rs Cargo.toml
+
+crates/bench/../../tests/space_accounting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/stream_equivalence-35ceebf2738dbb11.d: crates/bench/../../tests/stream_equivalence.rs Cargo.toml
+
+/root/repo/target/release/deps/libstream_equivalence-35ceebf2738dbb11.rmeta: crates/bench/../../tests/stream_equivalence.rs Cargo.toml
+
+crates/bench/../../tests/stream_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

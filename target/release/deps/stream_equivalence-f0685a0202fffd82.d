@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stream_equivalence-f0685a0202fffd82.d: crates/bench/../../tests/stream_equivalence.rs
+
+/root/repo/target/release/deps/stream_equivalence-f0685a0202fffd82: crates/bench/../../tests/stream_equivalence.rs
+
+crates/bench/../../tests/stream_equivalence.rs:

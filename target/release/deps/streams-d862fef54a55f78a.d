@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/streams-d862fef54a55f78a.d: crates/bench/benches/streams.rs
+
+/root/repo/target/release/deps/streams-d862fef54a55f78a: crates/bench/benches/streams.rs
+
+crates/bench/benches/streams.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/streams-ed7f79caa34dc177.d: crates/bench/benches/streams.rs Cargo.toml
+
+/root/repo/target/release/deps/libstreams-ed7f79caa34dc177.rmeta: crates/bench/benches/streams.rs Cargo.toml
+
+crates/bench/benches/streams.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/adversarial_vs_random-1768001cc759ebd6.d: crates/bench/../../examples/adversarial_vs_random.rs Cargo.toml
+
+/root/repo/target/release/examples/libadversarial_vs_random-1768001cc759ebd6.rmeta: crates/bench/../../examples/adversarial_vs_random.rs Cargo.toml
+
+crates/bench/../../examples/adversarial_vs_random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/blog_watch-d16aa7b5a1f49e94.d: crates/bench/../../examples/blog_watch.rs Cargo.toml
+
+/root/repo/target/release/examples/libblog_watch-d16aa7b5a1f49e94.rmeta: crates/bench/../../examples/blog_watch.rs Cargo.toml
+
+crates/bench/../../examples/blog_watch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

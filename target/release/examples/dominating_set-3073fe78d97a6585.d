@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/dominating_set-3073fe78d97a6585.d: crates/bench/../../examples/dominating_set.rs Cargo.toml
+
+/root/repo/target/release/examples/libdominating_set-3073fe78d97a6585.rmeta: crates/bench/../../examples/dominating_set.rs Cargo.toml
+
+crates/bench/../../examples/dominating_set.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

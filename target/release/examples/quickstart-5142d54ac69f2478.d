@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-5142d54ac69f2478.d: crates/bench/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-5142d54ac69f2478.rmeta: crates/bench/../../examples/quickstart.rs Cargo.toml
+
+crates/bench/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

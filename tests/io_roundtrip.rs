@@ -6,7 +6,7 @@ use std::io::{BufReader, BufWriter};
 use setcover_algos::{greedy_cover, KkSolver};
 use setcover_core::io::{read_instance, read_stream, write_instance, write_stream};
 use setcover_core::solver::run_on_edges;
-use setcover_core::stream::{order_edges, StreamOrder};
+use setcover_core::stream::{order_edges, stream_of, StreamOrder};
 use setcover_gen::planted::{planted, PlantedConfig};
 use setcover_gen::web::{web_crawl, WebConfig};
 
@@ -43,7 +43,7 @@ fn stream_file_roundtrip_preserves_runs() {
     write_stream(
         inst.m(),
         inst.n(),
-        &edges,
+        edges.iter().copied(),
         BufWriter::new(std::fs::File::create(&path).unwrap()),
     )
     .unwrap();
@@ -68,10 +68,16 @@ fn stream_file_with_adversarial_order_is_reusable() {
     // about what the instance is.
     let p = planted(&PlantedConfig::exact(60, 120, 6), 4);
     let inst = &p.workload.instance;
-    let edges = order_edges(inst, StreamOrder::GreedyTrap);
 
     let mut buf = Vec::new();
-    write_stream(inst.m(), inst.n(), &edges, &mut buf).unwrap();
+    // The lazy stream writes the same bytes the materialized buffer would.
+    write_stream(
+        inst.m(),
+        inst.n(),
+        stream_of(inst, StreamOrder::GreedyTrap),
+        &mut buf,
+    )
+    .unwrap();
     let parsed = read_stream(&buf[..]).unwrap();
     let rebuilt = parsed.to_instance().unwrap();
     assert_eq!(rebuilt.edge_vec(), inst.edge_vec());

@@ -5,8 +5,12 @@
 //! `threads=8` run and a `threads=1` run are the same computation
 //! scheduled differently.
 
+use setcover_algos::KkSolver;
 use setcover_bench::experiments::{alpha_sweep, concentration, separation, table1};
+use setcover_bench::harness::measure_order;
 use setcover_bench::TrialRunner;
+use setcover_core::stream::StreamOrder;
+use setcover_gen::planted::{planted, PlantedConfig};
 
 #[test]
 fn separation_report_is_identical_across_thread_counts() {
@@ -56,6 +60,46 @@ fn concentration_report_is_identical_across_thread_counts() {
     let serial = concentration::run_with(&p, &TrialRunner::serial());
     let par = concentration::run_with(&p, &TrialRunner::new(8));
     assert_eq!(serial, par);
+}
+
+#[test]
+fn lazy_streams_are_deterministic_across_thread_counts() {
+    // The zero-materialization path directly: a grid of `measure_order`
+    // trials over lazy streams must produce identical covers whether the
+    // grid runs serially or on a worker pool. Lazy orders regenerate from
+    // the shared CSR inside worker threads, so this also proves the
+    // generators are race-free under concurrent reads.
+    let p = planted(&PlantedConfig::exact(256, 1024, 8), 77);
+    let inst = &p.workload.instance;
+    let grid: Vec<(StreamOrder, u64)> = [
+        StreamOrder::SetArrival,
+        StreamOrder::SetArrivalShuffled(3),
+        StreamOrder::ElementGrouped,
+        StreamOrder::GreedyTrap,
+        StreamOrder::Interleaved,
+        StreamOrder::Uniform(3),
+        StreamOrder::BlockShuffled { block: 64, seed: 3 },
+    ]
+    .into_iter()
+    .flat_map(|o| (0..3u64).map(move |s| (o, 40 + s)))
+    .collect();
+    let run = |runner: &TrialRunner| -> Vec<(usize, &'static str)> {
+        runner
+            .measure_grid(&grid, |_, &(order, seed)| {
+                measure_order(KkSolver::new(inst.m(), inst.n(), seed), inst, order, 8)
+            })
+            .into_iter()
+            .map(|r| (r.cover_size, r.order))
+            .collect()
+    };
+    let serial = run(&TrialRunner::serial());
+    for threads in [2, 8] {
+        assert_eq!(
+            serial,
+            run(&TrialRunner::new(threads)),
+            "lazy measure_order grid diverged at threads={threads}"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,112 @@
+//! Lazy-stream equivalence suite: for **every** `StreamOrder`, the
+//! generator-backed lazy stream must yield the byte-identical edge
+//! sequence to `order_edges` (the materializing oracle) — on planted,
+//! uniform, Zipf-skewed, and degenerate single-set instances, across
+//! ≥32 seeded cases. This is the contract that lets the whole harness
+//! run zero-materialization without touching any seeded replay result.
+
+use setcover_core::stream::{order_edges, stream_of, EdgeStream, StreamOrder};
+use setcover_core::{Edge, InstanceBuilder, SetCoverInstance};
+use setcover_gen::planted::{planted, PlantedConfig};
+use setcover_gen::uniform::{uniform, UniformConfig};
+use setcover_gen::zipf::{zipf, ZipfConfig};
+
+/// Every stream-order family, parameterized by a case seed so shuffled
+/// orders get fresh randomness per case.
+fn all_orders(seed: u64) -> Vec<StreamOrder> {
+    vec![
+        StreamOrder::SetArrival,
+        StreamOrder::SetArrivalShuffled(seed),
+        StreamOrder::ElementGrouped,
+        StreamOrder::GreedyTrap,
+        StreamOrder::Interleaved,
+        StreamOrder::Uniform(seed),
+        StreamOrder::BlockShuffled {
+            block: 1 + (seed as usize % 97),
+            seed,
+        },
+        StreamOrder::BlockShuffled {
+            block: 1_000_000, // larger than any test stream: one block
+            seed,
+        },
+    ]
+}
+
+fn single_set_instance(n: usize) -> SetCoverInstance {
+    let mut b = InstanceBuilder::new(1, n);
+    b.add_set_elems(0, 0..n as u32);
+    b.build().expect("single-set instance")
+}
+
+fn assert_lazy_matches_oracle(inst: &SetCoverInstance, label: &str, case_seed: u64) {
+    for order in all_orders(case_seed) {
+        let oracle = order_edges(inst, order);
+        let mut lazy = stream_of(inst, order);
+        assert_eq!(
+            lazy.len_hint(),
+            Some(oracle.len()),
+            "{label}/{}: len_hint disagrees with the oracle",
+            order.name()
+        );
+        let mut got: Vec<Edge> = Vec::with_capacity(oracle.len());
+        while let Some(e) = lazy.next_edge() {
+            got.push(e);
+        }
+        assert_eq!(
+            got,
+            oracle,
+            "{label}/{}: lazy stream diverged from order_edges (case seed {case_seed})",
+            order.name()
+        );
+        // Exhausted streams must stay exhausted.
+        assert_eq!(lazy.next_edge(), None);
+    }
+}
+
+#[test]
+fn planted_instances_match_under_every_order() {
+    // 8 seeded planted cases × 8 orders = 64 comparisons.
+    for case in 0..8u64 {
+        let n = 64 + 32 * (case as usize % 3);
+        let p = planted(&PlantedConfig::exact(n, 4 * n, 8), 0xBEEF + case);
+        assert_lazy_matches_oracle(&p.workload.instance, "planted", case);
+    }
+}
+
+#[test]
+fn uniform_instances_match_under_every_order() {
+    // 8 seeded uniform cases (ragged random set sizes) × 8 orders.
+    for case in 0..8u64 {
+        let n = 96;
+        let m = 128 + 16 * case as usize;
+        let w = uniform(&UniformConfig::ranged(n, m, 1, 24), 0xF00D + case);
+        assert_lazy_matches_oracle(&w.instance, "uniform", case);
+    }
+}
+
+#[test]
+fn zipf_instances_match_under_every_order() {
+    // 8 seeded Zipf-skewed cases (heavy-tailed element degrees) × 8 orders.
+    for case in 0..8u64 {
+        let w = zipf(
+            &ZipfConfig {
+                n: 128,
+                m: 200,
+                set_size: 6 + case as usize % 5,
+                theta: 1.1,
+            },
+            0x21F + case,
+        );
+        assert_lazy_matches_oracle(&w.instance, "zipf", case);
+    }
+}
+
+#[test]
+fn single_set_instances_match_under_every_order() {
+    // 8 degenerate single-set cases × 8 orders: the whole stream is one
+    // set's elements, exercising every adapter's boundary handling.
+    for case in 0..8u64 {
+        let inst = single_set_instance(1 + 13 * case as usize);
+        assert_lazy_matches_oracle(&inst, "single-set", case);
+    }
+}
