@@ -207,27 +207,37 @@ impl SolutionBuilder {
 
     /// Finish: patch every element without a witness using `patch`
     /// (typically [`FirstSetMap::get`]), adding the patch sets to the
-    /// cover. Panics if `patch` fails for an unpatched element — on a
-    /// feasible instance whose full stream was consumed, `R(u)` is total.
+    /// cover.
+    ///
+    /// On a feasible instance whose full stream was consumed, `R(u)` is
+    /// total and the result is a total certificate that passes
+    /// [`Cover::verify`]. When edges never arrived (dropped, truncated or
+    /// repaired away), `patch` may fail for some elements: those slots are
+    /// left `None` and the result is a *partial* cover — exactly what the
+    /// solver can honestly certify about the delivered stream, checkable
+    /// with [`Cover::verify_delivered`]. No panic either way: degraded
+    /// input degrades the answer, not the process.
     pub fn finish_with<F: FnMut(ElemId) -> Option<SetId>>(mut self, mut patch: F) -> Cover {
         let n = self.certificate.len();
         let mut cert = Vec::with_capacity(n);
         for u in 0..n {
             let uid = ElemId(u as u32);
-            let s = match self.certificate[u] {
-                Some(s) => s,
-                None => {
-                    let s = patch(uid).expect("patch must cover all uncertified elements");
-                    if !self.in_sol[s.index()] {
-                        self.in_sol[s.index()] = true;
-                        self.members.push(s);
+            let slot = match self.certificate[u] {
+                Some(s) => Some(s),
+                None => match patch(uid) {
+                    Some(s) => {
+                        if !self.in_sol[s.index()] {
+                            self.in_sol[s.index()] = true;
+                            self.members.push(s);
+                        }
+                        Some(s)
                     }
-                    s
-                }
+                    None => None,
+                },
             };
-            cert.push(s);
+            cert.push(slot);
         }
-        Cover::new(self.members, cert)
+        Cover::new_partial(self.members, cert)
     }
 }
 
@@ -287,14 +297,24 @@ mod tests {
         sol.certify(ElemId(1), SetId(1), &mut meter);
         let cover = sol.finish_with(|u| Some(SetId(u.0 + 2)));
         // u0 -> S2 (patch), u1 -> S1 (witness), u2 -> S4 (patch)
-        assert_eq!(cover.certificate(), &[SetId(2), SetId(1), SetId(4)]);
+        assert_eq!(
+            cover.certificate(),
+            &[Some(SetId(2)), Some(SetId(1)), Some(SetId(4))]
+        );
         assert_eq!(cover.sets(), &[SetId(1), SetId(2), SetId(4)]);
+        assert!(cover.is_total());
     }
 
     #[test]
-    #[should_panic(expected = "patch must cover")]
-    fn finish_requires_total_patch() {
-        let sol = SolutionBuilder::new(1, 1);
-        let _ = sol.finish_with(|_| None);
+    fn finish_with_failed_patch_yields_partial_cover() {
+        let mut meter = SpaceMeter::new();
+        let mut sol = SolutionBuilder::new(3, 3);
+        sol.add(SetId(0), &mut meter);
+        sol.certify(ElemId(0), SetId(0), &mut meter);
+        // Elements 1 and 2 never arrived: patch fails for them.
+        let cover = sol.finish_with(|_| None);
+        assert_eq!(cover.certificate(), &[Some(SetId(0)), None, None]);
+        assert_eq!(cover.certified_count(), 1);
+        assert!(!cover.is_total());
     }
 }

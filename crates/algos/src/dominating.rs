@@ -139,7 +139,14 @@ impl<A: StreamingSetCover> DominatingSetStream<A> {
         let cover = self.inner.finalize();
         DominatingSet {
             vertices: cover.sets().iter().map(|s| s.0).collect(),
-            dominator: cover.certificate().iter().map(|s| s.0).collect(),
+            dominator: cover
+                .certificate()
+                .iter()
+                .map(|s| {
+                    s.expect("full graph stream observed every vertex, so the certificate is total")
+                        .0
+                })
+                .collect(),
         }
     }
 

@@ -5,10 +5,11 @@
 //! Usage: `cargo run -p setcover-bench --release --bin ablation [trials=3] [threads=<auto>]`
 
 use setcover_bench::experiments::ablation;
-use setcover_bench::harness::arg_usize;
+use setcover_bench::harness::{arg_usize, check_args};
 use setcover_bench::{timed_report, TrialRunner};
 
 fn main() {
+    check_args(&["trials", "threads"]);
     let p = ablation::Params {
         trials: arg_usize("trials", 3),
     };

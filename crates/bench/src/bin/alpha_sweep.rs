@@ -11,10 +11,11 @@
 //! to stderr (stdout carries only the report).
 
 use setcover_bench::experiments::alpha_sweep;
-use setcover_bench::harness::{arg_str, arg_usize};
+use setcover_bench::harness::{arg_str, arg_usize, check_args};
 use setcover_bench::{timed_report_vs_serial, TrialRunner};
 
 fn main() {
+    check_args(&["m", "n", "trials", "threads"]);
     let mut p = alpha_sweep::Params {
         n: arg_usize("n", 1024),
         ..Default::default()

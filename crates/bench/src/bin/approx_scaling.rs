@@ -4,10 +4,11 @@
 //! Usage: `cargo run -p setcover-bench --release --bin approx_scaling [max_n=1600] [trials=3] [threads=<auto>]`
 
 use setcover_bench::experiments::approx_scaling;
-use setcover_bench::harness::arg_usize;
+use setcover_bench::harness::{arg_usize, check_args};
 use setcover_bench::{timed_report, TrialRunner};
 
 fn main() {
+    check_args(&["max_n", "trials", "threads"]);
     let p = approx_scaling::Params {
         max_n: arg_usize("max_n", 1600),
         trials: arg_usize("trials", 3),

@@ -4,10 +4,11 @@
 //! Usage: `cargo run -p setcover-bench --release --bin concentration [trials=300] [threads=<auto>]`
 
 use setcover_bench::experiments::concentration;
-use setcover_bench::harness::arg_usize;
+use setcover_bench::harness::{arg_usize, check_args};
 use setcover_bench::{timed_report, TrialRunner};
 
 fn main() {
+    check_args(&["trials", "threads"]);
     let p = concentration::Params {
         trials: arg_usize("trials", 300),
     };

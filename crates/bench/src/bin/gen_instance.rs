@@ -18,7 +18,7 @@
 use std::fs::File;
 use std::io::BufWriter;
 
-use setcover_bench::harness::{arg_f64, arg_str, arg_usize};
+use setcover_bench::harness::{arg_f64, arg_str, arg_usize, check_args, die};
 use setcover_core::io::{write_instance, write_stream};
 use setcover_core::math::isqrt;
 use setcover_core::stream::{stream_of, StreamOrder};
@@ -31,6 +31,21 @@ use setcover_gen::zipf::{zipf, ZipfConfig};
 use setcover_gen::Workload;
 
 fn main() {
+    check_args(&[
+        "p",
+        "theta",
+        "kind",
+        "order",
+        "out",
+        "stream_out",
+        "extra",
+        "m",
+        "n",
+        "opt",
+        "seed",
+        "size",
+        "spikes",
+    ]);
     let kind = arg_str("kind").unwrap_or_else(|| "planted".to_string());
     let n = arg_usize("n", 1024);
     let m = arg_usize("m", 4 * n);
@@ -72,8 +87,10 @@ fn main() {
     );
 
     let out = arg_str("out").unwrap_or_else(|| format!("{kind}.sc"));
-    let f = BufWriter::new(File::create(&out).expect("create instance file"));
-    write_instance(&w.instance, f).expect("write instance");
+    let f = BufWriter::new(
+        File::create(&out).unwrap_or_else(|e| die(&format!("cannot create `{out}`: {e}"))),
+    );
+    write_instance(&w.instance, f).unwrap_or_else(|e| die(&format!("cannot write `{out}`: {e}")));
     println!("instance -> {out}");
 
     if let Some(order_name) = arg_str("order") {
@@ -89,7 +106,10 @@ fn main() {
             }
         };
         let stream_out = arg_str("stream_out").unwrap_or_else(|| format!("{kind}.scs"));
-        let f = BufWriter::new(File::create(&stream_out).expect("create stream file"));
+        let f = BufWriter::new(
+            File::create(&stream_out)
+                .unwrap_or_else(|e| die(&format!("cannot create `{stream_out}`: {e}"))),
+        );
         // The lazy stream serializes straight from the CSR — no Vec<Edge>.
         write_stream(
             w.instance.m(),
@@ -97,7 +117,7 @@ fn main() {
             stream_of(&w.instance, order),
             f,
         )
-        .expect("write stream");
+        .unwrap_or_else(|e| die(&format!("cannot write `{stream_out}`: {e}")));
         println!("stream ({}) -> {stream_out}", order.name());
     }
 }

@@ -4,10 +4,11 @@
 //! Usage: `cargo run -p setcover-bench --release --bin invariants [n=4096] [opt=8] [threads=<auto>]`
 
 use setcover_bench::experiments::invariants;
-use setcover_bench::harness::{arg_str, arg_usize};
+use setcover_bench::harness::{arg_str, arg_usize, check_args};
 use setcover_bench::{timed_report, TrialRunner};
 
 fn main() {
+    check_args(&["m", "n", "opt", "threads"]);
     let mut p = invariants::Params {
         n: arg_usize("n", 4096),
         opt: arg_usize("opt", 8),

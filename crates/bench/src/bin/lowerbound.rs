@@ -5,10 +5,11 @@
 //! Usage: `cargo run -p setcover-bench --release --bin lowerbound [trials=5] [threads=<auto>]`
 
 use setcover_bench::experiments::lowerbound;
-use setcover_bench::harness::arg_usize;
+use setcover_bench::harness::{arg_usize, check_args};
 use setcover_bench::{timed_report, TrialRunner};
 
 fn main() {
+    check_args(&["trials", "threads"]);
     let p = lowerbound::Params {
         trials: arg_usize("trials", 5),
     };

@@ -1,0 +1,49 @@
+//! E-R1 — Solver degradation under injected stream faults: seeded chaos
+//! streams ingested through a Repair-policy guard, all five streaming
+//! solvers per cell, every cover verified against the delivered
+//! sub-instance. Degradation curves are written as JSON for plotting.
+//!
+//! Usage: `cargo run -p setcover-bench --release --bin robustness \
+//!             [n=512] [m=2048] [opt=12] [trials=3] \
+//!             [json_out=results/robustness.json] [threads=<auto>]`
+//!
+//! `SC_BENCH_QUICK=1` shrinks the default sweep for CI smoke runs.
+
+use std::cell::RefCell;
+use std::io::Write as _;
+
+use setcover_bench::experiments::robustness;
+use setcover_bench::harness::{arg_str, arg_usize, check_args, die};
+use setcover_bench::{timed_report, TrialRunner};
+
+fn main() {
+    check_args(&["n", "m", "opt", "trials", "json_out", "threads"]);
+    let defaults = robustness::Params::default();
+    let p = robustness::Params {
+        n: arg_usize("n", defaults.n),
+        m: arg_usize("m", defaults.m),
+        opt: arg_usize("opt", defaults.opt),
+        trials: arg_usize("trials", defaults.trials),
+        rates: defaults.rates,
+    };
+    let json_path = arg_str("json_out").unwrap_or_else(|| "results/robustness.json".to_string());
+    let runner = TrialRunner::from_args();
+
+    let json = RefCell::new(String::new());
+    let text = timed_report("robustness", &runner, |r| {
+        let (text, j) = robustness::run_full(&p, r);
+        *json.borrow_mut() = j;
+        text
+    });
+    print!("{text}");
+
+    let json = json.into_inner();
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    let write = std::fs::File::create(&json_path).and_then(|mut f| f.write_all(json.as_bytes()));
+    match write {
+        Ok(()) => eprintln!("degradation curves -> {json_path}"),
+        Err(e) => die(&format!("cannot write {json_path}: {e}")),
+    }
+}

@@ -10,10 +10,11 @@
 //! to stderr (stdout carries only the report).
 
 use setcover_bench::experiments::separation;
-use setcover_bench::harness::{arg_str, arg_usize};
+use setcover_bench::harness::{arg_str, arg_usize, check_args};
 use setcover_bench::{timed_report_vs_serial, TrialRunner};
 
 fn main() {
+    check_args(&["m", "n", "opt", "trials", "threads"]);
     let mut p = separation::Params {
         n: arg_usize("n", 4096),
         opt: arg_usize("opt", 8),

@@ -20,7 +20,7 @@ use setcover_algos::{
     ElementSamplingSolver, FirstSetSolver, KkSolver, MultiPassSieve, RandomOrderConfig,
     RandomOrderSolver, SetArrivalThresholdSolver, StoreAllSolver,
 };
-use setcover_bench::harness::{arg_f64, arg_str, arg_usize};
+use setcover_bench::harness::{arg_f64, arg_str, arg_usize, check_args, die};
 use setcover_core::io::{read_instance, read_stream};
 use setcover_core::solver::{
     run_multipass, run_multipass_streams, run_on_edges, run_streaming, RunOutcome,
@@ -47,15 +47,21 @@ impl Source {
 
 fn load() -> (SetCoverInstance, Source) {
     if let Some(path) = arg_str("stream") {
-        let f = BufReader::new(File::open(&path).expect("open stream file"));
-        let parsed = read_stream(f).expect("parse stream");
-        let inst = parsed
-            .to_instance()
-            .expect("stream must describe a feasible instance");
+        let f = BufReader::new(
+            File::open(&path).unwrap_or_else(|e| die(&format!("cannot open `{path}`: {e}"))),
+        );
+        let parsed = read_stream(f).unwrap_or_else(|e| die(&format!("cannot parse `{path}`: {e}")));
+        let inst = parsed.to_instance().unwrap_or_else(|e| {
+            die(&format!(
+                "`{path}` does not describe a feasible instance: {e}"
+            ))
+        });
         (inst, Source::Replay(parsed.edges))
     } else if let Some(path) = arg_str("inst") {
-        let f = BufReader::new(File::open(&path).expect("open instance file"));
-        let inst = read_instance(f).expect("parse instance");
+        let f = BufReader::new(
+            File::open(&path).unwrap_or_else(|e| die(&format!("cannot open `{path}`: {e}"))),
+        );
+        let inst = read_instance(f).unwrap_or_else(|e| die(&format!("cannot parse `{path}`: {e}")));
         let seed = arg_usize("seed", 7) as u64;
         let order = match arg_str("order").as_deref() {
             None | Some("uniform") => StreamOrder::Uniform(seed),
@@ -106,6 +112,7 @@ fn report(inst: &SetCoverInstance, out: RunOutcome) {
 }
 
 fn main() {
+    check_args(&["alpha", "algo", "inst", "order", "stream", "passes", "seed"]);
     let (inst, src) = load();
     let (m, n) = (inst.m(), inst.n());
     let nn = src.num_edges(&inst);

@@ -10,10 +10,11 @@
 //! Usage: `cargo run -p setcover-bench --release --bin table1 [n=576] [m=...] [trials=3] [threads=<auto>]`
 
 use setcover_bench::experiments::table1;
-use setcover_bench::harness::{arg_str, arg_usize};
+use setcover_bench::harness::{arg_str, arg_usize, check_args};
 use setcover_bench::{timed_report, TrialRunner};
 
 fn main() {
+    check_args(&["m", "n", "trials", "threads"]);
     let mut p = table1::Params {
         n: arg_usize("n", 576),
         ..Default::default()

@@ -15,6 +15,7 @@ pub mod approx_scaling;
 pub mod concentration;
 pub mod invariants;
 pub mod lowerbound;
+pub mod robustness;
 pub mod separation;
 pub mod table1;
 

@@ -1,0 +1,415 @@
+//! E-R1 — solver degradation under injected stream faults.
+//!
+//! The paper's guarantees assume the model's delivery contract: every
+//! edge arrives exactly once, ids in range, stream completes. This
+//! experiment measures what happens when a transport breaks that
+//! contract. For each fault kind × injection rate we run a seeded
+//! [`ChaosStream`] through a `Repair`-policy [`GuardedStream`], materialize
+//! the *delivered* (post-fault, post-repair) sequence once, and run all
+//! five streaming solvers over that same sequence — apples-to-apples
+//! across solvers within a cell.
+//!
+//! **Hard invariant:** every emitted cover must verify against the
+//! delivered sub-instance ([`Cover::verify_delivered`]) — solvers may
+//! degrade (larger covers, partial coverage when edges never arrived) but
+//! must never emit an *invalid* cover or panic. A violation aborts the
+//! experiment.
+//!
+//! Output: per-kind degradation tables (approximation ratio and coverage
+//! vs rate), plus a machine-readable JSON document of the degradation
+//! curves for plotting (the `robustness` binary writes it under
+//! `results/`).
+//!
+//! [`Cover::verify_delivered`]: setcover_core::Cover::verify_delivered
+
+use std::fmt::Write as _;
+
+use setcover_algos::{
+    AdversarialConfig, AdversarialSolver, ElementSamplingConfig, ElementSamplingSolver, KkSolver,
+    MultiPassSieve, RandomOrderConfig, RandomOrderSolver,
+};
+use setcover_core::math::{approx_ratio, isqrt};
+use setcover_core::rng::derive_seed;
+use setcover_core::solver::{run_multipass, run_on_edges};
+use setcover_core::stream::{stream_of, StreamOrder};
+use setcover_core::{
+    ChaosConfig, ChaosStream, Cover, Edge, EdgeStream, FaultKind, GuardConfig, GuardReport,
+    GuardedStream, SetCoverInstance,
+};
+use setcover_gen::planted::{planted, PlantedConfig};
+
+use crate::harness::trial_seeds;
+use crate::par::TrialRunner;
+use crate::Table;
+
+use super::Report;
+
+/// The fault kinds swept (everything point-injectable plus truncation;
+/// `MisdeclaredN` only lies in `len_hint`, which the Repair pipeline
+/// neutralizes, so it carries no degradation signal worth a table).
+const KINDS: [FaultKind; 8] = [
+    FaultKind::DuplicateAdjacent,
+    FaultKind::DuplicateDelayed,
+    FaultKind::Drop,
+    FaultKind::CorruptSet,
+    FaultKind::CorruptElem,
+    FaultKind::SwapIds,
+    FaultKind::Reorder,
+    FaultKind::Truncate,
+];
+
+/// Stable solver column names (also the JSON `solver` keys).
+const SOLVERS: [&str; 5] = [
+    "kk",
+    "adversarial",
+    "random-order",
+    "element-sampling",
+    "multipass-sieve",
+];
+
+/// Parameters for the robustness sweep.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Universe size of the planted instance.
+    pub n: usize,
+    /// Number of sets.
+    pub m: usize,
+    /// Planted optimum.
+    pub opt: usize,
+    /// Trials per (fault, rate) cell.
+    pub trials: usize,
+    /// Injection rates swept (0.0 is the clean control lane).
+    pub rates: Vec<f64>,
+}
+
+impl Default for Params {
+    /// Full sweep, or a smoke-sized one when `SC_BENCH_QUICK` is set.
+    fn default() -> Self {
+        let quick = std::env::var_os("SC_BENCH_QUICK").is_some_and(|v| v != "0");
+        if quick {
+            Params {
+                n: 128,
+                m: 512,
+                opt: 8,
+                trials: 1,
+                rates: vec![0.0, 0.1, 0.3],
+            }
+        } else {
+            Params {
+                n: 512,
+                m: 2048,
+                opt: 12,
+                trials: 3,
+                rates: vec![0.0, 0.02, 0.1, 0.3],
+            }
+        }
+    }
+}
+
+/// Per-solver measurements from one cell.
+#[derive(Debug, Clone, Copy, Default)]
+struct SolverOut {
+    cover: f64,
+    ratio: f64,
+    coverage: f64,
+}
+
+/// One (fault, rate, trial) cell: the delivered stream's shape plus every
+/// solver's outcome on it.
+#[derive(Debug, Clone)]
+struct CellOut {
+    delivered: usize,
+    guard: GuardReport,
+    per_solver: [SolverOut; 5],
+}
+
+fn check_delivered(
+    cover: &Cover,
+    solver: &str,
+    kind: FaultKind,
+    rate: f64,
+    n: usize,
+    delivered: &[Edge],
+) {
+    if let Err(e) = cover.verify_delivered(n, delivered) {
+        panic!(
+            "{solver} emitted an invalid cover under {}@{rate}: {e}",
+            kind.name()
+        );
+    }
+}
+
+fn run_cell(inst: &SetCoverInstance, opt: usize, kind: FaultKind, rate: f64, seed: u64) -> CellOut {
+    let (m, n) = (inst.m(), inst.n());
+    let chaos = ChaosStream::new(
+        stream_of(inst, StreamOrder::Uniform(derive_seed(seed, 0x0A))),
+        m,
+        n,
+        ChaosConfig::uniform(kind, rate, derive_seed(seed, 0x0B)),
+    );
+    let mut guard = GuardedStream::new(chaos, m, n, GuardConfig::repair());
+    let mut delivered = Vec::new();
+    while let Some(e) = guard.next_edge() {
+        delivered.push(e);
+    }
+    let report = guard.report();
+
+    let nn = delivered.len().max(1);
+    let alpha = (isqrt(n) as f64 / 2.0).max(1.0);
+    let covers: [Cover; 5] = [
+        run_on_edges(KkSolver::new(m, n, derive_seed(seed, 1)), &delivered).cover,
+        run_on_edges(
+            AdversarialSolver::new(m, n, AdversarialConfig::sqrt_n(n), derive_seed(seed, 2)),
+            &delivered,
+        )
+        .cover,
+        run_on_edges(
+            RandomOrderSolver::new(
+                m,
+                n,
+                nn,
+                RandomOrderConfig::practical(),
+                derive_seed(seed, 3),
+            ),
+            &delivered,
+        )
+        .cover,
+        run_on_edges(
+            ElementSamplingSolver::new(
+                m,
+                n,
+                ElementSamplingConfig::for_alpha(alpha, m, 1.0),
+                derive_seed(seed, 4),
+            ),
+            &delivered,
+        )
+        .cover,
+        run_multipass(MultiPassSieve::new(m, n, 3), &delivered).cover,
+    ];
+
+    let mut per_solver = [SolverOut::default(); 5];
+    for (si, cover) in covers.iter().enumerate() {
+        check_delivered(cover, SOLVERS[si], kind, rate, n, &delivered);
+        per_solver[si] = SolverOut {
+            cover: cover.size() as f64,
+            ratio: approx_ratio(cover.size(), opt),
+            coverage: cover.certified_count() as f64 / n.max(1) as f64,
+        };
+    }
+    CellOut {
+        delivered: delivered.len(),
+        guard: report,
+        per_solver,
+    }
+}
+
+/// Mean of the cells of one (fault, rate) point, across trials.
+#[derive(Debug, Clone, Default)]
+struct PointAgg {
+    delivered: f64,
+    ok: f64,
+    repaired: f64,
+    rejected: f64,
+    per_solver: [SolverOut; 5],
+}
+
+fn aggregate(cells: &[CellOut]) -> PointAgg {
+    let k = cells.len().max(1) as f64;
+    let mut agg = PointAgg::default();
+    for c in cells {
+        agg.delivered += c.delivered as f64 / k;
+        agg.ok += c.guard.edges_ok as f64 / k;
+        agg.repaired += c.guard.edges_repaired as f64 / k;
+        agg.rejected += c.guard.edges_rejected as f64 / k;
+        for (si, s) in c.per_solver.iter().enumerate() {
+            agg.per_solver[si].cover += s.cover / k;
+            agg.per_solver[si].ratio += s.ratio / k;
+            agg.per_solver[si].coverage += s.coverage / k;
+        }
+    }
+    agg
+}
+
+fn cell_display(s: &SolverOut) -> String {
+    if s.coverage >= 0.9995 {
+        format!("{:.2}", s.ratio)
+    } else {
+        format!("{:.2} cov={:.2}", s.ratio, s.coverage)
+    }
+}
+
+/// Run the sweep serially and return the report text.
+pub fn run(p: &Params) -> String {
+    run_with(p, &TrialRunner::serial())
+}
+
+/// Run the sweep on `runner`'s worker pool; output is byte-identical at
+/// any thread count.
+pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
+    run_full(p, runner).0
+}
+
+/// Run the sweep and return `(report text, degradation-curve JSON)`.
+pub fn run_full(p: &Params, runner: &TrialRunner) -> (String, String) {
+    let pl = planted(&PlantedConfig::exact(p.n, p.m, p.opt), 0xB0B);
+    let inst = &pl.workload.instance;
+
+    // Grid: (fault kind × rate × trial); each cell is independent and
+    // seeded from its coordinates.
+    let grid: Vec<(usize, usize, u64)> = (0..KINDS.len())
+        .flat_map(|ki| {
+            p.rates.iter().enumerate().flat_map(move |(ri, _)| {
+                trial_seeds(derive_seed(0xFA017, (ki * 64 + ri) as u64), p.trials)
+                    .into_iter()
+                    .map(move |s| (ki, ri, s))
+            })
+        })
+        .collect();
+    let cells = runner.grid(&grid, |_, &(ki, ri, seed)| {
+        run_cell(inst, p.opt, KINDS[ki], p.rates[ri], seed)
+    });
+    for c in &cells {
+        // 5 solver passes over the delivered buffer each (the sieve may
+        // take several, but its outcome already counted what it consumed).
+        runner.add_edges(c.delivered * SOLVERS.len());
+        runner.add_guard(&c.guard);
+    }
+
+    let mut r = Report::new();
+    r.line(format!(
+        "Robustness sweep on a planted instance (n={}, m={}, opt={}), {} trial(s) per cell.\n\
+         Faults injected by a seeded ChaosStream, ingested through a Repair-policy guard\n\
+         (dedup window {}); every cover verified against the delivered sub-instance.",
+        p.n,
+        p.m,
+        p.opt,
+        p.trials,
+        GuardConfig::DEFAULT_WINDOW,
+    ));
+    r.blank();
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"experiment\":\"robustness\",\"n\":{},\"m\":{},\"opt\":{},\"trials\":{},\"curves\":[",
+        p.n, p.m, p.opt, p.trials
+    );
+    let mut first_curve = true;
+
+    for (ki, kind) in KINDS.iter().enumerate() {
+        let mut table = Table::new(
+            &format!("degradation under {} (ratio vs rate)", kind.name()),
+            &[
+                "rate",
+                "delivered",
+                "repaired",
+                SOLVERS[0],
+                SOLVERS[1],
+                SOLVERS[2],
+                SOLVERS[3],
+                SOLVERS[4],
+            ],
+        );
+        let aggs: Vec<PointAgg> = (0..p.rates.len())
+            .map(|ri| {
+                let at = (ki * p.rates.len() + ri) * p.trials;
+                aggregate(&cells[at..at + p.trials])
+            })
+            .collect();
+        for (ri, agg) in aggs.iter().enumerate() {
+            table.row(&[
+                format!("{:.2}", p.rates[ri]),
+                format!("{:.0}", agg.delivered),
+                format!("{:.0}", agg.repaired),
+                cell_display(&agg.per_solver[0]),
+                cell_display(&agg.per_solver[1]),
+                cell_display(&agg.per_solver[2]),
+                cell_display(&agg.per_solver[3]),
+                cell_display(&agg.per_solver[4]),
+            ]);
+        }
+        r.table(&table);
+
+        for (si, solver) in SOLVERS.iter().enumerate() {
+            if !first_curve {
+                json.push(',');
+            }
+            first_curve = false;
+            let _ = write!(
+                json,
+                "{{\"solver\":\"{solver}\",\"fault\":\"{}\",\"points\":[",
+                kind.name()
+            );
+            for (ri, agg) in aggs.iter().enumerate() {
+                if ri > 0 {
+                    json.push(',');
+                }
+                let s = &agg.per_solver[si];
+                let _ = write!(
+                    json,
+                    "{{\"rate\":{},\"ratio\":{:.4},\"coverage\":{:.4},\"cover\":{:.2},\
+                     \"delivered\":{:.1},\"edges_ok\":{:.1},\"edges_repaired\":{:.1},\
+                     \"edges_rejected\":{:.1}}}",
+                    p.rates[ri],
+                    s.ratio,
+                    s.coverage,
+                    s.cover,
+                    agg.delivered,
+                    agg.ok,
+                    agg.repaired,
+                    agg.rejected
+                );
+            }
+            json.push_str("]}");
+        }
+    }
+    json.push_str("]}");
+
+    r.line(
+        "Reading: duplication and reordering are absorbed (the guard repairs dups; the\n\
+         solvers are order-robust up to their model assumptions — sorted bursts stress\n\
+         the random-order solver hardest). Drops and truncation shrink the delivered\n\
+         sub-instance: ratios stay tame but coverage falls — the cover is honest about\n\
+         what it can certify. Out-of-range corruption is repaired away, costing the\n\
+         affected elements their edges, with the same coverage signature.",
+    );
+    (r.finish(), json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params {
+            n: 64,
+            m: 256,
+            opt: 8,
+            trials: 1,
+            rates: vec![0.0, 0.2],
+        }
+    }
+
+    #[test]
+    fn sweep_renders_and_emits_curves() {
+        let (text, json) = run_full(&tiny(), &TrialRunner::serial());
+        for kind in KINDS {
+            assert!(text.contains(kind.name()), "missing table for {:?}", kind);
+        }
+        assert!(json.starts_with("{\"experiment\":\"robustness\""));
+        assert!(json.contains("\"solver\":\"kk\""));
+        assert!(json.contains("\"fault\":\"truncate\""));
+        assert!(json.ends_with("]}"));
+        // 8 kinds × 5 solvers curves.
+        assert_eq!(json.matches("\"points\":").count(), 40);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_thread_counts() {
+        let p = tiny();
+        let serial = run_full(&p, &TrialRunner::serial());
+        let par = run_full(&p, &TrialRunner::new(4));
+        assert_eq!(serial.0, par.0);
+        assert_eq!(serial.1, par.1);
+    }
+}

@@ -174,6 +174,69 @@ pub fn arg_str(key: &str) -> Option<String> {
         .next_back()
 }
 
+/// Print `error: {msg}` to stderr and exit with status 1. Binaries use
+/// this for user-facing failures (unreadable input file, bad format)
+/// instead of panicking with a backtrace.
+pub fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
+}
+
+/// Validate the process CLI arguments against the binary's known
+/// `key=value` keys. An unknown or malformed argument prints an error —
+/// with a "did you mean" hint when a known key is within edit distance 2
+/// — and exits with status 2.
+///
+/// Without this check a mistyped knob (`threds=8`) would silently parse
+/// as absent and the binary would run with the default, which for a
+/// ten-minute sweep is an expensive way to discover a typo.
+pub fn check_args(allowed: &[&str]) {
+    for a in std::env::args().skip(1) {
+        let key = match a.split_once('=') {
+            Some((k, _)) => k.to_string(),
+            None => a.clone(),
+        };
+        if allowed.contains(&key.as_str()) {
+            continue;
+        }
+        let mut msg = format!("unknown argument `{a}`");
+        if let Some(best) = did_you_mean(&key, allowed) {
+            msg.push_str(&format!(" — did you mean `{best}=`?"));
+        }
+        let mut known: Vec<&str> = allowed.to_vec();
+        known.sort_unstable();
+        eprintln!("error: {msg} (known keys: {})", known.join(", "));
+        std::process::exit(2);
+    }
+}
+
+/// The closest known key within edit distance 2, if any.
+fn did_you_mean<'a>(key: &str, allowed: &[&'a str]) -> Option<&'a str> {
+    allowed
+        .iter()
+        .map(|&k| (edit_distance(key, k), k))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, k)| k)
+}
+
+/// Levenshtein distance (insert/delete/substitute, unit costs).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,5 +348,22 @@ mod tests {
     #[test]
     fn arg_usize_falls_back_to_default() {
         assert_eq!(arg_usize("definitely-not-passed", 42), 42);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("threads", "threads"), 0);
+        assert_eq!(edit_distance("threds", "threads"), 1);
+        assert_eq!(edit_distance("trails", "trials"), 2);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("xyz", ""), 3);
+    }
+
+    #[test]
+    fn did_you_mean_prefers_the_closest_key() {
+        let keys = ["threads", "trials", "n", "m"];
+        assert_eq!(did_you_mean("threds", &keys), Some("threads"));
+        assert_eq!(did_you_mean("trals", &keys), Some("trials"));
+        assert_eq!(did_you_mean("completely-wrong", &keys), None);
     }
 }

@@ -27,6 +27,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use setcover_core::GuardReport;
+
 use crate::harness::{arg_usize, MeasuredRun};
 
 /// Peak resident set size of this process (`VmHWM`) in KiB, from
@@ -107,6 +109,12 @@ pub struct TrialRunner {
     /// `VmHWM` when this runner was created: the footer reports the
     /// delta, i.e. how far this run pushed the process peak RSS.
     rss_baseline_kb: Option<u64>,
+    /// Ingestion-guard totals across all guarded runs (see
+    /// [`TrialRunner::add_guard`]); all zero when nothing was guarded, in
+    /// which case the footer omits the guard line.
+    guard_ok: AtomicU64,
+    guard_repaired: AtomicU64,
+    guard_rejected: AtomicU64,
 }
 
 impl TrialRunner {
@@ -117,6 +125,9 @@ impl TrialRunner {
             edges: AtomicU64::new(0),
             order_stats: Mutex::new(BTreeMap::new()),
             rss_baseline_kb: peak_rss_kb(),
+            guard_ok: AtomicU64::new(0),
+            guard_repaired: AtomicU64::new(0),
+            guard_rejected: AtomicU64::new(0),
         }
     }
 
@@ -220,6 +231,27 @@ impl TrialRunner {
     pub fn total_edges(&self) -> u64 {
         self.edges.load(Ordering::Relaxed)
     }
+
+    /// Account one guarded run's ingestion counters toward the footer's
+    /// `edges_ok / edges_repaired / edges_rejected` totals.
+    pub fn add_guard(&self, report: &GuardReport) {
+        self.guard_ok
+            .fetch_add(report.edges_ok as u64, Ordering::Relaxed);
+        self.guard_repaired
+            .fetch_add(report.edges_repaired as u64, Ordering::Relaxed);
+        self.guard_rejected
+            .fetch_add(report.edges_rejected as u64, Ordering::Relaxed);
+    }
+
+    /// Aggregate `(edges_ok, edges_repaired, edges_rejected)` across all
+    /// guarded runs accounted so far.
+    pub fn guard_totals(&self) -> (u64, u64, u64) {
+        (
+            self.guard_ok.load(Ordering::Relaxed),
+            self.guard_repaired.load(Ordering::Relaxed),
+            self.guard_rejected.load(Ordering::Relaxed),
+        )
+    }
 }
 
 /// Default worker count: the machine's available parallelism.
@@ -262,6 +294,12 @@ pub fn emit_run_footer(name: &str, runner: &TrialRunner, secs: f64) {
             "n/a".to_string()
         };
         eprintln!("[{name}]   order {order}: {tp} ({edges} edges)");
+    }
+    let (ok, repaired, rejected) = runner.guard_totals();
+    if ok + repaired + rejected > 0 {
+        eprintln!(
+            "[{name}] guard: edges_ok={ok} edges_repaired={repaired} edges_rejected={rejected}"
+        );
     }
 }
 
@@ -421,6 +459,23 @@ mod tests {
             // Delta is measured from runner creation: small and non-negative.
             assert!(runner.peak_rss_delta_kb().is_some());
         }
+    }
+
+    #[test]
+    fn guard_totals_accumulate() {
+        let runner = TrialRunner::new(2);
+        assert_eq!(runner.guard_totals(), (0, 0, 0));
+        runner.add_guard(&GuardReport {
+            edges_ok: 10,
+            edges_repaired: 2,
+            edges_rejected: 1,
+            ..GuardReport::default()
+        });
+        runner.add_guard(&GuardReport {
+            edges_ok: 5,
+            ..GuardReport::default()
+        });
+        assert_eq!(runner.guard_totals(), (15, 2, 1));
     }
 
     #[test]

@@ -9,21 +9,35 @@
 
 use crate::error::CoreError;
 use crate::ids::{ElemId, SetId};
-use crate::instance::SetCoverInstance;
+use crate::instance::{Edge, SetCoverInstance};
 
 /// A claimed solution: a cover and its certificate.
+///
+/// Certificates are stored slot-wise as `Option<SetId>` so that covers can
+/// be *partial*: a solver fed a truncated or lossy stream (see
+/// [`crate::stream::chaos`]) can certify only the elements whose edges
+/// arrived. [`Cover::verify`] requires a total certificate;
+/// [`Cover::verify_delivered`] verifies against what actually arrived.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cover {
     /// The chosen subfamily `T ⊆ S`, deduplicated, in ascending id order.
     sets: Vec<SetId>,
-    /// `certificate[u]` is the set of `T` covering element `u`.
-    certificate: Vec<SetId>,
+    /// `certificate[u]` is the set of `T` covering element `u`, or `None`
+    /// for elements the solver could not certify (lossy streams only).
+    certificate: Vec<Option<SetId>>,
 }
 
 impl Cover {
     /// Build a cover from a (possibly unsorted, possibly duplicated) list of
     /// sets and a full certificate. The certificate must have length `n`.
-    pub fn new(mut sets: Vec<SetId>, certificate: Vec<SetId>) -> Self {
+    pub fn new(sets: Vec<SetId>, certificate: Vec<SetId>) -> Self {
+        Cover::new_partial(sets, certificate.into_iter().map(Some).collect())
+    }
+
+    /// Build a cover whose certificate may leave elements uncertified —
+    /// the truncation-safe finalize path for solvers that consumed a lossy
+    /// stream. The certificate must still have one slot per element.
+    pub fn new_partial(mut sets: Vec<SetId>, certificate: Vec<Option<SetId>>) -> Self {
         sets.sort_unstable();
         sets.dedup();
         Cover { sets, certificate }
@@ -46,14 +60,25 @@ impl Cover {
         self.sets.len()
     }
 
-    /// The certificate `C : U → T`.
-    pub fn certificate(&self) -> &[SetId] {
+    /// The certificate `C : U → T ∪ {⊥}`, one slot per element; `None`
+    /// slots are uncertified (possible only after lossy streams).
+    pub fn certificate(&self) -> &[Option<SetId>] {
         &self.certificate
+    }
+
+    /// Number of certified elements (slots holding a witness).
+    pub fn certified_count(&self) -> usize {
+        self.certificate.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether every element has a witness (the paper's nominal contract).
+    pub fn is_total(&self) -> bool {
+        self.certificate.iter().all(|s| s.is_some())
     }
 
     /// The set certified to cover element `u`.
     pub fn witness(&self, u: ElemId) -> Option<SetId> {
-        self.certificate.get(u.index()).copied()
+        self.certificate.get(u.index()).copied().flatten()
     }
 
     /// Verify this solution against the instance:
@@ -67,9 +92,52 @@ impl Cover {
             let first_missing = self.certificate.len().min(inst.n());
             return Err(CoreError::MissingCertificate(ElemId(first_missing as u32)));
         }
-        for (u, &s) in self.certificate.iter().enumerate() {
+        for (u, slot) in self.certificate.iter().enumerate() {
             let uid = ElemId(u as u32);
+            let s = slot.ok_or(CoreError::MissingCertificate(uid))?;
             if !inst.contains(s, uid) {
+                return Err(CoreError::BadCertificate { elem: uid, set: s });
+            }
+            if self.sets.binary_search(&s).is_err() {
+                return Err(CoreError::CertificateSetNotInCover { elem: uid, set: s });
+            }
+        }
+        Ok(())
+    }
+
+    /// Verify this solution against the **delivered** sub-instance: the
+    /// edges that actually reached the solver after faults and repairs.
+    ///
+    /// Every element with at least one delivered edge must be certified by
+    /// a set the certificate can *prove* contains it — i.e. a delivered
+    /// `(set, element)` pair — and that set must belong to the cover.
+    /// Elements that never arrived are exempt: no one-pass algorithm can
+    /// cover what it never saw. Delivered edges referencing out-of-range
+    /// ids (possible under the `Observe` guard policy) are ignored — they
+    /// name nothing in the universe.
+    ///
+    /// On a clean, complete stream this coincides with [`Cover::verify`]
+    /// (every element arrives, and delivered pairs are exactly the
+    /// instance's edges).
+    pub fn verify_delivered(&self, n: usize, delivered: &[Edge]) -> Result<(), CoreError> {
+        let mut seen = vec![false; n];
+        let mut pairs: std::collections::HashSet<(u32, u32)> =
+            std::collections::HashSet::with_capacity(delivered.len());
+        for e in delivered {
+            if e.elem.index() < n {
+                seen[e.elem.index()] = true;
+                pairs.insert((e.set.0, e.elem.0));
+            }
+        }
+        for (u, &was_seen) in seen.iter().enumerate() {
+            if !was_seen {
+                continue;
+            }
+            let uid = ElemId(u as u32);
+            let s = self
+                .witness(uid)
+                .ok_or(CoreError::MissingCertificate(uid))?;
+            if !pairs.contains(&(s.0, uid.0)) {
                 return Err(CoreError::BadCertificate { elem: uid, set: s });
             }
             if self.sets.binary_search(&s).is_err() {
@@ -174,7 +242,9 @@ impl PartialCertificate {
     /// Finalize into a full certificate, patching every unassigned slot via
     /// `patch` (typically the first-set map `R(u)`; see Algorithm 1 line 38
     /// and Algorithm 2 line 25). Panics if `patch` returns `None` for an
-    /// unassigned slot — the first-set map is total for feasible instances.
+    /// unassigned slot — the first-set map is total for feasible instances
+    /// whose full stream arrived. For lossy streams use
+    /// [`PartialCertificate::finish_partial`].
     pub fn finish_with<F: FnMut(ElemId) -> Option<SetId>>(self, mut patch: F) -> Vec<SetId> {
         self.slots
             .into_iter()
@@ -183,6 +253,21 @@ impl PartialCertificate {
                 s.or_else(|| patch(ElemId(u as u32)))
                     .expect("patch function must cover all unassigned elements")
             })
+            .collect()
+    }
+
+    /// Truncation-safe finalize: patch what `patch` can cover and leave the
+    /// rest unassigned. Feed the result to [`Cover::new_partial`]; the
+    /// cover then verifies against the delivered sub-instance via
+    /// [`Cover::verify_delivered`].
+    pub fn finish_partial<F: FnMut(ElemId) -> Option<SetId>>(
+        self,
+        mut patch: F,
+    ) -> Vec<Option<SetId>> {
+        self.slots
+            .into_iter()
+            .enumerate()
+            .map(|(u, s)| s.or_else(|| patch(ElemId(u as u32))))
             .collect()
     }
 }
@@ -271,6 +356,80 @@ mod tests {
         let st = cover.stats(1);
         assert_eq!(st.size, 2);
         assert_eq!(st.approx_ratio, 2.0);
+    }
+
+    #[test]
+    fn partial_cover_fails_total_verify_but_passes_delivered() {
+        let inst = inst();
+        // Element 3's edges never arrived: certificate leaves it ⊥.
+        let cover = Cover::new_partial(
+            vec![SetId(0), SetId(1)],
+            vec![Some(SetId(0)), Some(SetId(0)), Some(SetId(1)), None],
+        );
+        assert!(!cover.is_total());
+        assert_eq!(cover.certified_count(), 3);
+        assert_eq!(
+            cover.verify(&inst).unwrap_err(),
+            CoreError::MissingCertificate(ElemId(3))
+        );
+        let delivered = vec![
+            Edge::new(0, 0),
+            Edge::new(0, 1),
+            Edge::new(1, 1),
+            Edge::new(1, 2),
+        ];
+        cover.verify_delivered(inst.n(), &delivered).unwrap();
+    }
+
+    #[test]
+    fn verify_delivered_demands_delivered_witness_pairs() {
+        // S2 contains element 2 in the instance, but the edge (S2, u2)
+        // never arrived — certifying u2 with S2 is a false claim about
+        // the delivered stream.
+        let cover = Cover::new_partial(vec![SetId(2)], vec![None, None, Some(SetId(2)), None]);
+        let delivered = vec![Edge::new(2, 3), Edge::new(1, 2)];
+        assert_eq!(
+            cover.verify_delivered(4, &delivered).unwrap_err(),
+            CoreError::BadCertificate {
+                elem: ElemId(2),
+                set: SetId(2)
+            }
+        );
+        // An uncertified delivered element is also an error…
+        let empty = Cover::new_partial(vec![], vec![None, None, None, None]);
+        assert_eq!(
+            empty.verify_delivered(4, &delivered).unwrap_err(),
+            CoreError::MissingCertificate(ElemId(2))
+        );
+        // …and a witness outside the cover family is flagged.
+        let outside = Cover::new_partial(
+            vec![SetId(2)],
+            vec![None, None, Some(SetId(1)), Some(SetId(2))],
+        );
+        assert_eq!(
+            outside.verify_delivered(4, &delivered).unwrap_err(),
+            CoreError::CertificateSetNotInCover {
+                elem: ElemId(2),
+                set: SetId(1)
+            }
+        );
+    }
+
+    #[test]
+    fn verify_delivered_ignores_out_of_range_edges() {
+        let cover = Cover::new_partial(vec![SetId(0)], vec![Some(SetId(0)), None]);
+        // The second edge names element 9 in a 2-element universe
+        // (corrupted, passed through by an Observe guard): exempt.
+        let delivered = vec![Edge::new(0, 0), Edge::new(0, 9)];
+        cover.verify_delivered(2, &delivered).unwrap();
+    }
+
+    #[test]
+    fn partial_certificate_finish_partial_leaves_gaps() {
+        let mut pc = PartialCertificate::new(3);
+        pc.assign(ElemId(1), SetId(9));
+        let slots = pc.finish_partial(|u| if u.0 == 0 { Some(SetId(4)) } else { None });
+        assert_eq!(slots, vec![Some(SetId(4)), Some(SetId(9)), None]);
     }
 
     #[test]

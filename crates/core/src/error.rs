@@ -92,6 +92,105 @@ impl fmt::Display for CoreError {
 
 impl std::error::Error for CoreError {}
 
+/// Errors detected by the guarded ingestion layer
+/// ([`crate::stream::guard::GuardedStream`]) while validating an incoming
+/// edge stream against the model's delivery contract (each edge arrives
+/// exactly once, ids in range, declared length honored).
+///
+/// Every variant carries enough position information to point at the
+/// offending edge: `pos` is the 0-based index in the *incoming* stream
+/// (what the transport handed the guard), so an operator can replay a
+/// seeded stream and land on the fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// The edge at `pos` references a set index `>= m`.
+    SetOutOfRange {
+        /// 0-based position of the offending edge in the incoming stream.
+        pos: usize,
+        /// The offending set id.
+        set: SetId,
+        /// The declared number of sets `m`.
+        m: usize,
+    },
+    /// The edge at `pos` references an element index `>= n`.
+    ElemOutOfRange {
+        /// 0-based position of the offending edge in the incoming stream.
+        pos: usize,
+        /// The offending element id.
+        elem: ElemId,
+        /// The declared universe size `n`.
+        n: usize,
+    },
+    /// The edge at `pos` repeats an edge seen within the guard's dedup
+    /// window — the model promises each edge arrives exactly once.
+    DuplicateEdge {
+        /// 0-based position of the duplicate copy in the incoming stream.
+        pos: usize,
+        /// The repeated set id.
+        set: SetId,
+        /// The repeated element id.
+        elem: ElemId,
+    },
+    /// The stream ended after `delivered` edges but declared `declared`
+    /// (`len_hint`): edges were dropped, the stream was truncated, or
+    /// extras (duplicates) arrived.
+    LengthMismatch {
+        /// The length the stream declared up front.
+        declared: usize,
+        /// The number of edges that actually arrived.
+        delivered: usize,
+    },
+}
+
+impl StreamError {
+    /// The stream position the error points at, if it is a positioned
+    /// (per-edge) fault; length mismatches are end-of-stream conditions.
+    pub fn position(&self) -> Option<usize> {
+        match self {
+            StreamError::SetOutOfRange { pos, .. }
+            | StreamError::ElemOutOfRange { pos, .. }
+            | StreamError::DuplicateEdge { pos, .. } => Some(*pos),
+            StreamError::LengthMismatch { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::SetOutOfRange { pos, set, m } => {
+                write!(
+                    f,
+                    "stream position {pos}: edge references {set} but the family has only {m} sets"
+                )
+            }
+            StreamError::ElemOutOfRange { pos, elem, n } => {
+                write!(
+                    f,
+                    "stream position {pos}: edge references {elem} but the universe has only {n} elements"
+                )
+            }
+            StreamError::DuplicateEdge { pos, set, elem } => {
+                write!(
+                    f,
+                    "stream position {pos}: duplicate edge ({set}, {elem}) — each edge must arrive exactly once"
+                )
+            }
+            StreamError::LengthMismatch {
+                declared,
+                delivered,
+            } => {
+                write!(
+                    f,
+                    "stream ended after {delivered} edges but declared {declared}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +216,36 @@ mod tests {
     fn error_is_std_error() {
         fn assert_err<E: std::error::Error>() {}
         assert_err::<CoreError>();
+        assert_err::<StreamError>();
+    }
+
+    #[test]
+    fn stream_errors_carry_positions() {
+        let e = StreamError::DuplicateEdge {
+            pos: 17,
+            set: SetId(3),
+            elem: ElemId(5),
+        };
+        assert_eq!(e.position(), Some(17));
+        let s = e.to_string();
+        assert!(s.contains("position 17"));
+        assert!(s.contains("S3"));
+        assert!(s.contains("u5"));
+
+        let e = StreamError::LengthMismatch {
+            declared: 100,
+            delivered: 90,
+        };
+        assert_eq!(e.position(), None);
+        assert!(e.to_string().contains("90"));
+        assert!(e.to_string().contains("100"));
+
+        let e = StreamError::SetOutOfRange {
+            pos: 2,
+            set: SetId(9),
+            m: 4,
+        };
+        assert_eq!(e.position(), Some(2));
+        assert!(e.to_string().contains("S9"));
     }
 }

@@ -56,12 +56,14 @@ pub mod space;
 pub mod stream;
 
 pub use cover::{Cover, CoverStats};
-pub use error::CoreError;
+pub use error::{CoreError, StreamError};
 pub use ids::{ElemId, SetId};
 pub use instance::{Edge, InstanceBuilder, InstanceStats, SetCoverInstance};
 pub use solver::{
-    run_multipass, run_streaming, MultiPassOutcome, MultiPassSetCover, OfflineSetCover, RunOutcome,
-    StreamingSetCover,
+    run_guarded, run_multipass, run_streaming, ContractChecked, GuardedOutcome, MultiPassOutcome,
+    MultiPassSetCover, OfflineSetCover, RunOutcome, StreamingSetCover,
 };
 pub use space::{SpaceMeter, SpaceReport};
+pub use stream::chaos::{ChaosConfig, ChaosStream, FaultKind, FaultLog, FaultRecord};
+pub use stream::guard::{GuardConfig, GuardPolicy, GuardReport, GuardedStream};
 pub use stream::{EdgeStream, StreamOrder};

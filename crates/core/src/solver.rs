@@ -13,8 +13,10 @@
 use std::time::{Duration, Instant};
 
 use crate::cover::Cover;
+use crate::error::StreamError;
 use crate::instance::{Edge, SetCoverInstance};
 use crate::space::SpaceReport;
+use crate::stream::guard::{GuardConfig, GuardReport, GuardedStream};
 use crate::stream::EdgeStream;
 
 /// A one-pass edge-arrival streaming Set Cover algorithm.
@@ -180,11 +182,75 @@ impl RunOutcome {
     }
 }
 
+/// Debug-build enforcement of the one-pass protocol: `process_edge`
+/// after `finalize` is a contract violation (the solver has already
+/// committed its cover), as is finalizing twice.
+///
+/// The check lives here — in the drivers — rather than in every solver,
+/// so each algorithm's `process_edge` stays branch-free and there is
+/// exactly one place defining the contract. [`run_streaming`],
+/// [`run_on_edges`] and [`run_guarded`] wrap their solver in this
+/// automatically; it is public so harnesses driving solvers by hand can
+/// opt in too. In release builds the wrapper compiles to nothing.
+#[derive(Debug)]
+pub struct ContractChecked<A> {
+    inner: A,
+    #[cfg(debug_assertions)]
+    finalized: bool,
+}
+
+impl<A: StreamingSetCover> ContractChecked<A> {
+    /// Wrap `solver` with protocol checks (debug builds only).
+    pub fn new(solver: A) -> Self {
+        ContractChecked {
+            inner: solver,
+            #[cfg(debug_assertions)]
+            finalized: false,
+        }
+    }
+
+    /// Unwrap the inner solver.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+}
+
+impl<A: StreamingSetCover> StreamingSetCover for ContractChecked<A> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn process_edge(&mut self, e: Edge) {
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            !self.finalized,
+            "protocol violation: process_edge after finalize ({})",
+            self.inner.name()
+        );
+        self.inner.process_edge(e);
+    }
+
+    fn finalize(&mut self) -> Cover {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                !self.finalized,
+                "protocol violation: finalize called twice ({})",
+                self.inner.name()
+            );
+            self.finalized = true;
+        }
+        self.inner.finalize()
+    }
+
+    fn space(&self) -> SpaceReport {
+        self.inner.space()
+    }
+}
+
 /// Drive `solver` over `stream` to completion.
-pub fn run_streaming<A: StreamingSetCover, S: EdgeStream>(
-    mut solver: A,
-    mut stream: S,
-) -> RunOutcome {
+pub fn run_streaming<A: StreamingSetCover, S: EdgeStream>(solver: A, mut stream: S) -> RunOutcome {
+    let mut solver = ContractChecked::new(solver);
     let start = Instant::now();
     let mut edges = 0usize;
     while let Some(e) = stream.next_edge() {
@@ -202,7 +268,8 @@ pub fn run_streaming<A: StreamingSetCover, S: EdgeStream>(
 }
 
 /// Drive `solver` over an edge slice (convenience for replayed streams).
-pub fn run_on_edges<A: StreamingSetCover>(mut solver: A, edges: &[Edge]) -> RunOutcome {
+pub fn run_on_edges<A: StreamingSetCover>(solver: A, edges: &[Edge]) -> RunOutcome {
+    let mut solver = ContractChecked::new(solver);
     let start = Instant::now();
     for &e in edges {
         solver.process_edge(e);
@@ -215,6 +282,62 @@ pub fn run_on_edges<A: StreamingSetCover>(mut solver: A, edges: &[Edge]) -> RunO
         edges_processed: edges.len(),
         elapsed: start.elapsed(),
     }
+}
+
+/// The result of a guarded run: the solver outcome plus what the
+/// ingestion guard saw and did. `run.space` already merges the guard's
+/// footprint (charged to [`crate::space::SpaceComponent::Guard`]) with
+/// the solver's.
+#[derive(Debug, Clone)]
+pub struct GuardedOutcome {
+    /// The solver's outcome over the guarded (validated) stream.
+    pub run: RunOutcome,
+    /// Ingestion counters: `edges_ok` / `edges_repaired` /
+    /// `edges_rejected` and the anomaly breakdown.
+    pub guard: GuardReport,
+}
+
+/// Drive `solver` over `stream` through a [`GuardedStream`] with policy
+/// `cfg`, for an instance with `m` sets and `n` elements.
+///
+/// Under [`crate::stream::guard::GuardPolicy::Strict`] the first contract
+/// violation aborts the run with a positioned [`StreamError`] — the
+/// solver is dropped unfinalized. Under `Repair`/`Observe` the run always
+/// completes and the guard's counters land in
+/// [`GuardedOutcome::guard`].
+pub fn run_guarded<A: StreamingSetCover, S: EdgeStream>(
+    solver: A,
+    stream: S,
+    m: usize,
+    n: usize,
+    cfg: GuardConfig,
+) -> Result<GuardedOutcome, StreamError> {
+    let mut solver = ContractChecked::new(solver);
+    let mut guard = GuardedStream::new(stream, m, n, cfg);
+    let start = Instant::now();
+    let mut edges = 0usize;
+    loop {
+        match guard.try_next_edge() {
+            Ok(Some(e)) => {
+                solver.process_edge(e);
+                edges += 1;
+            }
+            Ok(None) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    let cover = solver.finalize();
+    let space = solver.space().merged(&guard.space());
+    Ok(GuardedOutcome {
+        run: RunOutcome {
+            algorithm: solver.name(),
+            cover,
+            space,
+            edges_processed: edges,
+            elapsed: start.elapsed(),
+        },
+        guard: guard.report(),
+    })
 }
 
 #[cfg(test)]
@@ -304,6 +427,100 @@ mod tests {
         let out = run_on_edges(FirstSeen::new(1), &inst.edge_vec());
         let tp = out.edges_per_sec();
         assert!(tp.is_nan() || tp > 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "protocol violation: process_edge after finalize")]
+    fn contract_check_rejects_edges_after_finalize() {
+        let mut solver = ContractChecked::new(FirstSeen::new(1));
+        solver.process_edge(Edge {
+            set: SetId(0),
+            elem: ElemId(0),
+        });
+        let _ = solver.finalize();
+        solver.process_edge(Edge {
+            set: SetId(0),
+            elem: ElemId(0),
+        });
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "protocol violation: finalize called twice")]
+    fn contract_check_rejects_double_finalize() {
+        let mut solver = ContractChecked::new(FirstSeen::new(1));
+        solver.process_edge(Edge {
+            set: SetId(0),
+            elem: ElemId(0),
+        });
+        let _ = solver.finalize();
+        let _ = solver.finalize();
+    }
+
+    #[test]
+    fn run_guarded_repairs_and_merges_space() {
+        use crate::stream::chaos::{ChaosConfig, ChaosStream, FaultKind};
+        use crate::stream::guard::GuardConfig;
+        use crate::stream::VecStream;
+
+        let mut b = InstanceBuilder::new(3, 4);
+        b.add_set_elems(0, [0, 1]);
+        b.add_set_elems(1, [1, 2]);
+        b.add_set_elems(2, [2, 3]);
+        let inst = b.build().unwrap();
+        let edges = inst.edge_vec();
+
+        let chaos = ChaosStream::new(
+            VecStream::new(edges),
+            inst.m(),
+            inst.n(),
+            ChaosConfig::uniform(FaultKind::DuplicateAdjacent, 0.4, 13),
+        );
+        let out = run_guarded(
+            FirstSeen::new(inst.n()),
+            chaos,
+            inst.m(),
+            inst.n(),
+            GuardConfig::repair(),
+        )
+        .expect("repair never aborts");
+        out.run.cover.verify(&inst).unwrap();
+        // Every injected duplicate is removed, either as a windowed dedup
+        // hit or by the declared-length clamp draining the excess.
+        assert!(out.guard.edges_repaired > 0);
+        assert!(out.guard.edges_repaired >= out.guard.duplicates);
+        assert_eq!(out.guard.edges_ok, inst.num_edges());
+        assert!(
+            out.run.space.peak_of(crate::space::SpaceComponent::Guard) > 0,
+            "guard footprint must be merged into the outcome"
+        );
+    }
+
+    #[test]
+    fn run_guarded_strict_positions_the_failure() {
+        use crate::stream::guard::GuardConfig;
+        use crate::stream::VecStream;
+
+        let edges = vec![
+            Edge {
+                set: SetId(0),
+                elem: ElemId(0),
+            },
+            Edge {
+                set: SetId(0),
+                elem: ElemId(0),
+            },
+        ];
+        let err = run_guarded(
+            FirstSeen::new(1),
+            VecStream::new(edges),
+            1,
+            1,
+            GuardConfig::strict(),
+        )
+        .unwrap_err();
+        assert_eq!(err.position(), Some(1));
     }
 
     #[test]

@@ -44,13 +44,20 @@ pub enum SpaceComponent {
     /// Stored sub-instance edges (element sampling) or whole sets
     /// (set-arrival baselines).
     StoredEdges,
+    /// Ingestion-guard state (the dedup window of
+    /// [`crate::stream::guard::GuardedStream`] plus its counters) —
+    /// charged so guarding never silently breaks the paper's space bounds.
+    Guard,
     /// Anything else.
     Other,
 }
 
 impl SpaceComponent {
+    /// Number of components (array-table size for [`SpaceMeter`]).
+    pub const COUNT: usize = 10;
+
     /// All components, for report iteration.
-    pub const ALL: [SpaceComponent; 9] = [
+    pub const ALL: [SpaceComponent; SpaceComponent::COUNT] = [
         SpaceComponent::Counters,
         SpaceComponent::Levels,
         SpaceComponent::Marks,
@@ -59,6 +66,7 @@ impl SpaceComponent {
         SpaceComponent::TrackedSets,
         SpaceComponent::TrackedEdges,
         SpaceComponent::StoredEdges,
+        SpaceComponent::Guard,
         SpaceComponent::Other,
     ];
 
@@ -73,6 +81,7 @@ impl SpaceComponent {
             SpaceComponent::TrackedSets => "tracked-sets",
             SpaceComponent::TrackedEdges => "tracked-edges",
             SpaceComponent::StoredEdges => "stored-edges",
+            SpaceComponent::Guard => "guard",
             SpaceComponent::Other => "other",
         }
     }
@@ -87,7 +96,8 @@ impl SpaceComponent {
             SpaceComponent::TrackedSets => 5,
             SpaceComponent::TrackedEdges => 6,
             SpaceComponent::StoredEdges => 7,
-            SpaceComponent::Other => 8,
+            SpaceComponent::Guard => 8,
+            SpaceComponent::Other => 9,
         }
     }
 }
@@ -95,8 +105,8 @@ impl SpaceComponent {
 /// Tracks current and peak words of live algorithmic state, per component.
 #[derive(Debug, Clone, Default)]
 pub struct SpaceMeter {
-    current: [usize; 9],
-    peak_by_comp: [usize; 9],
+    current: [usize; SpaceComponent::COUNT],
+    peak_by_comp: [usize; SpaceComponent::COUNT],
     current_total: usize,
     peak_total: usize,
 }
@@ -213,6 +223,34 @@ impl SpaceReport {
             .map(|(_, w)| *w)
             .sum()
     }
+
+    /// Combine two reports from structures that were live at the same time
+    /// but metered separately (e.g. a solver plus the ingestion guard in
+    /// front of it). Peaks are summed — the two peaks may occur at
+    /// different instants, so the result is a safe upper bound on the true
+    /// combined peak.
+    pub fn merged(&self, other: &SpaceReport) -> SpaceReport {
+        let mut by_comp: Vec<(SpaceComponent, usize)> = Vec::new();
+        for c in SpaceComponent::ALL {
+            let w = self.peak_of(c) + other.peak_of(c);
+            if w > 0 {
+                by_comp.push((c, w));
+            }
+        }
+        SpaceReport {
+            peak_words: self.peak_words + other.peak_words,
+            peak_by_component: by_comp,
+        }
+    }
+
+    /// Peak words recorded for one component (0 if absent).
+    pub fn peak_of(&self, comp: SpaceComponent) -> usize {
+        self.peak_by_component
+            .iter()
+            .find(|(c, _)| *c == comp)
+            .map(|(_, w)| *w)
+            .unwrap_or(0)
+    }
 }
 
 impl fmt::Display for SpaceReport {
@@ -300,6 +338,23 @@ mod tests {
         assert_eq!(bitset_words(64), 1);
         assert_eq!(bitset_words(65), 2);
         assert_eq!(map_entry_words(2), 3);
+    }
+
+    #[test]
+    fn merged_sums_peaks_per_component() {
+        let mut a = SpaceMeter::new();
+        a.charge(SpaceComponent::Counters, 10);
+        a.charge(SpaceComponent::Marks, 2);
+        let mut b = SpaceMeter::new();
+        b.charge(SpaceComponent::Counters, 5);
+        b.charge(SpaceComponent::Guard, 32);
+        let m = a.report().merged(&b.report());
+        assert_eq!(m.peak_words, 49);
+        assert_eq!(m.peak_of(SpaceComponent::Counters), 15);
+        assert_eq!(m.peak_of(SpaceComponent::Guard), 32);
+        assert_eq!(m.peak_of(SpaceComponent::Levels), 0);
+        // Guard state counts toward the algorithmic (per-set) bound checks.
+        assert_eq!(m.algorithmic_peak_words(), 47);
     }
 
     #[test]

@@ -28,6 +28,9 @@ use rand::seq::SliceRandom;
 use crate::instance::{Edge, SetCoverInstance};
 use crate::rng::seeded_rng;
 
+pub mod chaos;
+pub mod guard;
+
 /// A one-pass source of edges.
 ///
 /// Implementors yield each edge of the instance exactly once. The driver

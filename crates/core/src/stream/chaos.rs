@@ -1,0 +1,716 @@
+//! Deterministic fault injection for edge streams.
+//!
+//! The paper's model promises each edge `(S, u)` arrives exactly once and
+//! the stream completes. A production edge-arrival service gets
+//! at-least-once delivery, truncated connections and corrupt records.
+//! [`ChaosStream`] wraps any [`EdgeStream`] and injects a configurable
+//! fault mix, with every fault drawn deterministically from the config
+//! seed — the same `(inner stream, config)` pair always produces the same
+//! delivered sequence and the same [`FaultLog`], so every chaos run is
+//! replayable bit-for-bit.
+//!
+//! Fault kinds ([`FaultKind`]):
+//!
+//! * **Duplication** — adjacent (the copy follows immediately: retry storms)
+//!   and delayed replay (the copy resurfaces up to
+//!   [`ChaosConfig::max_delay`] input positions later: redelivery after a
+//!   timeout).
+//! * **Drop** — the edge never arrives.
+//! * **Truncation** — the stream dies after a fraction of its declared
+//!   length (connection loss); scheduled replays die with it.
+//! * **Id corruption** — set or element index rewritten out of range, or
+//!   the two ids swapped (which may stay in range — a silent corruption).
+//! * **Burst reordering** — a window of consecutive edges is reordered by
+//!   sorting on `(set, elem)`. Sorting (rather than shuffling) is the
+//!   *worst-case* reordering for random-order guarantees: it locally
+//!   recreates set-contiguous runs, breaking the exchangeability Theorem 3
+//!   relies on while leaving adversarial-order guarantees (Theorems 1, 4)
+//!   untouched.
+//! * **Declared-N mismatch** — [`EdgeStream::len_hint`] lies by a factor.
+//!
+//! The ledger records each fault at the **output** position where it
+//! manifests (what a downstream [`crate::stream::guard::GuardedStream`]
+//! observes), which lets tests assert that `Strict` guarding flags exactly
+//! the injected faults.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+use crate::ids::{ElemId, SetId};
+use crate::instance::Edge;
+use crate::rng::{coin, seeded_rng};
+use crate::stream::EdgeStream;
+
+/// The kinds of faults [`ChaosStream`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The edge is emitted twice in a row.
+    DuplicateAdjacent,
+    /// The edge is re-emitted after a bounded delay.
+    DuplicateDelayed,
+    /// The edge is dropped.
+    Drop,
+    /// The set id is rewritten out of range (`>= m`).
+    CorruptSet,
+    /// The element id is rewritten out of range (`>= n`).
+    CorruptElem,
+    /// Set and element ids are swapped (may stay in range).
+    SwapIds,
+    /// A window of consecutive output edges is reordered (sorted).
+    Reorder,
+    /// The stream dies after a fraction of its input.
+    Truncate,
+    /// `len_hint` declares a wrong length.
+    MisdeclaredN,
+}
+
+impl FaultKind {
+    /// All fault kinds, for sweep iteration.
+    pub const ALL: [FaultKind; 9] = [
+        FaultKind::DuplicateAdjacent,
+        FaultKind::DuplicateDelayed,
+        FaultKind::Drop,
+        FaultKind::CorruptSet,
+        FaultKind::CorruptElem,
+        FaultKind::SwapIds,
+        FaultKind::Reorder,
+        FaultKind::Truncate,
+        FaultKind::MisdeclaredN,
+    ];
+
+    /// Stable short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::DuplicateAdjacent => "dup-adjacent",
+            FaultKind::DuplicateDelayed => "dup-delayed",
+            FaultKind::Drop => "drop",
+            FaultKind::CorruptSet => "corrupt-set",
+            FaultKind::CorruptElem => "corrupt-elem",
+            FaultKind::SwapIds => "swap-ids",
+            FaultKind::Reorder => "reorder",
+            FaultKind::Truncate => "truncate",
+            FaultKind::MisdeclaredN => "misdeclared-n",
+        }
+    }
+}
+
+/// One injected fault: `kind` manifested at output position `pos` (the
+/// 0-based index in the chaos stream's *output*, i.e. what a downstream
+/// consumer observes). For [`FaultKind::Drop`] it is the position the
+/// dropped edge would have occupied.
+///
+/// `detail` is kind-specific context: the scheduled delay for delayed
+/// duplicates, the corrupted raw id for corruptions, the window length for
+/// reorder bursts, the number of input edges cut for truncation, and the
+/// lied length for declared-N mismatches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Output position where the fault manifests.
+    pub pos: usize,
+    /// What was done.
+    pub kind: FaultKind,
+    /// Kind-specific detail (see type docs).
+    pub detail: u64,
+}
+
+/// The injected-fault ledger: every fault a [`ChaosStream`] performed, in
+/// the order it manifested. Byte-identical across replays of the same
+/// `(inner stream, config)` pair.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    records: Vec<FaultRecord>,
+}
+
+impl FaultLog {
+    /// All records, in manifestation order.
+    pub fn records(&self) -> &[FaultRecord] {
+        &self.records
+    }
+
+    /// Number of recorded faults.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no fault was injected.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of recorded faults of one kind.
+    pub fn count(&self, kind: FaultKind) -> usize {
+        self.records.iter().filter(|r| r.kind == kind).count()
+    }
+
+    /// The first record of one kind, if any.
+    pub fn first(&self, kind: FaultKind) -> Option<&FaultRecord> {
+        self.records.iter().find(|r| r.kind == kind)
+    }
+
+    fn push(&mut self, pos: usize, kind: FaultKind, detail: u64) {
+        self.records.push(FaultRecord { pos, kind, detail });
+    }
+}
+
+/// Fault-mix configuration for a [`ChaosStream`]. All probabilities are
+/// per input edge and independent; `0.0` disables a fault kind without
+/// consuming any randomness for it, so adding a new knob at rate 0 does
+/// not perturb existing seeded trajectories.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed for all fault draws.
+    pub seed: u64,
+    /// Per-edge probability of an adjacent duplicate.
+    pub dup_adjacent: f64,
+    /// Per-edge probability of a delayed replay.
+    pub dup_delayed: f64,
+    /// Maximum replay delay, in input positions (`>= 1`).
+    pub max_delay: usize,
+    /// Per-edge probability of dropping the edge.
+    pub drop: f64,
+    /// Per-edge probability of rewriting the set id out of range.
+    pub corrupt_set: f64,
+    /// Per-edge probability of rewriting the element id out of range.
+    pub corrupt_elem: f64,
+    /// Per-edge probability of swapping set and element ids.
+    pub swap_ids: f64,
+    /// Per-edge probability of starting a reorder burst.
+    pub reorder: f64,
+    /// Length of a reorder burst, in output edges (`>= 2` to matter).
+    pub reorder_window: usize,
+    /// Deliver only this fraction of the input, then die (`None` = no
+    /// truncation; requires the inner stream to know its length).
+    pub truncate_at: Option<f64>,
+    /// Multiply the declared `len_hint` by this factor (`None` = honest).
+    pub declared_factor: Option<f64>,
+}
+
+impl ChaosConfig {
+    /// A fault-free configuration (the identity adapter) with default
+    /// windows: `max_delay = 16`, `reorder_window = 8`.
+    pub fn clean(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            dup_adjacent: 0.0,
+            dup_delayed: 0.0,
+            max_delay: 16,
+            drop: 0.0,
+            corrupt_set: 0.0,
+            corrupt_elem: 0.0,
+            swap_ids: 0.0,
+            reorder: 0.0,
+            reorder_window: 8,
+            truncate_at: None,
+            declared_factor: None,
+        }
+    }
+
+    /// A single-kind fault mix at `rate`, for sweeps: sets the one knob
+    /// for `kind` and leaves everything else clean. For
+    /// [`FaultKind::Truncate`] the delivered fraction is `1 - rate`; for
+    /// [`FaultKind::MisdeclaredN`] the declared length is scaled by
+    /// `1 + rate`.
+    pub fn uniform(kind: FaultKind, rate: f64, seed: u64) -> Self {
+        let mut cfg = ChaosConfig::clean(seed);
+        match kind {
+            FaultKind::DuplicateAdjacent => cfg.dup_adjacent = rate,
+            FaultKind::DuplicateDelayed => cfg.dup_delayed = rate,
+            FaultKind::Drop => cfg.drop = rate,
+            FaultKind::CorruptSet => cfg.corrupt_set = rate,
+            FaultKind::CorruptElem => cfg.corrupt_elem = rate,
+            FaultKind::SwapIds => cfg.swap_ids = rate,
+            FaultKind::Reorder => cfg.reorder = rate,
+            FaultKind::Truncate => cfg.truncate_at = Some((1.0 - rate).clamp(0.0, 1.0)),
+            FaultKind::MisdeclaredN => cfg.declared_factor = Some(1.0 + rate),
+        }
+        cfg
+    }
+}
+
+/// A seeded, composable fault-injection adapter over any [`EdgeStream`].
+///
+/// Construction needs the instance's public parameters `(m, n)` so id
+/// corruption can produce *out-of-range* ids deterministically. The
+/// declared length ([`EdgeStream::len_hint`]) is the inner stream's —
+/// scaled if [`ChaosConfig::declared_factor`] lies — and deliberately does
+/// **not** account for injected drops/duplicates/truncation: the lie is
+/// the fault, and a downstream guard is supposed to catch the mismatch.
+#[derive(Debug)]
+pub struct ChaosStream<S> {
+    inner: S,
+    cfg: ChaosConfig,
+    rng: SmallRng,
+    m: usize,
+    n: usize,
+    /// The length the stream declares to consumers.
+    declared: Option<usize>,
+    /// True input length, if known.
+    inner_len: Option<usize>,
+    /// Stop pulling after this many input edges (truncation).
+    take_limit: Option<usize>,
+    /// Input edges pulled so far.
+    consumed: usize,
+    /// Output edges already handed to the consumer.
+    emitted: usize,
+    /// Edges ready for delivery.
+    queue: VecDeque<Edge>,
+    /// Scheduled replays: `(due input position, delay, edge)`.
+    delayed: Vec<(usize, usize, Edge)>,
+    /// Output slots left to fill before the pending burst is reordered.
+    burst_pending: usize,
+    /// Queue index where the pending burst starts.
+    burst_start: usize,
+    log: FaultLog,
+    exhausted: bool,
+}
+
+impl<S: EdgeStream> ChaosStream<S> {
+    /// Wrap `inner` for an instance with `m` sets and `n` elements.
+    pub fn new(inner: S, m: usize, n: usize, cfg: ChaosConfig) -> Self {
+        let inner_len = inner.len_hint();
+        let take_limit = match (cfg.truncate_at, inner_len) {
+            (Some(frac), Some(len)) => Some((frac * len as f64).floor() as usize),
+            _ => None,
+        };
+        let mut log = FaultLog::default();
+        let declared = match (cfg.declared_factor, inner_len) {
+            (Some(factor), Some(len)) => {
+                let lied = (len as f64 * factor).round().max(0.0) as usize;
+                if lied != len {
+                    log.push(0, FaultKind::MisdeclaredN, lied as u64);
+                }
+                Some(lied)
+            }
+            _ => inner_len,
+        };
+        ChaosStream {
+            inner,
+            rng: seeded_rng(cfg.seed),
+            cfg,
+            m,
+            n,
+            declared,
+            inner_len,
+            take_limit,
+            consumed: 0,
+            emitted: 0,
+            queue: VecDeque::new(),
+            delayed: Vec::new(),
+            burst_pending: 0,
+            burst_start: 0,
+            log,
+            exhausted: false,
+        }
+    }
+
+    /// The injected-fault ledger so far (complete once the stream is
+    /// drained).
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+
+    /// Drain the stream, returning the delivered sequence and the complete
+    /// ledger.
+    pub fn drain(mut self) -> (Vec<Edge>, FaultLog) {
+        let mut out = Vec::new();
+        while let Some(e) = self.next_edge() {
+            out.push(e);
+        }
+        (out, self.log)
+    }
+
+    /// Output position the next pushed edge will occupy.
+    fn out_pos(&self) -> usize {
+        self.emitted + self.queue.len()
+    }
+
+    fn push_out(&mut self, e: Edge) {
+        self.queue.push_back(e);
+        if self.burst_pending > 0 {
+            self.burst_pending -= 1;
+            if self.burst_pending == 0 {
+                self.apply_burst();
+            }
+        }
+    }
+
+    /// Reorder the pending burst: sort `queue[burst_start..]` by
+    /// `(set, elem)` — the adversarial reordering (see module docs).
+    fn apply_burst(&mut self) {
+        self.burst_pending = 0;
+        let start = self.burst_start;
+        if start >= self.queue.len() {
+            return;
+        }
+        let slice = self.queue.make_contiguous();
+        slice[start..].sort_unstable_by_key(|e| (e.set.0, e.elem.0));
+    }
+
+    /// Release scheduled replays due at the current input position.
+    fn release_due_replays(&mut self) {
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= self.consumed {
+                let (_, delay, e) = self.delayed.remove(i);
+                self.log
+                    .push(self.out_pos(), FaultKind::DuplicateDelayed, delay as u64);
+                self.push_out(e);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// End the stream: `flush_replays` decides whether scheduled replays
+    /// still surface (natural end) or die with the connection (truncation).
+    fn finish(&mut self, flush_replays: bool) {
+        if flush_replays {
+            // Release in due order for determinism.
+            self.delayed.sort_by_key(|&(due, _, _)| due);
+            let pending = std::mem::take(&mut self.delayed);
+            for (_, delay, e) in pending {
+                self.log
+                    .push(self.out_pos(), FaultKind::DuplicateDelayed, delay as u64);
+                self.push_out(e);
+            }
+        } else {
+            self.delayed.clear();
+        }
+        if self.burst_pending > 0 {
+            // Stream ended mid-burst: reorder whatever the burst captured.
+            self.apply_burst();
+        }
+        self.exhausted = true;
+    }
+
+    /// Process one input event (replays due, truncation check, one inner
+    /// pull with fault draws).
+    fn step(&mut self) {
+        self.release_due_replays();
+        if let Some(limit) = self.take_limit {
+            if self.consumed >= limit {
+                if let Some(len) = self.inner_len {
+                    let cut = len.saturating_sub(limit);
+                    if cut > 0 {
+                        self.log
+                            .push(self.out_pos(), FaultKind::Truncate, cut as u64);
+                    }
+                }
+                self.finish(false);
+                return;
+            }
+        }
+        let Some(e) = self.inner.next_edge() else {
+            self.finish(true);
+            return;
+        };
+        self.consumed += 1;
+
+        if coin(&mut self.rng, self.cfg.drop) {
+            let packed = ((e.set.0 as u64) << 32) | e.elem.0 as u64;
+            self.log.push(self.out_pos(), FaultKind::Drop, packed);
+            return;
+        }
+
+        let mut e = e;
+        if coin(&mut self.rng, self.cfg.corrupt_set) {
+            let bad = SetId((self.m + self.rng.random_range(0..self.m.max(1))) as u32);
+            self.log
+                .push(self.out_pos(), FaultKind::CorruptSet, bad.0 as u64);
+            e.set = bad;
+        } else if coin(&mut self.rng, self.cfg.corrupt_elem) {
+            let bad = ElemId((self.n + self.rng.random_range(0..self.n.max(1))) as u32);
+            self.log
+                .push(self.out_pos(), FaultKind::CorruptElem, bad.0 as u64);
+            e.elem = bad;
+        } else if coin(&mut self.rng, self.cfg.swap_ids) {
+            self.log.push(self.out_pos(), FaultKind::SwapIds, 0);
+            e = Edge {
+                set: SetId(e.elem.0),
+                elem: ElemId(e.set.0),
+            };
+        }
+
+        let burst_candidate = self.burst_pending == 0
+            && self.cfg.reorder_window >= 2
+            && coin(&mut self.rng, self.cfg.reorder);
+        if burst_candidate {
+            self.log.push(
+                self.out_pos(),
+                FaultKind::Reorder,
+                self.cfg.reorder_window as u64,
+            );
+            self.burst_start = self.queue.len();
+            self.burst_pending = self.cfg.reorder_window;
+        }
+
+        self.push_out(e);
+
+        if coin(&mut self.rng, self.cfg.dup_adjacent) {
+            self.log
+                .push(self.out_pos(), FaultKind::DuplicateAdjacent, 1);
+            self.push_out(e);
+        }
+        if coin(&mut self.rng, self.cfg.dup_delayed) {
+            let delay = 1 + self.rng.random_range(0..self.cfg.max_delay.max(1));
+            self.delayed.push((self.consumed + delay, delay, e));
+        }
+    }
+
+    fn refill(&mut self) {
+        // Keep stepping while empty, and while a burst is being captured —
+        // a burst must be fully collected (or the stream must end) before
+        // any of its edges are handed out, so the reorder can be applied.
+        while !self.exhausted && (self.queue.is_empty() || self.burst_pending > 0) {
+            self.step();
+        }
+    }
+}
+
+impl<S: EdgeStream> EdgeStream for ChaosStream<S> {
+    fn next_edge(&mut self) -> Option<Edge> {
+        if self.queue.is_empty() || self.burst_pending > 0 {
+            self.refill();
+        }
+        let e = self.queue.pop_front();
+        if e.is_some() {
+            self.emitted += 1;
+        }
+        e
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.declared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::stream::{order_edges, stream_of, StreamOrder, VecStream};
+
+    fn small_inst() -> crate::instance::SetCoverInstance {
+        let mut b = InstanceBuilder::new(6, 12);
+        for s in 0..6u32 {
+            b.add_set_elems(s, (0..4u32).map(|k| (s * 2 + k) % 12));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clean_config_is_the_identity_adapter() {
+        let inst = small_inst();
+        let edges = order_edges(&inst, StreamOrder::Uniform(3));
+        let chaos = ChaosStream::new(
+            VecStream::new(edges.clone()),
+            inst.m(),
+            inst.n(),
+            ChaosConfig::clean(7),
+        );
+        assert_eq!(chaos.len_hint(), Some(edges.len()));
+        let (delivered, log) = chaos.drain();
+        assert_eq!(delivered, edges);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn chaos_is_seed_reproducible() {
+        let inst = small_inst();
+        let mut cfg = ChaosConfig::clean(42);
+        cfg.dup_adjacent = 0.2;
+        cfg.dup_delayed = 0.2;
+        cfg.drop = 0.1;
+        cfg.corrupt_set = 0.05;
+        cfg.reorder = 0.1;
+        let run = |seed| {
+            let mut c = cfg;
+            c.seed = seed;
+            ChaosStream::new(
+                stream_of(&inst, StreamOrder::Uniform(9)),
+                inst.m(),
+                inst.n(),
+                c,
+            )
+            .drain()
+        };
+        let (d1, l1) = run(42);
+        let (d2, l2) = run(42);
+        assert_eq!(d1, d2, "delivered sequence must be byte-identical");
+        assert_eq!(l1, l2, "fault ledger must be byte-identical");
+        let (d3, l3) = run(43);
+        assert!(d1 != d3 || l1 != l3, "a different seed should differ");
+    }
+
+    #[test]
+    fn adjacent_duplicates_are_adjacent_and_logged() {
+        let inst = small_inst();
+        let edges = order_edges(&inst, StreamOrder::Uniform(1));
+        let cfg = ChaosConfig::uniform(FaultKind::DuplicateAdjacent, 0.3, 5);
+        let (delivered, log) =
+            ChaosStream::new(VecStream::new(edges.clone()), inst.m(), inst.n(), cfg).drain();
+        let dups = log.count(FaultKind::DuplicateAdjacent);
+        assert!(dups > 0, "rate 0.3 over {} edges", edges.len());
+        assert_eq!(delivered.len(), edges.len() + dups);
+        for r in log.records() {
+            assert_eq!(r.kind, FaultKind::DuplicateAdjacent);
+            assert_eq!(
+                delivered[r.pos],
+                delivered[r.pos - 1],
+                "copy must follow the original"
+            );
+        }
+    }
+
+    #[test]
+    fn delayed_duplicates_replay_within_the_window() {
+        let inst = small_inst();
+        let edges = order_edges(&inst, StreamOrder::Uniform(2));
+        let cfg = ChaosConfig::uniform(FaultKind::DuplicateDelayed, 0.3, 6);
+        let (delivered, log) =
+            ChaosStream::new(VecStream::new(edges.clone()), inst.m(), inst.n(), cfg).drain();
+        let dups = log.count(FaultKind::DuplicateDelayed);
+        assert!(dups > 0);
+        assert_eq!(delivered.len(), edges.len() + dups);
+        for r in log.records() {
+            assert!(r.detail >= 1 && r.detail <= cfg.max_delay as u64);
+            // The copy at r.pos appeared earlier in the delivered stream.
+            let copy = delivered[r.pos];
+            assert!(
+                delivered[..r.pos].contains(&copy),
+                "replayed edge must have an earlier original"
+            );
+        }
+    }
+
+    #[test]
+    fn drops_shorten_the_stream_and_are_logged() {
+        let inst = small_inst();
+        let edges = order_edges(&inst, StreamOrder::Uniform(3));
+        let cfg = ChaosConfig::uniform(FaultKind::Drop, 0.25, 7);
+        let (delivered, log) =
+            ChaosStream::new(VecStream::new(edges.clone()), inst.m(), inst.n(), cfg).drain();
+        let drops = log.count(FaultKind::Drop);
+        assert!(drops > 0);
+        assert_eq!(delivered.len(), edges.len() - drops);
+    }
+
+    #[test]
+    fn truncation_cuts_at_the_declared_fraction() {
+        let inst = small_inst();
+        let edges = order_edges(&inst, StreamOrder::Uniform(4));
+        let cfg = ChaosConfig::uniform(FaultKind::Truncate, 0.5, 8);
+        let chaos = ChaosStream::new(VecStream::new(edges.clone()), inst.m(), inst.n(), cfg);
+        // Truncation does not change the *declared* length — the lie is
+        // the point.
+        assert_eq!(chaos.len_hint(), Some(edges.len()));
+        let (delivered, log) = chaos.drain();
+        let limit = edges.len() / 2;
+        assert_eq!(delivered, edges[..limit].to_vec());
+        let rec = log.first(FaultKind::Truncate).unwrap();
+        assert_eq!(rec.pos, limit);
+        assert_eq!(rec.detail, (edges.len() - limit) as u64);
+    }
+
+    #[test]
+    fn corruptions_go_out_of_range() {
+        let inst = small_inst();
+        let edges = order_edges(&inst, StreamOrder::Uniform(5));
+        for (kind, check) in [
+            (FaultKind::CorruptSet, 0usize),
+            (FaultKind::CorruptElem, 1usize),
+        ] {
+            let cfg = ChaosConfig::uniform(kind, 0.3, 9);
+            let (delivered, log) =
+                ChaosStream::new(VecStream::new(edges.clone()), inst.m(), inst.n(), cfg).drain();
+            assert!(log.count(kind) > 0);
+            for r in log.records() {
+                let e = delivered[r.pos];
+                if check == 0 {
+                    assert!(e.set.index() >= inst.m(), "corrupted set must be oob");
+                    assert_eq!(e.set.0 as u64, r.detail);
+                } else {
+                    assert!(e.elem.index() >= inst.n(), "corrupted elem must be oob");
+                    assert_eq!(e.elem.0 as u64, r.detail);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_bursts_permute_but_preserve_the_multiset() {
+        let inst = small_inst();
+        let edges = order_edges(&inst, StreamOrder::Uniform(6));
+        let cfg = ChaosConfig::uniform(FaultKind::Reorder, 0.2, 10);
+        let (delivered, log) =
+            ChaosStream::new(VecStream::new(edges.clone()), inst.m(), inst.n(), cfg).drain();
+        assert!(log.count(FaultKind::Reorder) > 0);
+        assert_eq!(delivered.len(), edges.len());
+        let mut a = delivered.clone();
+        let mut b = edges.clone();
+        a.sort_unstable_by_key(|e| (e.set.0, e.elem.0));
+        b.sort_unstable_by_key(|e| (e.set.0, e.elem.0));
+        assert_eq!(a, b, "reordering must not create or destroy edges");
+        // Each burst window is sorted by (set, elem).
+        for r in log.records() {
+            let end = (r.pos + r.detail as usize).min(delivered.len());
+            let w = &delivered[r.pos..end];
+            assert!(
+                w.windows(2)
+                    .all(|p| (p[0].set.0, p[0].elem.0) <= (p[1].set.0, p[1].elem.0)),
+                "burst at {} must be sorted",
+                r.pos
+            );
+        }
+    }
+
+    #[test]
+    fn misdeclared_n_lies_in_len_hint_only() {
+        let inst = small_inst();
+        let edges = order_edges(&inst, StreamOrder::Uniform(7));
+        let cfg = ChaosConfig::uniform(FaultKind::MisdeclaredN, 0.5, 11);
+        let chaos = ChaosStream::new(VecStream::new(edges.clone()), inst.m(), inst.n(), cfg);
+        let lied = chaos.len_hint().unwrap();
+        assert_eq!(lied, (edges.len() as f64 * 1.5).round() as usize);
+        let (delivered, log) = chaos.drain();
+        assert_eq!(delivered, edges, "the data itself is untouched");
+        assert_eq!(log.count(FaultKind::MisdeclaredN), 1);
+        assert_eq!(
+            log.first(FaultKind::MisdeclaredN).unwrap().detail,
+            lied as u64
+        );
+    }
+
+    #[test]
+    fn swapped_ids_are_logged() {
+        let inst = small_inst();
+        let edges = order_edges(&inst, StreamOrder::Uniform(8));
+        let cfg = ChaosConfig::uniform(FaultKind::SwapIds, 0.3, 12);
+        let (delivered, log) =
+            ChaosStream::new(VecStream::new(edges.clone()), inst.m(), inst.n(), cfg).drain();
+        assert!(log.count(FaultKind::SwapIds) > 0);
+        assert_eq!(delivered.len(), edges.len());
+    }
+
+    #[test]
+    fn composed_faults_replay_identically_through_lazy_streams() {
+        let inst = small_inst();
+        let mut cfg = ChaosConfig::clean(99);
+        cfg.dup_adjacent = 0.15;
+        cfg.drop = 0.1;
+        cfg.reorder = 0.1;
+        cfg.truncate_at = Some(0.8);
+        let run = || {
+            ChaosStream::new(
+                stream_of(&inst, StreamOrder::Interleaved),
+                inst.m(),
+                inst.n(),
+                cfg,
+            )
+            .drain()
+        };
+        assert_eq!(run(), run());
+    }
+}

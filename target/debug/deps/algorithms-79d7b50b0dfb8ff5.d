@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithms-79d7b50b0dfb8ff5.d: crates/bench/benches/algorithms.rs
+
+/root/repo/target/debug/deps/algorithms-79d7b50b0dfb8ff5: crates/bench/benches/algorithms.rs
+
+crates/bench/benches/algorithms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/certificate_validity-9bd8797bddf91be0.d: crates/bench/../../tests/certificate_validity.rs
+
+/root/repo/target/debug/deps/certificate_validity-9bd8797bddf91be0: crates/bench/../../tests/certificate_validity.rs
+
+crates/bench/../../tests/certificate_validity.rs:

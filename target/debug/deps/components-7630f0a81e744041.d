@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/components-7630f0a81e744041.d: crates/bench/benches/components.rs
+
+/root/repo/target/debug/deps/components-7630f0a81e744041: crates/bench/benches/components.rs
+
+crates/bench/benches/components.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generators-ed85c05c254dd3f9.d: crates/bench/benches/generators.rs
+
+/root/repo/target/debug/deps/generators-ed85c05c254dd3f9: crates/bench/benches/generators.rs
+
+crates/bench/benches/generators.rs:

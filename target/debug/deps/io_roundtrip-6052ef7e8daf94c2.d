@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_roundtrip-6052ef7e8daf94c2.d: crates/bench/../../tests/io_roundtrip.rs
+
+/root/repo/target/debug/deps/io_roundtrip-6052ef7e8daf94c2: crates/bench/../../tests/io_roundtrip.rs
+
+crates/bench/../../tests/io_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lowerbound_integration-775830376e00f022.d: crates/bench/../../tests/lowerbound_integration.rs
+
+/root/repo/target/debug/deps/lowerbound_integration-775830376e00f022: crates/bench/../../tests/lowerbound_integration.rs
+
+crates/bench/../../tests/lowerbound_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/par_determinism-e00a383366eddba0.d: crates/bench/../../tests/par_determinism.rs
+
+/root/repo/target/debug/deps/par_determinism-e00a383366eddba0: crates/bench/../../tests/par_determinism.rs
+
+crates/bench/../../tests/par_determinism.rs:

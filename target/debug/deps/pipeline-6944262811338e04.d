@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-6944262811338e04.d: crates/bench/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-6944262811338e04: crates/bench/../../tests/pipeline.rs
+
+crates/bench/../../tests/pipeline.rs:

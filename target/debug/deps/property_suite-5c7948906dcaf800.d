@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_suite-5c7948906dcaf800.d: crates/bench/../../tests/property_suite.rs
+
+/root/repo/target/debug/deps/property_suite-5c7948906dcaf800: crates/bench/../../tests/property_suite.rs
+
+crates/bench/../../tests/property_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_order_integration-1b1f4fd4a59db279.d: crates/bench/../../tests/random_order_integration.rs
+
+/root/repo/target/debug/deps/random_order_integration-1b1f4fd4a59db279: crates/bench/../../tests/random_order_integration.rs
+
+crates/bench/../../tests/random_order_integration.rs:

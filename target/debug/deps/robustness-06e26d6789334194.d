@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-06e26d6789334194.d: crates/bench/../../tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-06e26d6789334194: crates/bench/../../tests/robustness.rs
+
+crates/bench/../../tests/robustness.rs:

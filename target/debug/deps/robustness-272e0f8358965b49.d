@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-272e0f8358965b49.d: crates/bench/src/bin/robustness.rs
+
+/root/repo/target/debug/deps/robustness-272e0f8358965b49: crates/bench/src/bin/robustness.rs
+
+crates/bench/src/bin/robustness.rs:

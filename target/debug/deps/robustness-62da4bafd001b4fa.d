@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-62da4bafd001b4fa.d: crates/bench/src/bin/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-62da4bafd001b4fa.rmeta: crates/bench/src/bin/robustness.rs Cargo.toml
+
+crates/bench/src/bin/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

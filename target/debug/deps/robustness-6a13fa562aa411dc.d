@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-6a13fa562aa411dc.d: crates/bench/src/bin/robustness.rs
+
+/root/repo/target/debug/deps/robustness-6a13fa562aa411dc: crates/bench/src/bin/robustness.rs
+
+crates/bench/src/bin/robustness.rs:

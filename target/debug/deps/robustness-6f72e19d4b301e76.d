@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-6f72e19d4b301e76.d: crates/bench/src/bin/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-6f72e19d4b301e76.rmeta: crates/bench/src/bin/robustness.rs Cargo.toml
+
+crates/bench/src/bin/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

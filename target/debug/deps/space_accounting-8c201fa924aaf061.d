@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/space_accounting-8c201fa924aaf061.d: crates/bench/../../tests/space_accounting.rs
+
+/root/repo/target/debug/deps/space_accounting-8c201fa924aaf061: crates/bench/../../tests/space_accounting.rs
+
+crates/bench/../../tests/space_accounting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream_equivalence-01c264d5bd31b77f.d: crates/bench/../../tests/stream_equivalence.rs
+
+/root/repo/target/debug/deps/stream_equivalence-01c264d5bd31b77f: crates/bench/../../tests/stream_equivalence.rs
+
+crates/bench/../../tests/stream_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stream_equivalence-938004a557cd2ca0.d: crates/bench/../../tests/stream_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream_equivalence-938004a557cd2ca0.rmeta: crates/bench/../../tests/stream_equivalence.rs Cargo.toml
+
+crates/bench/../../tests/stream_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

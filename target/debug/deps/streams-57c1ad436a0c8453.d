@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/streams-57c1ad436a0c8453.d: crates/bench/benches/streams.rs
+
+/root/repo/target/debug/deps/streams-57c1ad436a0c8453: crates/bench/benches/streams.rs
+
+crates/bench/benches/streams.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-b8fccce6a03b4f11.d: crates/bench/src/bin/robustness.rs
+
+/root/repo/target/release/deps/robustness-b8fccce6a03b4f11: crates/bench/src/bin/robustness.rs
+
+crates/bench/src/bin/robustness.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/streams-fe8ff043ef2406ad.d: crates/bench/benches/streams.rs
+
+/root/repo/target/release/deps/streams-fe8ff043ef2406ad: crates/bench/benches/streams.rs
+
+crates/bench/benches/streams.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

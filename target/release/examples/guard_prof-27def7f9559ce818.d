@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/guard_prof-27def7f9559ce818.d: crates/bench/examples/guard_prof.rs
+
+/root/repo/target/release/examples/guard_prof-27def7f9559ce818: crates/bench/examples/guard_prof.rs
+
+crates/bench/examples/guard_prof.rs:

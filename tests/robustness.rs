@@ -1,228 +1,384 @@
-//! Robustness and failure-injection tests: inputs outside the model's
-//! nominal assumptions. The model promises each edge `(S, u)` appears
-//! exactly once and the whole stream arrives; real pipelines deliver
-//! duplicates and truncations. Solvers must stay *correct* (valid covers
-//! for whatever arrived) even where quality guarantees lapse.
+//! Robustness under injected stream faults, end to end.
+//!
+//! The model promises each edge `(S, u)` arrives exactly once, ids in
+//! range, stream complete. Real pipelines break every clause. These
+//! tests drive the full chaos → guard → solver pipeline: a seeded
+//! [`ChaosStream`] injects a configurable fault mix and ledgers every
+//! fault it performs; a [`GuardedStream`] ingests the result under one of
+//! three policies; the five streaming solvers consume what survives. The
+//! contract under test: solvers may *degrade* (bigger covers, partial
+//! coverage) but must stay *correct* — every emitted cover verifies
+//! against the delivered sequence, and `Strict` flags exactly the faults
+//! the ledger says were injected.
 
 use setcover_algos::{
-    AdversarialConfig, AdversarialSolver, FirstSetSolver, KkSolver, MultiPassSieve,
-    RandomOrderConfig, RandomOrderSolver,
+    AdversarialConfig, AdversarialSolver, ElementSamplingConfig, ElementSamplingSolver, KkSolver,
+    MultiPassSieve, RandomOrderConfig, RandomOrderSolver,
 };
-use setcover_core::solver::{run_multipass, run_on_edges};
-use setcover_core::stream::{order_edges, StreamOrder};
-use setcover_core::{Edge, InstanceBuilder, StreamingSetCover};
-use setcover_gen::hard::{degree_spike, kk_level_trap};
+use setcover_core::math::isqrt;
+use setcover_core::rng::derive_seed;
+use setcover_core::solver::{run_multipass, run_multipass_streams, run_on_edges, run_streaming};
+use setcover_core::stream::{stream_of, StreamOrder};
+use setcover_core::{
+    ChaosConfig, ChaosStream, Cover, Edge, EdgeStream, FaultKind, GuardConfig, GuardedStream,
+    SetCoverInstance, StreamError,
+};
 use setcover_gen::planted::{planted, PlantedConfig};
 
+/// Pull a guarded stream to completion (or first error), returning the
+/// delivered prefix and the error if one fired.
+fn drive<S: EdgeStream>(g: &mut GuardedStream<S>) -> (Vec<Edge>, Option<StreamError>) {
+    let mut delivered = Vec::new();
+    loop {
+        match g.try_next_edge() {
+            Ok(Some(e)) => delivered.push(e),
+            Ok(None) => return (delivered, None),
+            Err(e) => return (delivered, Some(e)),
+        }
+    }
+}
+
+/// Run all five streaming solvers over the same delivered sequence.
+fn run_all_solvers(
+    m: usize,
+    n: usize,
+    delivered: &[Edge],
+    seed: u64,
+) -> Vec<(&'static str, Cover)> {
+    let nn = delivered.len().max(1);
+    let alpha = (isqrt(n) as f64 / 2.0).max(1.0);
+    vec![
+        (
+            "kk",
+            run_on_edges(KkSolver::new(m, n, seed), delivered).cover,
+        ),
+        (
+            "adversarial",
+            run_on_edges(
+                AdversarialSolver::new(m, n, AdversarialConfig::sqrt_n(n), seed),
+                delivered,
+            )
+            .cover,
+        ),
+        (
+            "random-order",
+            run_on_edges(
+                RandomOrderSolver::new(m, n, nn, RandomOrderConfig::practical(), seed),
+                delivered,
+            )
+            .cover,
+        ),
+        (
+            "element-sampling",
+            run_on_edges(
+                ElementSamplingSolver::new(
+                    m,
+                    n,
+                    ElementSamplingConfig::for_alpha(alpha, m, 1.0),
+                    seed,
+                ),
+                delivered,
+            )
+            .cover,
+        ),
+        (
+            "multipass-sieve",
+            run_multipass(MultiPassSieve::new(m, n, 3), delivered).cover,
+        ),
+    ]
+}
+
+fn chaos_over(
+    inst: &SetCoverInstance,
+    order_seed: u64,
+    cfg: ChaosConfig,
+) -> ChaosStream<impl EdgeStream + '_> {
+    ChaosStream::new(
+        stream_of(inst, StreamOrder::Uniform(order_seed)),
+        inst.m(),
+        inst.n(),
+        cfg,
+    )
+}
+
+/// Acceptance criterion: the same `(instance, order, chaos config, seed)`
+/// yields a byte-identical fault ledger *and* delivered sequence, and a
+/// different chaos seed yields a different trajectory.
 #[test]
-fn duplicate_edges_do_not_break_correctness() {
-    // Every edge delivered twice (e.g. at-least-once transport).
-    let p = planted(&PlantedConfig::exact(100, 400, 10), 1);
+fn chaos_replay_is_byte_identical() {
+    let p = planted(&PlantedConfig::exact(200, 800, 10), 21);
     let inst = &p.workload.instance;
-    let mut edges = order_edges(inst, StreamOrder::Uniform(2));
-    let doubled: Vec<Edge> = edges.iter().flat_map(|&e| [e, e]).collect();
-    edges.clear();
+    let mut cfg = ChaosConfig::clean(0xC0FFEE);
+    cfg.dup_adjacent = 0.05;
+    cfg.dup_delayed = 0.05;
+    cfg.drop = 0.05;
+    cfg.corrupt_set = 0.02;
+    cfg.corrupt_elem = 0.02;
+    cfg.reorder = 0.03;
 
-    let kk = run_on_edges(KkSolver::new(inst.m(), inst.n(), 3), &doubled);
-    kk.cover.verify(inst).unwrap();
+    let (d1, l1) = chaos_over(inst, 5, cfg).drain();
+    let (d2, l2) = chaos_over(inst, 5, cfg).drain();
+    assert_eq!(d1, d2, "delivered sequence must replay byte-identically");
+    assert_eq!(l1, l2, "fault ledger must replay byte-identically");
+    assert!(!l1.is_empty(), "this mix must actually inject faults");
 
-    let a2 = run_on_edges(
-        AdversarialSolver::new(inst.m(), inst.n(), AdversarialConfig::sqrt_n(inst.n()), 3),
-        &doubled,
+    let mut reseeded = cfg;
+    reseeded.seed ^= 1;
+    let (d3, l3) = chaos_over(inst, 5, reseeded).drain();
+    assert!(
+        d3 != d1 || l3.records() != l1.records(),
+        "a different chaos seed must perturb the trajectory"
     );
-    a2.cover.verify(inst).unwrap();
+}
 
-    let a1 = run_on_edges(
-        RandomOrderSolver::new(
+/// All five streaming solvers × the full fault matrix (every
+/// [`FaultKind`]), ingested through a `Repair` guard: no panics, no
+/// invalid covers — every cover verifies against the delivered sequence.
+#[test]
+fn all_solvers_survive_the_full_fault_matrix() {
+    let p = planted(&PlantedConfig::exact(128, 512, 8), 22);
+    let inst = &p.workload.instance;
+    for (ki, &kind) in FaultKind::ALL.iter().enumerate() {
+        let cfg = ChaosConfig::uniform(kind, 0.2, derive_seed(0xFEED, ki as u64));
+        let chaos = chaos_over(inst, 7 + ki as u64, cfg);
+        let mut guard = GuardedStream::new(chaos, inst.m(), inst.n(), GuardConfig::repair());
+        let (delivered, err) = drive(&mut guard);
+        assert!(
+            err.is_none(),
+            "Repair must never fail the stream ({}): {err:?}",
+            kind.name()
+        );
+        let rep = guard.report();
+        assert_eq!(
+            rep.edges_in,
+            rep.edges_ok + rep.edges_repaired,
+            "under Repair every pulled edge is either delivered or repaired ({})",
+            kind.name()
+        );
+        assert_eq!(rep.edges_rejected, 0, "Repair rejects nothing");
+        assert_eq!(
+            delivered.len(),
+            rep.edges_ok,
+            "Repair delivers exactly the clean edges ({})",
+            kind.name()
+        );
+        // Repaired output honors the id contract the solvers rely on.
+        assert!(
+            delivered
+                .iter()
+                .all(|e| e.set.index() < inst.m() && e.elem.index() < inst.n()),
+            "Repair must strip out-of-range ids ({})",
+            kind.name()
+        );
+        for (name, cover) in run_all_solvers(inst.m(), inst.n(), &delivered, 3) {
+            cover
+                .verify_delivered(inst.n(), &delivered)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{name} emitted an invalid cover under {} at rate 0.2: {e}",
+                        kind.name()
+                    )
+                });
+        }
+    }
+}
+
+/// Property test (64 seeded cases): `Strict` flags *exactly* the faults
+/// the [`ChaosStream`]'s ledger says were injected — no false accepts
+/// (every detectable injected fault surfaces as a positioned error) and
+/// no false alarms (clean and reorder-only streams pass untouched).
+#[test]
+fn strict_flags_exactly_the_injected_faults_across_64_seeds() {
+    // `SwapIds` is excluded: a swapped id pair is only detectable when it
+    // happens to leave the valid rectangle, so Strict's verdict on it is
+    // input-dependent by design. `Reorder` is *in* the cycle precisely
+    // because Strict must not flag it (point-wise undetectable).
+    const CYCLE: [Option<FaultKind>; 8] = [
+        None, // clean control
+        Some(FaultKind::DuplicateAdjacent),
+        Some(FaultKind::DuplicateDelayed),
+        Some(FaultKind::Drop),
+        Some(FaultKind::CorruptSet),
+        Some(FaultKind::CorruptElem),
+        Some(FaultKind::Truncate),
+        Some(FaultKind::Reorder),
+    ];
+    const RATES: [f64; 3] = [0.05, 0.15, 0.3];
+
+    let p = planted(&PlantedConfig::exact(96, 384, 8), 23);
+    let inst = &p.workload.instance;
+    let nn = inst.num_edges();
+
+    for case in 0..64u64 {
+        let kind = CYCLE[(case % 8) as usize];
+        let rate = RATES[((case / 8) % 3) as usize];
+        let seed = derive_seed(0x0057_17C7, case);
+        let cfg = match kind {
+            None => ChaosConfig::clean(seed),
+            Some(k) => ChaosConfig::uniform(k, rate, seed),
+        };
+        let chaos = chaos_over(inst, case, cfg);
+        let mut guard = GuardedStream::new(
+            chaos,
             inst.m(),
             inst.n(),
-            doubled.len(),
-            RandomOrderConfig::practical(),
-            3,
-        ),
-        &doubled,
+            GuardConfig::strict().with_dedup_window(128),
+        );
+        let (delivered, err) = drive(&mut guard);
+        let log = guard.inner().log().clone();
+
+        match kind {
+            None => {
+                assert!(err.is_none(), "case {case}: false alarm on clean stream");
+                assert!(log.is_empty(), "case {case}: clean config injected faults");
+                assert_eq!(delivered.len(), nn);
+            }
+            Some(FaultKind::Reorder) => {
+                // Reordering is invisible to a point-wise validator.
+                assert!(
+                    err.is_none(),
+                    "case {case}: false alarm on reorder-only stream: {err:?}"
+                );
+                assert_eq!(delivered.len(), nn, "reorder must not change the count");
+            }
+            Some(k @ (FaultKind::DuplicateAdjacent | FaultKind::DuplicateDelayed)) => {
+                match log.first(k) {
+                    None => assert!(err.is_none(), "case {case}: false alarm: {err:?}"),
+                    Some(rec) => assert!(
+                        matches!(err, Some(StreamError::DuplicateEdge { pos, .. }) if pos == rec.pos),
+                        "case {case}: expected DuplicateEdge at {}, got {err:?}",
+                        rec.pos
+                    ),
+                }
+            }
+            Some(k @ FaultKind::CorruptSet) => match log.first(k) {
+                None => assert!(err.is_none(), "case {case}: false alarm: {err:?}"),
+                Some(rec) => assert!(
+                    matches!(err, Some(StreamError::SetOutOfRange { pos, set, .. })
+                        if pos == rec.pos && u64::from(set.0) == rec.detail),
+                    "case {case}: expected SetOutOfRange at {} (id {}), got {err:?}",
+                    rec.pos,
+                    rec.detail
+                ),
+            },
+            Some(k @ FaultKind::CorruptElem) => match log.first(k) {
+                None => assert!(err.is_none(), "case {case}: false alarm: {err:?}"),
+                Some(rec) => assert!(
+                    matches!(err, Some(StreamError::ElemOutOfRange { pos, elem, .. })
+                        if pos == rec.pos && u64::from(elem.0) == rec.detail),
+                    "case {case}: expected ElemOutOfRange at {} (id {}), got {err:?}",
+                    rec.pos,
+                    rec.detail
+                ),
+            },
+            Some(FaultKind::Drop) => {
+                let drops = log.count(FaultKind::Drop);
+                if drops == 0 {
+                    assert!(err.is_none(), "case {case}: false alarm: {err:?}");
+                } else {
+                    assert_eq!(
+                        err,
+                        Some(StreamError::LengthMismatch {
+                            declared: nn,
+                            delivered: nn - drops,
+                        }),
+                        "case {case}: {drops} drops must surface as a length mismatch"
+                    );
+                    assert_eq!(delivered.len(), nn - drops);
+                }
+            }
+            Some(FaultKind::Truncate) => match log.first(FaultKind::Truncate) {
+                None => assert!(err.is_none(), "case {case}: false alarm: {err:?}"),
+                Some(rec) => {
+                    let cut = rec.detail as usize;
+                    assert_eq!(
+                        err,
+                        Some(StreamError::LengthMismatch {
+                            declared: nn,
+                            delivered: nn - cut,
+                        }),
+                        "case {case}: truncation of {cut} edges must surface"
+                    );
+                    assert_eq!(delivered.len(), nn - cut);
+                }
+            },
+            Some(other) => unreachable!("kind {other:?} not in the cycle"),
+        }
+
+        // The exactness property in one line: Strict errs iff the ledger
+        // holds at least one Strict-detectable fault.
+        let detectable = log.records().iter().any(|r| r.kind != FaultKind::Reorder);
+        assert_eq!(
+            err.is_some(),
+            detectable,
+            "case {case} ({kind:?} @ {rate}): Strict must flag exactly the ledger ({} records)",
+            log.len()
+        );
+    }
+}
+
+/// Solvers fed a *raw* chaos stream (no guard) with in-range faults —
+/// duplicates, drops, reordering, truncation — must still terminate with
+/// covers valid for what arrived. A deterministic twin stream supplies
+/// the delivered sequence to verify against; multipass replays the same
+/// faults each pass through the stream factory.
+#[test]
+fn unguarded_solvers_survive_in_range_chaos() {
+    let p = planted(&PlantedConfig::exact(100, 400, 10), 24);
+    let inst = &p.workload.instance;
+    let kinds = [
+        FaultKind::DuplicateAdjacent,
+        FaultKind::DuplicateDelayed,
+        FaultKind::Drop,
+        FaultKind::Reorder,
+        FaultKind::Truncate,
+    ];
+    for (ki, &kind) in kinds.iter().enumerate() {
+        let cfg = ChaosConfig::uniform(kind, 0.25, derive_seed(0xAB, ki as u64));
+        let make = || chaos_over(inst, 9, cfg);
+        let (delivered, _) = make().drain();
+
+        let kk = run_streaming(KkSolver::new(inst.m(), inst.n(), 5), make());
+        kk.cover
+            .verify_delivered(inst.n(), &delivered)
+            .unwrap_or_else(|e| panic!("kk invalid under raw {}: {e}", kind.name()));
+
+        let a2 = run_streaming(
+            AdversarialSolver::new(inst.m(), inst.n(), AdversarialConfig::sqrt_n(inst.n()), 5),
+            make(),
+        );
+        a2.cover
+            .verify_delivered(inst.n(), &delivered)
+            .unwrap_or_else(|e| panic!("adversarial invalid under raw {}: {e}", kind.name()));
+
+        let mp = run_multipass_streams(MultiPassSieve::new(inst.m(), inst.n(), 3), make);
+        mp.cover
+            .verify_delivered(inst.n(), &delivered)
+            .unwrap_or_else(|e| panic!("multipass invalid under raw {}: {e}", kind.name()));
+    }
+}
+
+/// `Observe` never touches the stream: everything the chaos adapter
+/// emits — corrupted ids included — reaches the consumer, but the
+/// anomaly counters still fill in.
+#[test]
+fn observe_policy_reports_without_intervening() {
+    let p = planted(&PlantedConfig::exact(64, 256, 8), 25);
+    let inst = &p.workload.instance;
+    let cfg = ChaosConfig::uniform(FaultKind::CorruptSet, 0.3, 0xD00D);
+    let (expected, _) = chaos_over(inst, 3, cfg).drain();
+
+    let mut guard = GuardedStream::new(
+        chaos_over(inst, 3, cfg),
+        inst.m(),
+        inst.n(),
+        GuardConfig::observe(),
     );
-    a1.cover.verify(inst).unwrap();
-}
-
-#[test]
-fn shuffled_duplicates_inflate_kk_counters_but_not_validity() {
-    // Duplicates scattered (not adjacent): uncovered-degree counters
-    // overcount and inclusions fire early — quality shifts, correctness
-    // must not.
-    let p = planted(&PlantedConfig::exact(80, 320, 8), 2);
-    let inst = &p.workload.instance;
-    let mut tripled: Vec<Edge> = Vec::new();
-    for rep in 0..3u64 {
-        tripled.extend(order_edges(inst, StreamOrder::Uniform(10 + rep)));
-    }
-    let out = run_on_edges(KkSolver::new(inst.m(), inst.n(), 5), &tripled);
-    out.cover.verify(inst).unwrap();
-}
-
-#[test]
-fn truncated_stream_covers_what_arrived() {
-    // The stream dies mid-way: patching can only certify elements that
-    // appeared. We verify against the *truncated* instance.
-    let p = planted(&PlantedConfig::exact(120, 480, 12), 3);
-    let inst = &p.workload.instance;
-    let edges = order_edges(inst, StreamOrder::Uniform(4));
-    let half = &edges[..edges.len() / 2];
-
-    // Rebuild the instance the solver actually saw.
-    let mut b = InstanceBuilder::new(inst.m(), inst.n());
-    let mut seen = vec![false; inst.n()];
-    for e in half {
-        b.add_edge(e.set, e.elem);
-        seen[e.elem.index()] = true;
-    }
-    // Unseen elements are fed one synthetic edge each so the truncated
-    // instance stays feasible for verification; the solver gets the same
-    // synthetic tail (a crash-recovery replay, in pipeline terms).
-    let mut tail = Vec::new();
-    for (u, &s) in seen.iter().enumerate() {
-        if !s {
-            let set = inst.sets_containing(setcover_core::ElemId(u as u32))[0];
-            b.add_edge(set, setcover_core::ElemId(u as u32));
-            tail.push(Edge {
-                set,
-                elem: setcover_core::ElemId(u as u32),
-            });
-        }
-    }
-    let truncated = b.build().unwrap();
-
-    let mut solver = KkSolver::new(inst.m(), inst.n(), 7);
-    for &e in half.iter().chain(tail.iter()) {
-        solver.process_edge(e);
-    }
-    let cover = solver.finalize();
-    cover.verify(&truncated).unwrap();
-}
-
-#[test]
-fn single_element_and_single_set_extremes() {
-    // n = 1.
-    let mut b = InstanceBuilder::new(3, 1);
-    b.add_edge(setcover_core::SetId(2), setcover_core::ElemId(0));
-    let inst = b.build().unwrap();
-    let out = run_on_edges(KkSolver::new(3, 1, 1), &inst.edge_vec());
-    out.cover.verify(&inst).unwrap();
-    assert_eq!(out.cover.size(), 1);
-
-    // m = 1 covering everything.
-    let mut b = InstanceBuilder::new(1, 64);
-    b.add_set_elems(0, 0..64);
-    let inst = b.build().unwrap();
-    for order in [StreamOrder::SetArrival, StreamOrder::Uniform(2)] {
-        let out = run_on_edges(
-            AdversarialSolver::new(1, 64, AdversarialConfig::sqrt_n(64), 2),
-            &order_edges(&inst, order),
-        );
-        out.cover.verify(&inst).unwrap();
-        assert_eq!(out.cover.size(), 1);
-    }
-}
-
-#[test]
-fn extreme_alpha_values_degrade_gracefully() {
-    let p = planted(&PlantedConfig::exact(60, 240, 6), 4);
-    let inst = &p.workload.instance;
-    let edges = order_edges(inst, StreamOrder::Interleaved);
-    for alpha in [1.0f64, 2.0, 1e6] {
-        let out = run_on_edges(
-            AdversarialSolver::new(inst.m(), inst.n(), AdversarialConfig::with_alpha(alpha), 5),
-            &edges,
-        );
-        out.cover.verify(inst).unwrap();
-        // alpha = 1: promotion every uncovered edge, p0 = 1/m·1... still
-        // valid; alpha huge: D0 floods (p0 = alpha/m >= 1 picks all sets).
-        if alpha >= 1e6 {
-            // Everything pre-sampled: all witnesses collected in-stream.
-            assert!(out.cover.size() <= inst.m());
-        }
-    }
-}
-
-#[test]
-fn kk_level_trap_forces_patching_dominated_covers() {
-    let w = kk_level_trap(400, 1600, 5, 6);
-    let inst = &w.instance;
-    let edges = order_edges(inst, StreamOrder::Interleaved);
-    let kk = run_on_edges(KkSolver::new(inst.m(), inst.n(), 7), &edges);
-    kk.cover.verify(inst).unwrap();
-    // Decoys can never be sampled; the cover is planted picks + patches.
-    // The first-set baseline is the ceiling the trap pushes KK toward.
-    let fs = run_on_edges(FirstSetSolver::new(inst.m(), inst.n()), &edges);
-    assert!(kk.cover.size() <= fs.cover.size() + 5);
-}
-
-#[test]
-fn degree_spikes_are_absorbed() {
-    let w = degree_spike(300, 90, 10, 4, 7);
-    let inst = &w.instance;
-    for order in [StreamOrder::ElementGrouped, StreamOrder::Uniform(8)] {
-        let edges = order_edges(inst, order);
-        let kk = run_on_edges(KkSolver::new(inst.m(), inst.n(), 9), &edges);
-        kk.cover.verify(inst).unwrap();
-        let a1 = run_on_edges(
-            RandomOrderSolver::new(
-                inst.m(),
-                inst.n(),
-                edges.len(),
-                RandomOrderConfig::practical(),
-                9,
-            ),
-            &edges,
-        );
-        a1.cover.verify(inst).unwrap();
-    }
-}
-
-#[test]
-fn multipass_sieve_survives_duplicates_and_extremes() {
-    let p = planted(&PlantedConfig::exact(90, 180, 9), 8);
-    let inst = &p.workload.instance;
-    let edges = order_edges(inst, StreamOrder::Uniform(9));
-    let doubled: Vec<Edge> = edges.iter().flat_map(|&e| [e, e]).collect();
-    let out = run_multipass(MultiPassSieve::new(inst.m(), inst.n(), 3), &doubled);
-    out.cover.verify(inst).unwrap();
-
-    let one_elem = {
-        let mut b = InstanceBuilder::new(2, 1);
-        b.add_edge(setcover_core::SetId(0), setcover_core::ElemId(0));
-        b.build().unwrap()
-    };
-    let out = run_multipass(MultiPassSieve::new(2, 1, 5), &one_elem.edge_vec());
-    out.cover.verify(&one_elem).unwrap();
-    assert!(out.passes_used <= 5);
-}
-
-#[test]
-fn solvers_are_reusable_per_instance_not_across() {
-    // A fresh solver per run: same seed + same stream => same cover
-    // (no hidden global state).
-    let p = planted(&PlantedConfig::exact(70, 140, 7), 9);
-    let inst = &p.workload.instance;
-    let edges = order_edges(inst, StreamOrder::GreedyTrap);
-    let a = run_on_edges(KkSolver::new(inst.m(), inst.n(), 11), &edges).cover;
-    let b = run_on_edges(KkSolver::new(inst.m(), inst.n(), 11), &edges).cover;
-    assert_eq!(a, b);
-}
-
-#[test]
-fn finalize_is_idempotent_for_reporting() {
-    // Calling space() after finalize must still report the run's peak.
-    let p = planted(&PlantedConfig::exact(50, 100, 5), 10);
-    let inst = &p.workload.instance;
-    let mut solver = KkSolver::new(inst.m(), inst.n(), 12);
-    for e in order_edges(inst, StreamOrder::SetArrival) {
-        solver.process_edge(e);
-    }
-    let cover = solver.finalize();
-    cover.verify(inst).unwrap();
-    let s1 = solver.space();
-    let s2 = solver.space();
-    assert_eq!(s1, s2);
-    assert!(s1.peak_words >= inst.m());
+    let (delivered, err) = drive(&mut guard);
+    assert!(err.is_none(), "Observe never fails the stream");
+    assert_eq!(delivered, expected, "Observe must pass everything through");
+    let rep = guard.report();
+    assert!(rep.set_out_of_range > 0, "corruptions must be counted");
+    assert_eq!(rep.edges_rejected, rep.set_out_of_range);
+    assert_eq!(rep.edges_in, rep.edges_ok + rep.edges_rejected);
 }
