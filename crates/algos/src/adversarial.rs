@@ -25,7 +25,9 @@ use rand::rngs::SmallRng;
 
 use setcover_core::rng::{coin, seeded_rng};
 use setcover_core::space::{map_entry_words, SpaceComponent, SpaceMeter};
-use setcover_core::{Cover, Edge, SetId, SpaceReport, StreamingSetCover};
+use setcover_core::{
+    Cover, Edge, Metric, NoopRecorder, Recorder, SetId, SpaceReport, StreamingSetCover,
+};
 
 use crate::common::{FirstSetMap, MarkSet, SolutionBuilder};
 
@@ -58,7 +60,7 @@ impl AdversarialConfig {
 /// `Clone` is derived so communication-reduction harnesses (Theorem 2) can
 /// fork the memory state into parallel runs.
 #[derive(Debug, Clone)]
-pub struct AdversarialSolver {
+pub struct AdversarialSolver<R: Recorder = NoopRecorder> {
     m: usize,
     n: usize,
     alpha: f64,
@@ -74,6 +76,7 @@ pub struct AdversarialSolver {
     meter: SpaceMeter,
     /// Total number of promotions performed (diagnostics).
     promotions: u64,
+    rec: R,
 }
 
 impl AdversarialSolver {
@@ -83,17 +86,28 @@ impl AdversarialSolver {
     /// sampling *time* is O(m) — drawn as a binomial count plus uniform
     /// ids — but the *space* is only the sampled sets, matching the model.
     pub fn new(m: usize, n: usize, config: AdversarialConfig, seed: u64) -> Self {
+        Self::with_recorder(m, n, config, seed, NoopRecorder)
+    }
+}
+
+impl<R: Recorder> AdversarialSolver<R> {
+    /// [`AdversarialSolver::new`] with a metrics recorder. The `D₀`
+    /// pre-sampling happens here, so constructing through this path
+    /// records [`Metric::AdvPresampled`] too.
+    pub fn with_recorder(m: usize, n: usize, config: AdversarialConfig, seed: u64, rec: R) -> Self {
         let mut meter = SpaceMeter::new();
         let marked = MarkSet::new(n, &mut meter);
         let first = FirstSetMap::new(n, &mut meter);
         let mut rng = seeded_rng(seed);
         let mut sol = SolutionBuilder::new(m, n);
+        let mut rec = rec;
 
         // D0 sampling: each set independently with p0 = alpha / m.
         let p0 = (config.alpha / m as f64).min(1.0);
         for s in 0..m as u32 {
             if coin(&mut rng, p0) {
                 sol.add(SetId(s), &mut meter);
+                rec.counter(Metric::AdvPresampled, 1);
             }
         }
 
@@ -109,6 +123,7 @@ impl AdversarialSolver {
             sol,
             meter,
             promotions: 0,
+            rec,
         }
     }
 
@@ -178,7 +193,7 @@ impl AdversarialSolver {
     }
 }
 
-impl StreamingSetCover for AdversarialSolver {
+impl<R: Recorder> StreamingSetCover for AdversarialSolver<R> {
     fn name(&self) -> &'static str {
         "adversarial-low-space"
     }
@@ -203,9 +218,15 @@ impl StreamingSetCover for AdversarialSolver {
             *entry += 1;
             let level = *entry;
             self.levels_peak = self.levels_peak.max(self.levels.len());
+            self.rec.counter(Metric::AdvPromotions, 1);
+            self.rec
+                .gauge(Metric::AdvLevelsPeak, self.levels_peak as u64);
             let p_incl = self.inclusion_probability(level);
-            if coin(&mut self.rng, p_incl) {
-                self.sol.add(e.set, &mut self.meter);
+            if coin(&mut self.rng, p_incl) && self.sol.add(e.set, &mut self.meter) {
+                self.rec.counter(Metric::AdvInclusions, 1);
+                self.rec.observe(Metric::AdvLevelAtInclusion, level as u64);
+                self.rec
+                    .event("adv.include", e.set.index() as u64, level as u64);
             }
         }
 

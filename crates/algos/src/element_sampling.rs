@@ -30,7 +30,9 @@ use rand::rngs::SmallRng;
 
 use setcover_core::rng::{coin, seeded_rng};
 use setcover_core::space::{bitset_words, SpaceComponent, SpaceMeter};
-use setcover_core::{Cover, Edge, ElemId, SetId, SpaceReport, StreamingSetCover};
+use setcover_core::{
+    Cover, Edge, ElemId, Metric, NoopRecorder, Recorder, SetId, SpaceReport, StreamingSetCover,
+};
 
 use crate::common::{FirstSetMap, MarkSet, SolutionBuilder};
 
@@ -56,7 +58,7 @@ impl ElementSamplingConfig {
 
 /// The element-sampling solver. See the [module docs](self).
 #[derive(Debug)]
-pub struct ElementSamplingSolver {
+pub struct ElementSamplingSolver<R: Recorder = NoopRecorder> {
     m: usize,
     n: usize,
     threshold: u32,
@@ -74,11 +76,27 @@ pub struct ElementSamplingSolver {
     first: FirstSetMap,
     sol: SolutionBuilder,
     meter: SpaceMeter,
+    rec: R,
 }
 
 impl ElementSamplingSolver {
     /// Create a solver for an instance with `m` sets and `n` elements.
     pub fn new(m: usize, n: usize, config: ElementSamplingConfig, seed: u64) -> Self {
+        Self::with_recorder(m, n, config, seed, NoopRecorder)
+    }
+}
+
+impl<R: Recorder> ElementSamplingSolver<R> {
+    /// [`ElementSamplingSolver::new`] with a metrics recorder. The
+    /// sub-universe `U'` is drawn at construction, so this path records
+    /// [`Metric::EsSampledElems`] too.
+    pub fn with_recorder(
+        m: usize,
+        n: usize,
+        config: ElementSamplingConfig,
+        seed: u64,
+        mut rec: R,
+    ) -> Self {
         let mut meter = SpaceMeter::new();
         let marked = MarkSet::new(n, &mut meter);
         let first = FirstSetMap::new(n, &mut meter);
@@ -96,7 +114,7 @@ impl ElementSamplingSolver {
         meter.charge(SpaceComponent::Other, bitset_words(n));
 
         let tau = (config.rho * n as f64 / config.alpha).ceil().max(1.0) as u32;
-        let _ = sample_count;
+        rec.counter(Metric::EsSampledElems, sample_count as u64);
 
         ElementSamplingSolver {
             m,
@@ -109,6 +127,7 @@ impl ElementSamplingSolver {
             first,
             sol: SolutionBuilder::new(m, n),
             meter,
+            rec,
         }
     }
 
@@ -123,7 +142,7 @@ impl ElementSamplingSolver {
     }
 }
 
-impl StreamingSetCover for ElementSamplingSolver {
+impl<R: Recorder> StreamingSetCover for ElementSamplingSolver<R> {
     fn name(&self) -> &'static str {
         "element-sampling"
     }
@@ -143,12 +162,15 @@ impl StreamingSetCover for ElementSamplingSolver {
         // Store the projection edge.
         self.projections[e.set.index()].push(e.elem);
         self.meter.charge(SpaceComponent::StoredEdges, 1);
+        self.rec.counter(Metric::EsEdgesStored, 1);
 
         if !self.marked.is_marked(e.elem) {
             let g = &mut self.uncovered_gain[e.set.index()];
             *g += 1;
-            if *g >= self.threshold {
-                self.sol.add(e.set, &mut self.meter);
+            if *g >= self.threshold && self.sol.add(e.set, &mut self.meter) {
+                self.rec.counter(Metric::EsThresholdPicks, 1);
+                self.rec
+                    .event("es.pick", e.set.index() as u64, u64::from(*g));
                 self.marked.mark(e.elem);
                 self.sol.certify(e.elem, e.set, &mut self.meter);
             }

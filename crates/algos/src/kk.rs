@@ -24,7 +24,7 @@ use rand::rngs::SmallRng;
 use setcover_core::math::isqrt;
 use setcover_core::rng::{coin, seeded_rng};
 use setcover_core::space::{SpaceComponent, SpaceMeter};
-use setcover_core::{Cover, Edge, SpaceReport, StreamingSetCover};
+use setcover_core::{Cover, Edge, Metric, NoopRecorder, Recorder, SpaceReport, StreamingSetCover};
 
 use crate::common::{FirstSetMap, MarkSet, SolutionBuilder};
 
@@ -64,7 +64,7 @@ impl KkConfig {
 /// fork the memory state into parallel runs, exactly as the lower-bound
 /// proof's last party does.
 #[derive(Debug, Clone)]
-pub struct KkSolver {
+pub struct KkSolver<R: Recorder = NoopRecorder> {
     m: usize,
     config: KkConfig,
     rng: SmallRng,
@@ -74,6 +74,7 @@ pub struct KkSolver {
     first: FirstSetMap,
     sol: SolutionBuilder,
     meter: SpaceMeter,
+    rec: R,
 }
 
 impl KkSolver {
@@ -85,6 +86,13 @@ impl KkSolver {
 
     /// Create a solver with explicit configuration.
     pub fn with_config(m: usize, n: usize, config: KkConfig, seed: u64) -> Self {
+        Self::with_recorder(m, n, config, seed, NoopRecorder)
+    }
+}
+
+impl<R: Recorder> KkSolver<R> {
+    /// Create a solver with explicit configuration and a metrics recorder.
+    pub fn with_recorder(m: usize, n: usize, config: KkConfig, seed: u64, rec: R) -> Self {
         let mut meter = SpaceMeter::new();
         // The m uncovered-degree counters are the headline space cost.
         meter.charge(SpaceComponent::Counters, m);
@@ -99,6 +107,7 @@ impl KkSolver {
             first,
             sol: SolutionBuilder::new(m, n),
             meter,
+            rec,
         }
     }
 
@@ -155,12 +164,13 @@ impl KkSolver {
     }
 }
 
-impl StreamingSetCover for KkSolver {
+impl<R: Recorder> StreamingSetCover for KkSolver<R> {
     fn name(&self) -> &'static str {
         "kk"
     }
 
     fn process_edge(&mut self, e: Edge) {
+        self.rec.counter(Metric::KkEdges, 1);
         self.first.observe(e.elem, e.set);
 
         if self.marked.is_marked(e.elem) {
@@ -177,8 +187,13 @@ impl StreamingSetCover for KkSolver {
         *d += 1;
         if (*d as usize).is_multiple_of(self.config.level_width) {
             let level = (*d as usize / self.config.level_width) as u32;
+            self.rec.counter(Metric::KkLevelCrossings, 1);
             let p = self.inclusion_probability(level);
             if coin(&mut self.rng, p) && self.sol.add(e.set, &mut self.meter) {
+                self.rec.counter(Metric::KkInclusions, 1);
+                self.rec.observe(Metric::KkLevelAtInclusion, level as u64);
+                self.rec
+                    .event("kk.include", e.set.index() as u64, level as u64);
                 // The crossing edge itself is covered by the fresh set.
                 self.marked.mark(e.elem);
                 self.sol.certify(e.elem, e.set, &mut self.meter);

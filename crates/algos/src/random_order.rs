@@ -46,7 +46,9 @@ use rand::rngs::SmallRng;
 use setcover_core::math::{isqrt, log2f};
 use setcover_core::rng::{bernoulli_hits, coin, seeded_rng};
 use setcover_core::space::{map_entry_words, SpaceComponent, SpaceMeter};
-use setcover_core::{Cover, Edge, SetId, SpaceReport, StreamingSetCover};
+use setcover_core::{
+    Cover, Edge, Metric, NoopRecorder, Recorder, SetId, SpaceReport, StreamingSetCover,
+};
 
 use crate::common::{FirstSetMap, MarkSet, SolutionBuilder};
 
@@ -279,7 +281,7 @@ enum Phase {
 
 /// The Algorithm 1 solver. See the [module docs](self).
 #[derive(Debug)]
-pub struct RandomOrderSolver {
+pub struct RandomOrderSolver<R: Recorder = NoopRecorder> {
     m: usize,
     n: usize,
     /// Stream length estimate `N̂` (see [`crate::amplify::NGuessing`]).
@@ -338,6 +340,7 @@ pub struct RandomOrderSolver {
     /// Set when `|Sol|` reaches `n`: the paper's space-cap rule (§4.2)
     /// then reports the trivial first-set cover instead.
     degenerate: bool,
+    rec: R,
 }
 
 impl RandomOrderSolver {
@@ -345,6 +348,22 @@ impl RandomOrderSolver {
     /// stream length estimate `n_est` (§4.1: `N` known is w.l.o.g.;
     /// [`crate::amplify::NGuessing`] supplies the parallel guesses).
     pub fn new(m: usize, n: usize, n_est: usize, config: RandomOrderConfig, seed: u64) -> Self {
+        Self::with_recorder(m, n, n_est, config, seed, NoopRecorder)
+    }
+}
+
+impl<R: Recorder> RandomOrderSolver<R> {
+    /// [`RandomOrderSolver::new`] with a metrics recorder. Epoch-0
+    /// pre-sampling happens at construction, so constructing through this
+    /// path records [`Metric::RoEpoch0Sampled`] too.
+    pub fn with_recorder(
+        m: usize,
+        n: usize,
+        n_est: usize,
+        config: RandomOrderConfig,
+        seed: u64,
+        mut rec: R,
+    ) -> Self {
         assert!(m >= 1 && n >= 1 && n_est >= 1);
         let mut meter = SpaceMeter::new();
         let marked = MarkSet::new(n, &mut meter);
@@ -428,6 +447,7 @@ impl RandomOrderSolver {
             sol.add(SetId(s as u32), &mut meter);
             epoch0_sampled += 1;
         }
+        rec.counter(Metric::RoEpoch0Sampled, epoch0_sampled as u64);
 
         // Per-element epoch-0 counters (released after detection).
         meter.charge(SpaceComponent::Counters, n);
@@ -479,6 +499,7 @@ impl RandomOrderSolver {
             probe: None,
             cur_epoch_probe: EpochProbe::default(),
             degenerate,
+            rec,
         };
         solver.remaining = solver.epoch0_len;
         solver.probe = probe;
@@ -574,6 +595,9 @@ impl RandomOrderSolver {
         }
         self.elem_counts = Vec::new();
         self.meter.release(SpaceComponent::Counters, self.n);
+        self.rec.counter(Metric::RoEpoch0Marked, marked0 as u64);
+        self.rec
+            .event("ro.epoch0_done", marked0 as u64, self.epoch0_len as u64);
         if let Some(p) = &mut self.probe {
             p.epoch0_marked = marked0;
         }
@@ -582,6 +606,10 @@ impl RandomOrderSolver {
     /// Start the subepoch `(i, j, k)`: reset batch counters (generation
     /// bump) and the remaining-edge budget.
     fn start_subepoch(&mut self, i: u32) {
+        self.rec.counter(Metric::RoSubepochs, 1);
+        // Every subepoch start resets the batch counters (by generation
+        // stamp), so the two counts advance in lockstep by design.
+        self.rec.counter(Metric::RoCounterResets, 1);
         self.generation = self.generation.wrapping_add(1);
         if self.generation == 0 {
             // Extremely rare wrap: hard reset.
@@ -619,6 +647,13 @@ impl RandomOrderSolver {
         }
         self.meter
             .release(SpaceComponent::TrackedSets, self.tracked.len());
+        self.rec.counter(Metric::RoEpochs, 1);
+        self.rec
+            .counter(Metric::RoMarkedByTracking, marked_by_tracking as u64);
+        self.rec
+            .counter(Metric::RoSamplesEvicted, self.tracked.len() as u64);
+        self.rec
+            .event("ro.epoch_end", i as u64, marked_by_tracking as u64);
         std::mem::swap(&mut self.tracked, &mut self.tracked_next);
         self.tracked_next.clear();
 
@@ -635,7 +670,7 @@ impl RandomOrderSolver {
 
     /// Start algorithm `A⁽ⁱ⁾`: draw the initial tracked sample `Q̃` with
     /// probability `q₀` per set (line 10).
-    fn start_algorithm(&mut self, _i: u32) {
+    fn start_algorithm(&mut self, i: u32) {
         self.meter
             .release(SpaceComponent::TrackedSets, self.tracked.len());
         self.tracked.clear();
@@ -649,6 +684,10 @@ impl RandomOrderSolver {
         }
         self.meter
             .charge(SpaceComponent::TrackedSets, self.tracked.len());
+        self.rec
+            .counter(Metric::RoSamplesTracked, self.tracked.len() as u64);
+        self.rec
+            .event("ro.algo_start", i as u64, self.tracked.len() as u64);
     }
 
     fn begin_epoch_probe(&mut self, i: u32, j: u32) {
@@ -718,6 +757,7 @@ impl RandomOrderSolver {
         // Lines 24–25: track edges from Q̃. One bit probe + two array
         // slots — no hashing on the per-edge path.
         if self.tracked.contains(e.set.0) {
+            self.rec.counter(Metric::RoProbeUpdates, 1);
             let u = e.elem.index();
             if self.t_gen[u] != self.t_generation {
                 self.t_gen[u] = self.t_generation;
@@ -737,6 +777,7 @@ impl RandomOrderSolver {
             }
             self.counters[off] += 1;
             if self.counters[off] == self.special_threshold(j) {
+                self.rec.counter(Metric::RoSpecials, 1);
                 if self.probe.is_some() {
                     self.cur_epoch_probe.specials += 1;
                     if let Some(pr) = &mut self.probe {
@@ -752,6 +793,8 @@ impl RandomOrderSolver {
                     && coin(&mut self.rng, p_j)
                     && self.sol.add(e.set, &mut self.meter)
                 {
+                    self.rec.counter(Metric::RoSolAdded, 1);
+                    self.rec.event("ro.sol_add", e.set.index() as u64, j as u64);
                     if self.probe.is_some() {
                         self.cur_epoch_probe.sol_added += 1;
                     }
@@ -766,6 +809,7 @@ impl RandomOrderSolver {
                 }
                 let q_j = self.q_j(j);
                 if coin(&mut self.rng, q_j) && self.tracked_next.insert(e.set.0) {
+                    self.rec.counter(Metric::RoSamplesTracked, 1);
                     self.meter.charge(SpaceComponent::TrackedSets, 1);
                 }
             }
@@ -775,7 +819,7 @@ impl RandomOrderSolver {
     }
 }
 
-impl StreamingSetCover for RandomOrderSolver {
+impl<R: Recorder> StreamingSetCover for RandomOrderSolver<R> {
     fn name(&self) -> &'static str {
         "random-order"
     }

@@ -26,14 +26,15 @@
 use setcover_core::math::isqrt;
 use setcover_core::space::{SpaceComponent, SpaceMeter};
 use setcover_core::{
-    Cover, Edge, ElemId, MultiPassSetCover, SetId, SpaceReport, StreamingSetCover,
+    Cover, Edge, ElemId, Metric, MultiPassSetCover, NoopRecorder, Recorder, SetId, SpaceReport,
+    StreamingSetCover,
 };
 
 use crate::common::{FirstSetMap, MarkSet, SolutionBuilder};
 
 /// The set-arrival threshold solver. See the [module docs](self).
 #[derive(Debug)]
-pub struct SetArrivalThresholdSolver {
+pub struct SetArrivalThresholdSolver<R: Recorder = NoopRecorder> {
     threshold: usize,
     current_set: Option<SetId>,
     buffer: Vec<ElemId>,
@@ -41,6 +42,7 @@ pub struct SetArrivalThresholdSolver {
     first: FirstSetMap,
     sol: SolutionBuilder,
     meter: SpaceMeter,
+    rec: R,
 }
 
 impl SetArrivalThresholdSolver {
@@ -52,6 +54,14 @@ impl SetArrivalThresholdSolver {
 
     /// Create a solver with an explicit pick threshold.
     pub fn with_threshold(m: usize, n: usize, threshold: usize) -> Self {
+        Self::with_recorder(m, n, threshold, NoopRecorder)
+    }
+}
+
+impl<R: Recorder> SetArrivalThresholdSolver<R> {
+    /// [`SetArrivalThresholdSolver::with_threshold`] with a metrics
+    /// recorder.
+    pub fn with_recorder(m: usize, n: usize, threshold: usize, rec: R) -> Self {
         let mut meter = SpaceMeter::new();
         let marked = MarkSet::new(n, &mut meter);
         let first = FirstSetMap::new(n, &mut meter);
@@ -63,19 +73,25 @@ impl SetArrivalThresholdSolver {
             first,
             sol: SolutionBuilder::new(m, n),
             meter,
+            rec,
         }
     }
 
     /// Decide on the buffered set.
     fn flush(&mut self) {
         let Some(s) = self.current_set else { return };
+        self.rec.counter(Metric::SaFlushes, 1);
         let uncovered = self
             .buffer
             .iter()
             .filter(|u| !self.marked.is_marked(**u))
             .count();
         if uncovered >= self.threshold {
-            self.sol.add(s, &mut self.meter);
+            if self.sol.add(s, &mut self.meter) {
+                self.rec.counter(Metric::SaPicks, 1);
+                self.rec
+                    .event("sa.pick", s.index() as u64, uncovered as u64);
+            }
             let buffer = std::mem::take(&mut self.buffer);
             for &u in &buffer {
                 self.marked.mark(u);
@@ -89,7 +105,7 @@ impl SetArrivalThresholdSolver {
     }
 }
 
-impl StreamingSetCover for SetArrivalThresholdSolver {
+impl<R: Recorder> StreamingSetCover for SetArrivalThresholdSolver<R> {
     fn name(&self) -> &'static str {
         "set-arrival-threshold"
     }
@@ -101,6 +117,8 @@ impl StreamingSetCover for SetArrivalThresholdSolver {
             self.current_set = Some(e.set);
         }
         self.buffer.push(e.elem);
+        self.rec
+            .gauge(Metric::SaBufferPeak, self.buffer.len() as u64);
         self.meter.charge(SpaceComponent::StoredEdges, 1);
     }
 

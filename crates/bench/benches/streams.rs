@@ -3,18 +3,28 @@
 //!
 //! Writes every measurement to `BENCH_streams.json` at the repo root
 //! (override with `SC_STREAMS_JSON=<path>`). With
-//! `SC_STREAMS_BENCH_ENFORCE=1` the run exits non-zero if lazy set-arrival
-//! throughput falls more than 25% below the materialized path at the
-//! largest N — the CI perf-smoke gate. `SC_BENCH_QUICK=1` caps sampling.
+//! `SC_STREAMS_BENCH_ENFORCE=1` the run exits non-zero if any CI
+//! perf-smoke gate fails: lazy set-arrival throughput more than 25%
+//! below the materialized path at the largest N, guarded uniform-random
+//! throughput below 0.70× raw, no-op-recorder Algorithm 1 more than 2%
+//! slower than a recorder-free replica, or an enabled `MetricsRecorder`
+//! more than 10% slower (the observability overhead budget, DESIGN.md
+//! §11). `SC_BENCH_QUICK=1` caps sampling.
 
 use criterion::{criterion_group, take_results, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::io::Write as _;
 
-use setcover_algos::{RandomOrderConfig, RandomOrderSolver};
+use setcover_algos::common::{FirstSetMap, MarkSet, SolutionBuilder};
+use setcover_algos::{KkConfig, KkSolver, RandomOrderConfig, RandomOrderSolver};
+use setcover_core::rng::{coin, seeded_rng};
 use setcover_core::solver::run_streaming;
+use setcover_core::space::{SpaceComponent, SpaceMeter};
 use setcover_core::stream::{order_edges, stream_of, EdgeStream, StreamOrder};
-use setcover_core::{GuardConfig, GuardedStream, SetCoverInstance};
+use setcover_core::{
+    Cover, Edge, GuardConfig, GuardedStream, MetricsRecorder, SetCoverInstance, SpaceReport,
+    StreamingSetCover,
+};
 use setcover_gen::uniform::{uniform, UniformConfig};
 
 /// Target stream lengths. Sets have a fixed size so N = m · size exactly.
@@ -109,6 +119,118 @@ fn bench_guarded_vs_raw(c: &mut Criterion) {
             |b, &o| b.iter(|| drain_guarded(black_box(&inst), o)),
         );
     }
+    g.finish();
+}
+
+/// A hand-stripped replica of [`KkSolver`] with no recorder field and no
+/// recorder calls — the "what the solver would cost if the observability
+/// layer did not exist" baseline for the overhead gates. Must mirror the
+/// real solver's state, RNG trajectory, and space accounting exactly.
+struct KkBaseline {
+    m: usize,
+    config: KkConfig,
+    rng: rand::rngs::SmallRng,
+    degree: Vec<u32>,
+    marked: MarkSet,
+    first: FirstSetMap,
+    sol: SolutionBuilder,
+    meter: SpaceMeter,
+}
+
+impl KkBaseline {
+    fn new(m: usize, n: usize, seed: u64) -> Self {
+        let mut meter = SpaceMeter::new();
+        meter.charge(SpaceComponent::Counters, m);
+        let marked = MarkSet::new(n, &mut meter);
+        let first = FirstSetMap::new(n, &mut meter);
+        KkBaseline {
+            m,
+            config: KkConfig::paper(n),
+            rng: seeded_rng(seed),
+            degree: vec![0; m],
+            marked,
+            first,
+            sol: SolutionBuilder::new(m, n),
+            meter,
+        }
+    }
+}
+
+impl StreamingSetCover for KkBaseline {
+    fn name(&self) -> &'static str {
+        "kk-baseline"
+    }
+
+    fn process_edge(&mut self, e: Edge) {
+        self.first.observe(e.elem, e.set);
+        if self.marked.is_marked(e.elem) {
+            return;
+        }
+        if self.sol.contains(e.set) {
+            self.marked.mark(e.elem);
+            self.sol.certify(e.elem, e.set, &mut self.meter);
+            return;
+        }
+        let d = &mut self.degree[e.set.index()];
+        *d += 1;
+        if (*d as usize).is_multiple_of(self.config.level_width) {
+            let level = (*d as usize / self.config.level_width) as u32;
+            let w = self.config.level_width as f64;
+            let p = self.config.inclusion_mult * 2f64.powi(level as i32) * w / self.m as f64;
+            if coin(&mut self.rng, p) && self.sol.add(e.set, &mut self.meter) {
+                self.marked.mark(e.elem);
+                self.sol.certify(e.elem, e.set, &mut self.meter);
+            }
+        }
+    }
+
+    fn finalize(&mut self) -> Cover {
+        let sol = std::mem::replace(&mut self.sol, SolutionBuilder::new(0, 0));
+        let first = &self.first;
+        sol.finish_with(|u| first.get(u))
+    }
+
+    fn space(&self) -> SpaceReport {
+        self.meter.report()
+    }
+}
+
+/// Same size as the other gated lanes, uniform-random arrival.
+const OBS_N: usize = 10_000_000;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let inst = instance_with_edges(OBS_N);
+    let nn = inst.num_edges();
+    let (m, n) = (inst.m(), inst.n());
+    let order = StreamOrder::Uniform(3);
+    let mut g = c.benchmark_group(format!("obs-overhead-n{OBS_N}"));
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(nn as u64));
+    g.bench_function("baseline", |b| {
+        b.iter(|| {
+            run_streaming(KkBaseline::new(m, n, 7), stream_of(black_box(&inst), order))
+                .cover
+                .size()
+        })
+    });
+    g.bench_function("noop", |b| {
+        b.iter(|| {
+            run_streaming(KkSolver::new(m, n, 7), stream_of(black_box(&inst), order))
+                .cover
+                .size()
+        })
+    });
+    g.bench_function("enabled", |b| {
+        b.iter(|| {
+            let mut rec = MetricsRecorder::new();
+            let out = run_streaming(
+                KkSolver::with_recorder(m, n, KkConfig::paper(n), 7, &mut rec),
+                stream_of(black_box(&inst), order),
+            );
+            black_box(rec.snapshot());
+            out.cover.size()
+        })
+    });
     g.finish();
 }
 
@@ -233,6 +355,33 @@ fn emit_json_and_enforce() {
             true
         }
     };
+    // Observability-overhead gates, against the hand-stripped KK
+    // baseline on the same uniform-random lane: a `NoopRecorder` solver
+    // must cost ≤2% (the disabled path compiles away), an enabled
+    // `MetricsRecorder` ≤10%. Ratios use min_ns — the least noisy
+    // statistic for "how fast can this code go".
+    let obs_group = format!("obs-overhead-n{OBS_N}");
+    let min_in = |id: &str| {
+        results
+            .iter()
+            .find(|r| r.group == obs_group && r.id == id)
+            .map(|r| r.min_ns)
+    };
+    let (noop_gate, enabled_gate) = match (min_in("baseline"), min_in("noop"), min_in("enabled")) {
+        (Some(base), Some(noop), Some(enabled)) if base > 0.0 => {
+            let noop_ratio = noop / base;
+            let enabled_ratio = enabled / base;
+            eprintln!(
+                "perf-smoke: obs overhead vs baseline — noop {noop_ratio:.3}x (gate 1.02), \
+                 enabled {enabled_ratio:.3}x (gate 1.10)"
+            );
+            (noop_ratio <= 1.02, enabled_ratio <= 1.10)
+        }
+        _ => {
+            eprintln!("perf-smoke: obs-overhead results missing; gates skipped");
+            (true, true)
+        }
+    };
     let enforce = std::env::var_os("SC_STREAMS_BENCH_ENFORCE").is_some_and(|v| v != "0");
     if !gate && enforce {
         eprintln!("perf-smoke FAILED: lazy set-arrival throughput >25% below materialized");
@@ -242,12 +391,21 @@ fn emit_json_and_enforce() {
         eprintln!("perf-smoke FAILED: guarded uniform-random throughput >30% below raw");
         std::process::exit(1);
     }
+    if !noop_gate && enforce {
+        eprintln!("perf-smoke FAILED: no-op recorder costs >2% over the stripped baseline");
+        std::process::exit(1);
+    }
+    if !enabled_gate && enforce {
+        eprintln!("perf-smoke FAILED: enabled recorder costs >10% over the stripped baseline");
+        std::process::exit(1);
+    }
 }
 
 criterion_group!(
     benches,
     bench_materialized_vs_lazy,
     bench_guarded_vs_raw,
+    bench_obs_overhead,
     bench_random_order_solver
 );
 

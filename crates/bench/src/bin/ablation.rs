@@ -6,10 +6,10 @@
 
 use setcover_bench::experiments::ablation;
 use setcover_bench::harness::{arg_usize, check_args};
-use setcover_bench::{timed_report, TrialRunner};
+use setcover_bench::{emit_obs, timed_report, TrialRunner};
 
 fn main() {
-    check_args(&["trials", "threads"]);
+    check_args(&["trials", "threads", "obs"]);
     let p = ablation::Params {
         trials: arg_usize("trials", 3),
     };
@@ -18,4 +18,5 @@ fn main() {
         "{}",
         timed_report("ablation", &runner, |r| ablation::run_with(&p, r))
     );
+    emit_obs("ablation", &runner);
 }

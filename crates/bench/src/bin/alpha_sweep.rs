@@ -12,10 +12,10 @@
 
 use setcover_bench::experiments::alpha_sweep;
 use setcover_bench::harness::{arg_str, arg_usize, check_args};
-use setcover_bench::{timed_report_vs_serial, TrialRunner};
+use setcover_bench::{emit_obs, timed_report_vs_serial, TrialRunner};
 
 fn main() {
-    check_args(&["m", "n", "trials", "threads"]);
+    check_args(&["m", "n", "trials", "threads", "obs"]);
     let mut p = alpha_sweep::Params {
         n: arg_usize("n", 1024),
         ..Default::default()
@@ -29,4 +29,5 @@ fn main() {
         "{}",
         timed_report_vs_serial("alpha_sweep", &runner, |r| alpha_sweep::run_with(&p, r))
     );
+    emit_obs("alpha_sweep", &runner);
 }

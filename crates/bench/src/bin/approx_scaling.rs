@@ -5,10 +5,10 @@
 
 use setcover_bench::experiments::approx_scaling;
 use setcover_bench::harness::{arg_usize, check_args};
-use setcover_bench::{timed_report, TrialRunner};
+use setcover_bench::{emit_obs, timed_report, TrialRunner};
 
 fn main() {
-    check_args(&["max_n", "trials", "threads"]);
+    check_args(&["max_n", "trials", "threads", "obs"]);
     let p = approx_scaling::Params {
         max_n: arg_usize("max_n", 1600),
         trials: arg_usize("trials", 3),
@@ -20,4 +20,5 @@ fn main() {
             &p, r
         ))
     );
+    emit_obs("approx_scaling", &runner);
 }

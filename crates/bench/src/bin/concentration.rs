@@ -5,10 +5,10 @@
 
 use setcover_bench::experiments::concentration;
 use setcover_bench::harness::{arg_usize, check_args};
-use setcover_bench::{timed_report, TrialRunner};
+use setcover_bench::{emit_obs, timed_report, TrialRunner};
 
 fn main() {
-    check_args(&["trials", "threads"]);
+    check_args(&["trials", "threads", "obs"]);
     let p = concentration::Params {
         trials: arg_usize("trials", 300),
     };
@@ -17,4 +17,5 @@ fn main() {
         "{}",
         timed_report("concentration", &runner, |r| concentration::run_with(&p, r))
     );
+    emit_obs("concentration", &runner);
 }

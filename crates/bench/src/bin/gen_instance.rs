@@ -18,7 +18,8 @@
 use std::fs::File;
 use std::io::BufWriter;
 
-use setcover_bench::harness::{arg_f64, arg_str, arg_usize, check_args, die};
+use setcover_bench::harness::{arg_f64, arg_str, arg_usize, check_args, die, ensure_parent_dir};
+use setcover_bench::{emit_obs, TrialRunner};
 use setcover_core::io::{write_instance, write_stream};
 use setcover_core::math::isqrt;
 use setcover_core::stream::{stream_of, StreamOrder};
@@ -45,6 +46,7 @@ fn main() {
         "seed",
         "size",
         "spikes",
+        "obs",
     ]);
     let kind = arg_str("kind").unwrap_or_else(|| "planted".to_string());
     let n = arg_usize("n", 1024);
@@ -86,7 +88,11 @@ fn main() {
         w.instance.num_edges()
     );
 
+    let runner = TrialRunner::serial().obs_from_args();
+    runner.add_edges(w.instance.num_edges());
+
     let out = arg_str("out").unwrap_or_else(|| format!("{kind}.sc"));
+    ensure_parent_dir(&out);
     let f = BufWriter::new(
         File::create(&out).unwrap_or_else(|e| die(&format!("cannot create `{out}`: {e}"))),
     );
@@ -106,6 +112,7 @@ fn main() {
             }
         };
         let stream_out = arg_str("stream_out").unwrap_or_else(|| format!("{kind}.scs"));
+        ensure_parent_dir(&stream_out);
         let f = BufWriter::new(
             File::create(&stream_out)
                 .unwrap_or_else(|e| die(&format!("cannot create `{stream_out}`: {e}"))),
@@ -120,4 +127,5 @@ fn main() {
         .unwrap_or_else(|e| die(&format!("cannot write `{stream_out}`: {e}")));
         println!("stream ({}) -> {stream_out}", order.name());
     }
+    emit_obs("gen_instance", &runner);
 }

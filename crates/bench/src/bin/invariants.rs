@@ -5,10 +5,10 @@
 
 use setcover_bench::experiments::invariants;
 use setcover_bench::harness::{arg_str, arg_usize, check_args};
-use setcover_bench::{timed_report, TrialRunner};
+use setcover_bench::{emit_obs, timed_report, TrialRunner};
 
 fn main() {
-    check_args(&["m", "n", "opt", "threads"]);
+    check_args(&["m", "n", "opt", "threads", "obs"]);
     let mut p = invariants::Params {
         n: arg_usize("n", 4096),
         opt: arg_usize("opt", 8),
@@ -22,4 +22,5 @@ fn main() {
         "{}",
         timed_report("invariants", &runner, |r| invariants::run_with(&p, r))
     );
+    emit_obs("invariants", &runner);
 }

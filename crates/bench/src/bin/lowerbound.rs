@@ -6,10 +6,10 @@
 
 use setcover_bench::experiments::lowerbound;
 use setcover_bench::harness::{arg_usize, check_args};
-use setcover_bench::{timed_report, TrialRunner};
+use setcover_bench::{emit_obs, timed_report, TrialRunner};
 
 fn main() {
-    check_args(&["trials", "threads"]);
+    check_args(&["trials", "threads", "obs"]);
     let p = lowerbound::Params {
         trials: arg_usize("trials", 5),
     };
@@ -18,4 +18,5 @@ fn main() {
         "{}",
         timed_report("lowerbound", &runner, |r| lowerbound::run_with(&p, r))
     );
+    emit_obs("lowerbound", &runner);
 }

@@ -10,14 +10,13 @@
 //! `SC_BENCH_QUICK=1` shrinks the default sweep for CI smoke runs.
 
 use std::cell::RefCell;
-use std::io::Write as _;
 
 use setcover_bench::experiments::robustness;
-use setcover_bench::harness::{arg_str, arg_usize, check_args, die};
-use setcover_bench::{timed_report, TrialRunner};
+use setcover_bench::harness::{arg_str, arg_usize, check_args, write_output};
+use setcover_bench::{emit_obs, timed_report, TrialRunner};
 
 fn main() {
-    check_args(&["n", "m", "opt", "trials", "json_out", "threads"]);
+    check_args(&["n", "m", "opt", "trials", "json_out", "threads", "obs"]);
     let defaults = robustness::Params::default();
     let p = robustness::Params {
         n: arg_usize("n", defaults.n),
@@ -38,12 +37,7 @@ fn main() {
     print!("{text}");
 
     let json = json.into_inner();
-    if let Some(dir) = std::path::Path::new(&json_path).parent() {
-        std::fs::create_dir_all(dir).ok();
-    }
-    let write = std::fs::File::create(&json_path).and_then(|mut f| f.write_all(json.as_bytes()));
-    match write {
-        Ok(()) => eprintln!("degradation curves -> {json_path}"),
-        Err(e) => die(&format!("cannot write {json_path}: {e}")),
-    }
+    write_output(&json_path, &json);
+    eprintln!("degradation curves -> {json_path}");
+    emit_obs("robustness", &runner);
 }

@@ -11,10 +11,10 @@
 
 use setcover_bench::experiments::separation;
 use setcover_bench::harness::{arg_str, arg_usize, check_args};
-use setcover_bench::{timed_report_vs_serial, TrialRunner};
+use setcover_bench::{emit_obs, timed_report_vs_serial, TrialRunner};
 
 fn main() {
-    check_args(&["m", "n", "opt", "trials", "threads"]);
+    check_args(&["m", "n", "opt", "trials", "threads", "obs"]);
     let mut p = separation::Params {
         n: arg_usize("n", 4096),
         opt: arg_usize("opt", 8),
@@ -29,4 +29,5 @@ fn main() {
         "{}",
         timed_report_vs_serial("separation", &runner, |r| separation::run_with(&p, r))
     );
+    emit_obs("separation", &runner);
 }

@@ -21,7 +21,9 @@ use setcover_algos::{
     RandomOrderSolver, SetArrivalThresholdSolver, StoreAllSolver,
 };
 use setcover_bench::harness::{arg_f64, arg_str, arg_usize, check_args, die};
+use setcover_bench::{emit_obs, obs_trial, TrialRunner};
 use setcover_core::io::{read_instance, read_stream};
+use setcover_core::math::isqrt;
 use setcover_core::solver::{
     run_multipass, run_multipass_streams, run_on_edges, run_streaming, RunOutcome,
 };
@@ -112,7 +114,9 @@ fn report(inst: &SetCoverInstance, out: RunOutcome) {
 }
 
 fn main() {
-    check_args(&["alpha", "algo", "inst", "order", "stream", "passes", "seed"]);
+    check_args(&[
+        "alpha", "algo", "inst", "order", "stream", "passes", "seed", "obs",
+    ]);
     let (inst, src) = load();
     let (m, n) = (inst.m(), inst.n());
     let nn = src.num_edges(&inst);
@@ -120,47 +124,77 @@ fn main() {
     let algo = arg_str("algo").unwrap_or_else(|| "kk".to_string());
     println!("instance: m = {m}, n = {n}, N = {nn} stream edges");
 
+    // Serial by design (one solver, one pass); the runner exists so
+    // `obs=` can capture this run's metrics into a manifest.
+    let runner = TrialRunner::serial().obs_from_args();
+
     match algo.as_str() {
-        "kk" => report(&inst, run_solver(KkSolver::new(m, n, seed), &inst, &src)),
-        "alg1" => report(
-            &inst,
-            run_solver(
-                RandomOrderSolver::new(m, n, nn, RandomOrderConfig::practical(), seed),
+        "kk" => {
+            let out = obs_trial!(&runner, 0, |rec| run_solver(
+                KkSolver::with_recorder(m, n, setcover_algos::KkConfig::paper(n), seed, rec),
                 &inst,
-                &src,
-            ),
-        ),
+                &src
+            ));
+            runner.add_edges(out.edges_processed);
+            report(&inst, out)
+        }
+        "alg1" => {
+            let out = obs_trial!(&runner, 0, |rec| run_solver(
+                RandomOrderSolver::with_recorder(
+                    m,
+                    n,
+                    nn,
+                    RandomOrderConfig::practical(),
+                    seed,
+                    rec
+                ),
+                &inst,
+                &src
+            ));
+            runner.add_edges(out.edges_processed);
+            report(&inst, out)
+        }
         "alg2" => {
             let alpha = arg_f64("alpha", 2.0 * (n as f64).sqrt());
-            report(
-                &inst,
-                run_solver(
-                    AdversarialSolver::new(m, n, AdversarialConfig::with_alpha(alpha), seed),
-                    &inst,
-                    &src,
+            let out = obs_trial!(&runner, 0, |rec| run_solver(
+                AdversarialSolver::with_recorder(
+                    m,
+                    n,
+                    AdversarialConfig::with_alpha(alpha),
+                    seed,
+                    rec
                 ),
-            )
+                &inst,
+                &src
+            ));
+            runner.add_edges(out.edges_processed);
+            report(&inst, out)
         }
         "element-sampling" => {
             let alpha = arg_f64("alpha", (n as f64).sqrt() / 2.0);
-            report(
-                &inst,
-                run_solver(
-                    ElementSamplingSolver::new(
-                        m,
-                        n,
-                        ElementSamplingConfig::for_alpha(alpha.max(1.0), m, 1.0),
-                        seed,
-                    ),
-                    &inst,
-                    &src,
+            let out = obs_trial!(&runner, 0, |rec| run_solver(
+                ElementSamplingSolver::with_recorder(
+                    m,
+                    n,
+                    ElementSamplingConfig::for_alpha(alpha.max(1.0), m, 1.0),
+                    seed,
+                    rec
                 ),
-            )
+                &inst,
+                &src
+            ));
+            runner.add_edges(out.edges_processed);
+            report(&inst, out)
         }
-        "set-arrival" => report(
-            &inst,
-            run_solver(SetArrivalThresholdSolver::new(m, n), &inst, &src),
-        ),
+        "set-arrival" => {
+            let out = obs_trial!(&runner, 0, |rec| run_solver(
+                SetArrivalThresholdSolver::with_recorder(m, n, isqrt(n).max(1), rec),
+                &inst,
+                &src
+            ));
+            runner.add_edges(out.edges_processed);
+            report(&inst, out)
+        }
         "first-set" => report(&inst, run_solver(FirstSetSolver::new(m, n), &inst, &src)),
         "store-all" => report(&inst, run_solver(StoreAllSolver::new(m, n), &inst, &src)),
         "multipass" => {
@@ -192,4 +226,5 @@ fn main() {
             std::process::exit(2);
         }
     }
+    emit_obs("solve", &runner);
 }

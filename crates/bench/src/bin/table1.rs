@@ -11,10 +11,10 @@
 
 use setcover_bench::experiments::table1;
 use setcover_bench::harness::{arg_str, arg_usize, check_args};
-use setcover_bench::{timed_report, TrialRunner};
+use setcover_bench::{emit_obs, timed_report, TrialRunner};
 
 fn main() {
-    check_args(&["m", "n", "trials", "threads"]);
+    check_args(&["m", "n", "trials", "threads", "obs"]);
     let mut p = table1::Params {
         n: arg_usize("n", 576),
         ..Default::default()
@@ -28,4 +28,5 @@ fn main() {
         "{}",
         timed_report("table1", &runner, |r| table1::run_with(&p, r))
     );
+    emit_obs("table1", &runner);
 }

@@ -34,7 +34,7 @@ use setcover_core::solver::{run_multipass, run_on_edges};
 use setcover_core::stream::{stream_of, StreamOrder};
 use setcover_core::{
     ChaosConfig, ChaosStream, Cover, Edge, EdgeStream, FaultKind, GuardConfig, GuardReport,
-    GuardedStream, SetCoverInstance,
+    GuardedStream, Metric, Recorder, SetCoverInstance,
 };
 use setcover_gen::planted::{planted, PlantedConfig};
 
@@ -139,7 +139,14 @@ fn check_delivered(
     }
 }
 
-fn run_cell(inst: &SetCoverInstance, opt: usize, kind: FaultKind, rate: f64, seed: u64) -> CellOut {
+fn run_cell<R: Recorder>(
+    inst: &SetCoverInstance,
+    opt: usize,
+    kind: FaultKind,
+    rate: f64,
+    seed: u64,
+    mut rec: R,
+) -> CellOut {
     let (m, n) = (inst.m(), inst.n());
     let chaos = ChaosStream::new(
         stream_of(inst, StreamOrder::Uniform(derive_seed(seed, 0x0A))),
@@ -147,12 +154,16 @@ fn run_cell(inst: &SetCoverInstance, opt: usize, kind: FaultKind, rate: f64, see
         n,
         ChaosConfig::uniform(kind, rate, derive_seed(seed, 0x0B)),
     );
-    let mut guard = GuardedStream::new(chaos, m, n, GuardConfig::repair());
+    // The guard reports each violation it sees into the recorder, so
+    // `obs=` manifests break faults down by kind and outcome.
+    let mut guard = GuardedStream::new(chaos, m, n, GuardConfig::repair()).with_recorder(&mut rec);
     let mut delivered = Vec::new();
     while let Some(e) = guard.next_edge() {
         delivered.push(e);
     }
     let report = guard.report();
+    drop(guard);
+    rec.counter(Metric::DriverEdges, delivered.len() as u64);
 
     let nn = delivered.len().max(1);
     let alpha = (isqrt(n) as f64 / 2.0).max(1.0);
@@ -265,8 +276,15 @@ pub fn run_full(p: &Params, runner: &TrialRunner) -> (String, String) {
             })
         })
         .collect();
-    let cells = runner.grid(&grid, |_, &(ki, ri, seed)| {
-        run_cell(inst, p.opt, KINDS[ki], p.rates[ri], seed)
+    let cells = runner.grid(&grid, |gi, &(ki, ri, seed)| {
+        crate::obs_trial!(runner, gi as u64, |rec| run_cell(
+            inst,
+            p.opt,
+            KINDS[ki],
+            p.rates[ri],
+            seed,
+            rec
+        ))
     });
     for c in &cells {
         // 5 solver passes over the delivered buffer each (the sieve may

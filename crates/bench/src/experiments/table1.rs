@@ -2,8 +2,8 @@
 //! mapping).
 
 use setcover_algos::{
-    AdversarialConfig, AdversarialSolver, ElementSamplingConfig, ElementSamplingSolver, KkSolver,
-    RandomOrderConfig, RandomOrderSolver,
+    AdversarialConfig, AdversarialSolver, ElementSamplingConfig, ElementSamplingSolver, KkConfig,
+    KkSolver, RandomOrderConfig, RandomOrderSolver,
 };
 use setcover_core::math::isqrt;
 use setcover_core::stream::StreamOrder;
@@ -98,24 +98,51 @@ pub fn run_with(p: &Params, runner: &TrialRunner) -> String {
                 .map(move |(i, s)| (row, i, s))
         })
         .collect();
-    let runs = runner.measure_grid(&grid, |_, &(row, i, seed)| match row {
-        1 => {
-            let cfg = ElementSamplingConfig::for_alpha(es_alpha, m, 1.0);
-            measure_order(ElementSamplingSolver::new(m, n, cfg, seed), inst, adv, opt)
-        }
-        2 => measure_order(KkSolver::new(m, n, seed), inst, adv, opt),
-        3 => measure_order(
-            AdversarialSolver::new(m, n, AdversarialConfig::with_alpha(a2_alpha), seed),
-            inst,
-            adv,
-            opt,
-        ),
-        _ => measure_order(
-            RandomOrderSolver::new(m, n, inst.num_edges(), RandomOrderConfig::practical(), seed),
-            inst,
-            StreamOrder::Uniform(1000 + i as u64),
-            opt,
-        ),
+    // Each trial is wrapped in `obs_trial!` keyed by its grid index, so
+    // `obs=` runs aggregate metrics deterministically in grid order.
+    let runs = runner.measure_grid(&grid, |gi, &(row, i, seed)| {
+        crate::obs_trial!(runner, gi as u64, |rec| match row {
+            1 => {
+                let cfg = ElementSamplingConfig::for_alpha(es_alpha, m, 1.0);
+                measure_order(
+                    ElementSamplingSolver::with_recorder(m, n, cfg, seed, rec),
+                    inst,
+                    adv,
+                    opt,
+                )
+            }
+            2 => measure_order(
+                KkSolver::with_recorder(m, n, KkConfig::paper(n), seed, rec),
+                inst,
+                adv,
+                opt,
+            ),
+            3 => measure_order(
+                AdversarialSolver::with_recorder(
+                    m,
+                    n,
+                    AdversarialConfig::with_alpha(a2_alpha),
+                    seed,
+                    rec,
+                ),
+                inst,
+                adv,
+                opt,
+            ),
+            _ => measure_order(
+                RandomOrderSolver::with_recorder(
+                    m,
+                    n,
+                    inst.num_edges(),
+                    RandomOrderConfig::practical(),
+                    seed,
+                    rec,
+                ),
+                inst,
+                StreamOrder::Uniform(1000 + i as u64),
+                opt,
+            ),
+        })
     });
     let row_meas = |row: usize| {
         let mut meas = Measurement::default();

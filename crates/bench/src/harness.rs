@@ -182,6 +182,40 @@ pub fn die(msg: &str) -> ! {
     std::process::exit(1)
 }
 
+/// Write `content` to `path`, creating the parent directory first, so
+/// `out=some/new/dir/report.md` works without a manual `mkdir -p`.
+pub fn try_write_output(path: &str, content: &str) -> std::io::Result<()> {
+    let p = std::path::Path::new(path);
+    if let Some(dir) = p.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(p, content)
+}
+
+/// [`try_write_output`] for binaries: any failure goes through [`die`]
+/// naming the offending path.
+pub fn write_output(path: &str, content: &str) {
+    if let Err(e) = try_write_output(path, content) {
+        die(&format!("cannot write `{path}`: {e}"));
+    }
+}
+
+/// Create `path`'s parent directory if it is missing, for binaries that
+/// stream into a `File` rather than write a prepared string. Failure
+/// goes through [`die`] naming the offending path.
+pub fn ensure_parent_dir(path: &str) {
+    let p = std::path::Path::new(path);
+    if let Some(dir) = p.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                die(&format!("cannot create parent directory of `{path}`: {e}"));
+            }
+        }
+    }
+}
+
 /// Validate the process CLI arguments against the binary's known
 /// `key=value` keys. An unknown or malformed argument prints an error —
 /// with a "did you mean" hint when a known key is within edit distance 2
@@ -348,6 +382,22 @@ mod tests {
     #[test]
     fn arg_usize_falls_back_to_default() {
         assert_eq!(arg_usize("definitely-not-passed", 42), 42);
+    }
+
+    #[test]
+    fn try_write_output_creates_missing_parents() {
+        let dir = std::env::temp_dir().join(format!("sc-write-out-{}", std::process::id()));
+        let nested = dir.join("a/b/c.txt");
+        let path = nested.to_str().unwrap();
+        try_write_output(path, "hello").unwrap();
+        assert_eq!(std::fs::read_to_string(&nested).unwrap(), "hello");
+        // Overwrite through the same path still works.
+        try_write_output(path, "bye").unwrap();
+        assert_eq!(std::fs::read_to_string(&nested).unwrap(), "bye");
+        // A parent that is a *file* is a real error, not a silent no-op.
+        let blocked = dir.join("a/b/c.txt/d.txt");
+        assert!(try_write_output(blocked.to_str().unwrap(), "x").is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -25,11 +25,15 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod obs;
 pub mod par;
 pub mod stats;
 pub mod table;
 
-pub use harness::{trial_seeds, MeasuredRun, Measurement};
-pub use par::{emit_run_footer, par_grid, timed_report, timed_report_vs_serial, Task, TrialRunner};
+pub use harness::{trial_seeds, write_output, MeasuredRun, Measurement};
+pub use obs::{emit_obs, manifest_json, trace_jsonl};
+pub use par::{
+    emit_run_footer, par_grid, timed_report, timed_report_vs_serial, ObsTrial, Task, TrialRunner,
+};
 pub use stats::{loglog_slope, Summary};
 pub use table::Table;

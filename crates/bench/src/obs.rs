@@ -1,0 +1,278 @@
+//! Observability exporters: run manifests and trial event traces.
+//!
+//! Every binary accepts an `obs=` knob (parsed by
+//! [`TrialRunner::obs_from_args`](crate::TrialRunner::obs_from_args)).
+//! When enabled, trials record into per-trial
+//! [`MetricsRecorder`](setcover_core::MetricsRecorder)s keyed by their
+//! grid index; [`emit_obs`] merges them in key order — byte-identical
+//! for every thread count — and writes:
+//!
+//! * `results/<bin>.meta.json` — the run manifest: knobs, thread count,
+//!   guard totals, edge counts, peak-RSS delta, and the canonical
+//!   metric snapshot;
+//! * `results/<bin>.trace.jsonl` (only under `obs=trace`) — one JSON
+//!   object per buffered trace event, in trial-key order.
+//!
+//! The manifest's `metrics` field embeds
+//! [`MetricsSnapshot::to_json`](setcover_core::MetricsSnapshot::to_json)
+//! verbatim, so a consumer can extract it and round-trip through
+//! [`MetricsSnapshot::from_json`](setcover_core::MetricsSnapshot::from_json).
+
+use std::fmt::Write as _;
+
+use crate::harness::write_output;
+use crate::par::TrialRunner;
+
+/// Manifest schema identifier; bump on breaking layout changes.
+pub const MANIFEST_SCHEMA: &str = "setcover.obs.manifest/1";
+
+/// Run one trial body with a recorder wired to `$runner`'s sink.
+///
+/// ```ignore
+/// let run = obs_trial!(runner, key, |rec| {
+///     let solver = KkSolver::with_recorder(m, n, cfg, seed, rec);
+///     measure(solver, &mut stream)
+/// });
+/// ```
+///
+/// When the sink is enabled the body receives `&mut MetricsRecorder`
+/// and the finished recorder is stored under `key` (the trial's grid
+/// index — the deterministic merge/trace order). When disabled the body
+/// receives [`NoopRecorder`](setcover_core::NoopRecorder) by value, so
+/// the solver monomorphises to the zero-cost path. The body must
+/// consume `$rec` exactly once.
+#[macro_export]
+macro_rules! obs_trial {
+    ($runner:expr, $key:expr, |$rec:ident| $body:expr) => {{
+        let __runner = &*$runner;
+        let __key: u64 = $key;
+        if __runner.obs_on() {
+            let mut __rec = __runner.obs_recorder();
+            let __out = {
+                let $rec = &mut __rec;
+                $body
+            };
+            __runner.obs_record(__key, __rec);
+            __out
+        } else {
+            #[allow(unused_mut)]
+            let mut $rec = ::setcover_core::NoopRecorder;
+            $body
+        }
+    }};
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The `key=value` knobs this process was invoked with, sorted by key
+/// (last occurrence wins, matching `arg_str`). Bare arguments are
+/// ignored — they are rejected by `check_args` anyway.
+fn knob_pairs() -> Vec<(String, String)> {
+    let mut map = std::collections::BTreeMap::new();
+    for a in std::env::args().skip(1) {
+        if let Some((k, v)) = a.split_once('=') {
+            map.insert(k.to_string(), v.to_string());
+        }
+    }
+    map.into_iter().collect()
+}
+
+/// Build the run-manifest JSON for `bin` from the runner's recorded
+/// state. Separated from file IO so tests can round-trip it.
+pub fn manifest_json(bin: &str, runner: &TrialRunner) -> String {
+    let merged = runner.obs_merged();
+    let (g_ok, g_rep, g_rej) = runner.guard_totals();
+    let mut out = String::from("{\"schema\":");
+    push_json_str(&mut out, MANIFEST_SCHEMA);
+    out.push_str(",\"bin\":");
+    push_json_str(&mut out, bin);
+    let _ = write!(out, ",\"threads\":{}", runner.threads());
+    out.push_str(",\"knobs\":{");
+    for (i, (k, v)) in knob_pairs().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, k);
+        out.push(':');
+        push_json_str(&mut out, v);
+    }
+    out.push('}');
+    let _ = write!(
+        out,
+        ",\"trials_recorded\":{}",
+        runner.obs_trials_sorted().len()
+    );
+    let _ = write!(
+        out,
+        ",\"guard\":{{\"ok\":{g_ok},\"repaired\":{g_rep},\"rejected\":{g_rej}}}"
+    );
+    let _ = write!(out, ",\"edges_total\":{}", runner.total_edges());
+    match runner.peak_rss_delta_kb() {
+        Some(kb) => {
+            let _ = write!(out, ",\"peak_rss_delta_kb\":{kb}");
+        }
+        None => out.push_str(",\"peak_rss_delta_kb\":null"),
+    }
+    // Spans carry wall clocks, so they live outside the canonical
+    // `metrics` object that the determinism gate compares.
+    out.push_str(",\"spans\":{");
+    for (i, (name, (count, ns))) in merged.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, name);
+        let _ = write!(out, ":{{\"count\":{count},\"total_ns\":{ns}}}");
+    }
+    out.push('}');
+    let _ = write!(out, ",\"metrics\":{}", merged.to_json());
+    out.push('}');
+    out
+}
+
+/// One trace line per buffered event, in trial-key order:
+/// `{"trial":k,"event":"name","a":…,"b":…}`.
+pub fn trace_jsonl(runner: &TrialRunner) -> String {
+    let mut out = String::new();
+    for trial in runner.obs_trials_sorted() {
+        for ev in &trial.events {
+            let _ = write!(out, "{{\"trial\":{},\"event\":", trial.key);
+            push_json_str(&mut out, ev.name);
+            let _ = writeln!(out, ",\"a\":{},\"b\":{}}}", ev.a, ev.b);
+        }
+    }
+    out
+}
+
+/// Write `results/<bin>.meta.json` (and, under `obs=trace`,
+/// `results/<bin>.trace.jsonl`). A no-op when the sink is off, so every
+/// binary can call it unconditionally after its run.
+pub fn emit_obs(bin: &str, runner: &TrialRunner) {
+    if !runner.obs_on() {
+        return;
+    }
+    let meta_path = format!("results/{bin}.meta.json");
+    write_output(&meta_path, &manifest_json(bin, runner));
+    eprintln!("# obs: wrote {meta_path}");
+    let trace = trace_jsonl(runner);
+    if !trace.is_empty() {
+        let trace_path = format!("results/{bin}.trace.jsonl");
+        write_output(&trace_path, &trace);
+        eprintln!("# obs: wrote {trace_path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcover_core::{Metric, MetricsSnapshot, Recorder as _};
+
+    fn recorded_runner(trace: bool) -> TrialRunner {
+        let runner = TrialRunner::new(3).with_obs(trace);
+        for key in [2u64, 0, 1] {
+            let mut rec = runner.obs_recorder();
+            rec.counter(Metric::KkEdges, 100 + key);
+            rec.observe(Metric::KkLevelAtInclusion, key);
+            rec.event("kk.include", key, 5);
+            runner.obs_record(key, rec);
+        }
+        runner
+    }
+
+    #[test]
+    fn manifest_embeds_canonical_snapshot() {
+        let runner = recorded_runner(false);
+        let manifest = manifest_json("table1", &runner);
+        let inline = runner.obs_merged().to_json();
+        assert!(
+            manifest.contains(&format!("\"metrics\":{inline}")),
+            "manifest missing canonical snapshot: {manifest}"
+        );
+        assert!(manifest.contains("\"schema\":\"setcover.obs.manifest/1\""));
+        assert!(manifest.contains("\"bin\":\"table1\""));
+        assert!(manifest.contains("\"trials_recorded\":3"));
+    }
+
+    #[test]
+    fn manifest_metrics_round_trip() {
+        let runner = recorded_runner(false);
+        let manifest = manifest_json("x", &runner);
+        // Extract the `metrics` object (it is the final key).
+        let start = manifest.find("\"metrics\":").expect("metrics key") + "\"metrics\":".len();
+        let metrics = &manifest[start..manifest.len() - 1];
+        let parsed = MetricsSnapshot::from_json(metrics).expect("valid snapshot JSON");
+        assert_eq!(parsed.to_json(), runner.obs_merged().to_json());
+    }
+
+    #[test]
+    fn trace_lines_are_in_trial_key_order() {
+        let runner = recorded_runner(true);
+        let trace = trace_jsonl(&runner);
+        let trials: Vec<&str> = trace
+            .lines()
+            .map(|l| {
+                l.strip_prefix("{\"trial\":")
+                    .and_then(|r| r.split(',').next())
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(trials, vec!["0", "1", "2"]);
+        assert!(trace
+            .lines()
+            .all(|l| l.contains("\"event\":\"kk.include\"")));
+    }
+
+    #[test]
+    fn trace_is_empty_without_trace_mode() {
+        let runner = recorded_runner(false);
+        assert!(trace_jsonl(&runner).is_empty());
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn obs_trial_macro_records_when_enabled() {
+        let runner = TrialRunner::new(2).with_obs(false);
+        let out = obs_trial!(&runner, 7, |rec| {
+            rec.counter(Metric::DriverEdges, 3);
+            42usize
+        });
+        assert_eq!(out, 42);
+        let trials = runner.obs_trials_sorted();
+        assert_eq!(trials.len(), 1);
+        assert_eq!(trials[0].key, 7);
+        assert_eq!(trials[0].snapshot.counters.get("driver.edges"), Some(&3));
+    }
+
+    #[test]
+    fn obs_trial_macro_is_noop_when_disabled() {
+        let runner = TrialRunner::new(2);
+        let out = obs_trial!(&runner, 0, |rec| {
+            rec.counter(Metric::DriverEdges, 3);
+            "done"
+        });
+        assert_eq!(out, "done");
+        assert!(runner.obs_trials_sorted().is_empty());
+    }
+}

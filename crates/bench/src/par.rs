@@ -27,9 +27,9 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use setcover_core::GuardReport;
+use setcover_core::{GuardReport, MetricsRecorder, MetricsSnapshot, TraceEvent};
 
-use crate::harness::{arg_usize, MeasuredRun};
+use crate::harness::{arg_str, arg_usize, MeasuredRun};
 
 /// Peak resident set size of this process (`VmHWM`) in KiB, from
 /// `/proc/self/status`. `None` off Linux or if the file is unreadable.
@@ -94,6 +94,28 @@ where
 /// one schedulable grid.
 pub type Task<'a, R> = Box<dyn FnOnce() -> R + Send + 'a>;
 
+/// One trial's recorded observability payload: the trial's grid key (its
+/// deterministic coordinates, usually the grid index), the metric
+/// snapshot, and any trace events the recorder buffered.
+#[derive(Debug, Clone)]
+pub struct ObsTrial {
+    /// Deterministic trial key; merge order sorts on this, so the
+    /// aggregate snapshot is identical for every thread count.
+    pub key: u64,
+    /// The trial's metric snapshot.
+    pub snapshot: MetricsSnapshot,
+    /// Trace events buffered by the trial's recorder (empty unless the
+    /// sink was created in trace mode).
+    pub events: Vec<TraceEvent>,
+}
+
+/// Observability sink state carried by an obs-enabled [`TrialRunner`].
+#[derive(Debug)]
+struct ObsState {
+    trace: bool,
+    trials: Mutex<Vec<ObsTrial>>,
+}
+
 /// The parallel trial engine handle threaded through experiments.
 ///
 /// Interior counters use atomics so a shared `&TrialRunner` can be used
@@ -115,6 +137,9 @@ pub struct TrialRunner {
     guard_ok: AtomicU64,
     guard_repaired: AtomicU64,
     guard_rejected: AtomicU64,
+    /// Observability sink (`obs=` knob); `None` keeps every obs call a
+    /// cheap branch and the solvers on their `NoopRecorder` path.
+    obs: Option<ObsState>,
 }
 
 impl TrialRunner {
@@ -128,6 +153,7 @@ impl TrialRunner {
             guard_ok: AtomicU64::new(0),
             guard_repaired: AtomicU64::new(0),
             guard_rejected: AtomicU64::new(0),
+            obs: None,
         }
     }
 
@@ -138,8 +164,81 @@ impl TrialRunner {
 
     /// Build from the `threads=` CLI knob; defaults to the machine's
     /// available parallelism (`threads=1` recovers the serial path).
+    /// Also honours the `obs=` knob (see [`TrialRunner::obs_from_args`]).
     pub fn from_args() -> Self {
-        TrialRunner::new(arg_usize("threads", default_threads()))
+        TrialRunner::new(arg_usize("threads", default_threads())).obs_from_args()
+    }
+
+    /// Enable the observability sink; `trace` additionally buffers
+    /// per-trial event streams for the JSONL trace export.
+    pub fn with_obs(mut self, trace: bool) -> Self {
+        self.obs = Some(ObsState {
+            trace,
+            trials: Mutex::new(Vec::new()),
+        });
+        self
+    }
+
+    /// Apply the `obs=` CLI knob: `obs=1` records metrics (manifest
+    /// export), `obs=trace` additionally buffers trace events; `obs=0`
+    /// or absent leaves observability off.
+    pub fn obs_from_args(self) -> Self {
+        match arg_str("obs").as_deref() {
+            None | Some("0") => self,
+            Some("trace") => self.with_obs(true),
+            Some(_) => self.with_obs(false),
+        }
+    }
+
+    /// Whether the observability sink is enabled.
+    pub fn obs_on(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// A fresh per-trial recorder matching the sink mode. Call only when
+    /// [`TrialRunner::obs_on`]; pairs with [`TrialRunner::obs_record`].
+    pub fn obs_recorder(&self) -> MetricsRecorder {
+        match &self.obs {
+            Some(o) if o.trace => MetricsRecorder::with_trace(),
+            _ => MetricsRecorder::new(),
+        }
+    }
+
+    /// Store one finished trial's recorder under its deterministic `key`
+    /// (grid index). No-op when the sink is disabled.
+    pub fn obs_record(&self, key: u64, rec: MetricsRecorder) {
+        let Some(o) = &self.obs else { return };
+        let events = rec.events().to_vec();
+        o.trials
+            .lock()
+            .expect("obs trials poisoned")
+            .push(ObsTrial {
+                key,
+                snapshot: rec.snapshot(),
+                events,
+            });
+    }
+
+    /// All recorded trials sorted by key — the canonical deterministic
+    /// order regardless of which worker finished first.
+    pub fn obs_trials_sorted(&self) -> Vec<ObsTrial> {
+        let Some(o) = &self.obs else {
+            return Vec::new();
+        };
+        let mut trials = o.trials.lock().expect("obs trials poisoned").clone();
+        trials.sort_by_key(|t| t.key);
+        trials
+    }
+
+    /// The aggregate metric snapshot: per-trial snapshots merged in key
+    /// order. Byte-identical for every thread count because the merge
+    /// operations are commutative and the order is key-sorted.
+    pub fn obs_merged(&self) -> MetricsSnapshot {
+        let mut merged = MetricsSnapshot::default();
+        for t in self.obs_trials_sorted() {
+            merged.merge(&t.snapshot);
+        }
+        merged
     }
 
     /// Worker count.
@@ -494,5 +593,57 @@ mod tests {
         // the serial path? grid requires Sync closures regardless; just
         // check results.
         assert_eq!(runner.grid(&[1, 2, 3], |_, &x: &i32| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn obs_disabled_by_default_and_record_is_noop() {
+        use setcover_core::{Metric, MetricsRecorder, Recorder as _};
+        let runner = TrialRunner::new(2);
+        assert!(!runner.obs_on());
+        let mut rec = MetricsRecorder::new();
+        rec.counter(Metric::DriverEdges, 7);
+        runner.obs_record(0, rec);
+        assert!(runner.obs_trials_sorted().is_empty());
+        assert!(runner.obs_merged().is_empty());
+    }
+
+    #[test]
+    fn obs_merge_is_key_sorted_and_thread_count_free() {
+        use setcover_core::{Metric, Recorder as _};
+        // Record the same trials against a 1-thread and an 8-thread
+        // runner, pushing them in different completion orders; the merged
+        // snapshot must serialize to identical bytes.
+        let build = |threads: usize, order: &[u64]| {
+            let runner = TrialRunner::new(threads).with_obs(false);
+            assert!(runner.obs_on());
+            for &key in order {
+                let mut rec = runner.obs_recorder();
+                rec.counter(Metric::DriverEdges, key + 1);
+                rec.gauge(Metric::SaBufferPeak, 10 * key);
+                rec.observe(Metric::KkLevelAtInclusion, key);
+                runner.obs_record(key, rec);
+            }
+            runner.obs_merged().to_json()
+        };
+        let serial = build(1, &[0, 1, 2, 3]);
+        let threaded = build(8, &[3, 0, 2, 1]);
+        assert_eq!(serial, threaded);
+    }
+
+    #[test]
+    fn obs_trace_mode_buffers_events_in_key_order() {
+        use setcover_core::Recorder as _;
+        let runner = TrialRunner::new(4).with_obs(true);
+        for key in [1u64, 0] {
+            let mut rec = runner.obs_recorder();
+            rec.event("t.ev", key, 0);
+            runner.obs_record(key, rec);
+        }
+        let trials = runner.obs_trials_sorted();
+        assert_eq!(trials.len(), 2);
+        assert_eq!(trials[0].key, 0);
+        assert_eq!(trials[0].events.len(), 1);
+        assert_eq!(trials[0].events[0].a, 0);
+        assert_eq!(trials[1].events[0].a, 1);
     }
 }

@@ -57,10 +57,15 @@ impl Summary {
     }
 
     /// `mean ± std` rendering with sensible precision.
+    ///
+    /// Multi-trial samples (`n ≥ 2`) always render the `±` term — a
+    /// zero-variance `± 0.00` is information ("several trials agreed
+    /// exactly"), not noise, and must stay distinguishable from a single
+    /// run, which renders the bare mean.
     pub fn display(&self) -> String {
         if self.n == 0 {
             "-".to_string()
-        } else if self.std == 0.0 {
+        } else if self.n < 2 {
             format!("{:.2}", self.mean)
         } else {
             format!("{:.2} ± {:.2}", self.mean, self.std)
@@ -115,6 +120,16 @@ mod tests {
         assert_eq!(s.std, 0.0);
         assert_eq!(s.mean, 7.0);
         assert_eq!(Summary::of(&[]).display(), "-");
+        assert_eq!(s.display(), "7.00");
+    }
+
+    #[test]
+    fn display_distinguishes_agreement_from_single_run() {
+        // Three identical trials are not the same observation as one
+        // trial: n ≥ 2 always renders the dispersion term.
+        assert_eq!(Summary::of(&[5.0, 5.0, 5.0]).display(), "5.00 ± 0.00");
+        assert_eq!(Summary::of(&[5.0]).display(), "5.00");
+        assert_eq!(Summary::of(&[4.0, 6.0]).display(), "5.00 ± 1.41");
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod ids;
 pub mod instance;
 pub mod io;
 pub mod math;
+pub mod obs;
 pub mod rng;
 pub mod solver;
 pub mod space;
@@ -59,9 +60,11 @@ pub use cover::{Cover, CoverStats};
 pub use error::{CoreError, StreamError};
 pub use ids::{ElemId, SetId};
 pub use instance::{Edge, InstanceBuilder, InstanceStats, SetCoverInstance};
+pub use obs::{Metric, MetricsRecorder, MetricsSnapshot, NoopRecorder, Recorder, TraceEvent};
 pub use solver::{
-    run_guarded, run_multipass, run_streaming, ContractChecked, GuardedOutcome, MultiPassOutcome,
-    MultiPassSetCover, OfflineSetCover, RunOutcome, StreamingSetCover,
+    run_guarded, run_guarded_with, run_multipass, run_streaming, run_streaming_with,
+    ContractChecked, GuardedOutcome, MultiPassOutcome, MultiPassSetCover, OfflineSetCover,
+    RunOutcome, StreamingSetCover,
 };
 pub use space::{SpaceMeter, SpaceReport};
 pub use stream::chaos::{ChaosConfig, ChaosStream, FaultKind, FaultLog, FaultRecord};

@@ -73,11 +73,20 @@ pub fn polylog(m: usize, e: u32) -> f64 {
 }
 
 /// The approximation ratio of a cover of size `got` against a reference
-/// value `opt` (the planted optimum or a lower bound on OPT). Returns
-/// `f64::INFINITY` when `opt == 0`.
+/// value `opt` (the planted optimum or a lower bound on OPT).
+///
+/// On the empty instance (`opt == 0`) the empty cover is optimal, so
+/// `approx_ratio(0, 0) == 1.0` — degenerate-instance sweeps must not
+/// propagate `∞` into summaries. A *non-empty* cover against `opt == 0`
+/// still yields `f64::INFINITY`: any sets at all are infinitely worse
+/// than needing none.
 pub fn approx_ratio(got: usize, opt: usize) -> f64 {
     if opt == 0 {
-        f64::INFINITY
+        if got == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
     } else {
         got as f64 / opt as f64
     }
@@ -153,6 +162,9 @@ mod tests {
     fn approx_ratio_edge_cases() {
         assert_eq!(approx_ratio(10, 5), 2.0);
         assert!(approx_ratio(1, 0).is_infinite());
+        // The empty cover of the empty instance is optimal, not ∞-bad.
+        assert_eq!(approx_ratio(0, 0), 1.0);
+        assert_eq!(approx_ratio(0, 3), 0.0);
     }
 
     #[test]

@@ -1,0 +1,924 @@
+//! Observability: counters, gauges, log2 histograms and labeled spans.
+//!
+//! The paper's analysis reasons about quantities the solvers never
+//! exposed — epoch transitions and sample-set churn in Algorithm 1,
+//! level promotions in Algorithm 2 / KK, ingestion-guard violations by
+//! kind. This module records them without taxing the hot loops:
+//!
+//! * [`Recorder`] is the instrumentation sink trait. Solvers are generic
+//!   over it, so the default [`NoopRecorder`] — a zero-sized type whose
+//!   methods are empty and `#[inline(always)]` — monomorphizes every
+//!   call site away. The disabled path costs nothing; there is no branch,
+//!   no atomic, no allocation.
+//! * [`MetricsRecorder`] is the concrete enabled sink: dense per-metric
+//!   arrays (one add per event), log2-bucketed histograms, wall-clock
+//!   spans, and an optional bounded trace-event buffer.
+//! * [`MetricsSnapshot`] is the deterministic export: only counters,
+//!   gauges and histogram buckets (never wall-clock quantities) are part
+//!   of its canonical JSON, and [`MetricsSnapshot::merge`] uses only
+//!   commutative, associative operations (sum / max), so aggregating
+//!   per-trial snapshots in grid order yields byte-identical output for
+//!   any worker count.
+//!
+//! Metric identities are a closed enum ([`Metric`]) rather than string
+//! keys: recording is an array index away, names are stable across runs,
+//! and the export layer can enumerate everything that exists.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Number of log2 buckets: bucket `0` holds zeros, bucket `b ≥ 1` holds
+/// values in `[2^(b-1), 2^b)`. 64 value buckets + the zero bucket cover
+/// all of `u64`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// The log2 bucket index for `v`: `0` for `0`, else `floor(log2 v) + 1`.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The inclusive lower bound of values landing in `bucket`.
+pub fn bucket_floor(bucket: usize) -> u64 {
+    match bucket {
+        0 => 0,
+        b => 1u64 << (b - 1),
+    }
+}
+
+macro_rules! metrics {
+    ($($variant:ident => $name:literal / $kind:ident),+ $(,)?) => {
+        /// Every quantity the instrumentation records, as a closed enum.
+        ///
+        /// Names (see [`Metric::name`]) are dotted `component.quantity`
+        /// strings, stable across runs — they are the keys of the manifest
+        /// JSON and must not be renamed casually.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        #[allow(missing_docs)] // the names below are the documentation
+        pub enum Metric {
+            $($variant),+
+        }
+
+        impl Metric {
+            /// Number of metrics.
+            pub const COUNT: usize = [$(Metric::$variant),+].len();
+
+            /// Every metric, in declaration (= index) order.
+            pub const ALL: [Metric; Metric::COUNT] = [$(Metric::$variant),+];
+
+            /// Stable dotted name, e.g. `"kk.level_crossings"`.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(Metric::$variant => $name),+
+                }
+            }
+
+            /// How this metric is recorded and merged.
+            pub fn kind(self) -> MetricKind {
+                match self {
+                    $(Metric::$variant => MetricKind::$kind),+
+                }
+            }
+        }
+    };
+}
+
+metrics! {
+    // Driver-level.
+    DriverEdges => "driver.edges" / Counter,
+    TrialSpan => "trial.span" / Span,
+    // Algorithm 1 (random-order): epochs, sample churn, probes.
+    RoEpochs => "ro.epochs" / Counter,
+    RoSubepochs => "ro.subepochs" / Counter,
+    RoCounterResets => "ro.counter_resets" / Counter,
+    RoEpoch0Sampled => "ro.epoch0_sampled" / Counter,
+    RoEpoch0Marked => "ro.epoch0_marked" / Counter,
+    RoSamplesTracked => "ro.samples_tracked" / Counter,
+    RoSamplesEvicted => "ro.samples_evicted" / Counter,
+    RoProbeUpdates => "ro.probe_updates" / Counter,
+    RoSpecials => "ro.specials" / Counter,
+    RoSolAdded => "ro.sol_added" / Counter,
+    RoMarkedByTracking => "ro.marked_by_tracking" / Counter,
+    // KK-algorithm: degree-threshold crossings and inclusions.
+    KkEdges => "kk.edges" / Counter,
+    KkLevelCrossings => "kk.level_crossings" / Counter,
+    KkInclusions => "kk.inclusions" / Counter,
+    KkLevelAtInclusion => "kk.level_at_inclusion" / Histogram,
+    // Algorithm 2 (adversarial-low-space): level promotions.
+    AdvPresampled => "adv.presampled" / Counter,
+    AdvPromotions => "adv.promotions" / Counter,
+    AdvInclusions => "adv.inclusions" / Counter,
+    AdvLevelAtInclusion => "adv.level_at_inclusion" / Histogram,
+    AdvLevelsPeak => "adv.levels_peak" / Gauge,
+    // Element sampling: stored projections and threshold picks.
+    EsSampledElems => "es.sampled_elems" / Counter,
+    EsEdgesStored => "es.edges_stored" / Counter,
+    EsThresholdPicks => "es.threshold_picks" / Counter,
+    // Set-arrival threshold solver: buffer flushes and picks.
+    SaFlushes => "sa.flushes" / Counter,
+    SaPicks => "sa.picks" / Counter,
+    SaBufferPeak => "sa.buffer_peak" / Gauge,
+    // Ingestion guard: violations by kind, reactions by policy outcome.
+    GuardDuplicates => "guard.duplicates" / Counter,
+    GuardSetOutOfRange => "guard.set_out_of_range" / Counter,
+    GuardElemOutOfRange => "guard.elem_out_of_range" / Counter,
+    GuardLengthMismatch => "guard.length_mismatch" / Counter,
+    GuardRepaired => "guard.repaired" / Counter,
+    GuardRejected => "guard.rejected" / Counter,
+    GuardFailed => "guard.failed" / Counter,
+    // Trace-buffer saturation (never silently dropped).
+    TraceEventsDropped => "obs.trace_events_dropped" / Counter,
+}
+
+/// Recording/merge discipline of a [`Metric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone sum (merged by addition).
+    Counter,
+    /// Last-set value (merged by max — the only order-free choice).
+    Gauge,
+    /// Log2-bucketed value distribution (buckets merged by addition).
+    Histogram,
+    /// Wall-clock duration; excluded from deterministic snapshots.
+    Span,
+}
+
+/// The instrumentation sink. Solvers, the ingestion guard and the
+/// drivers are generic over `R: Recorder`; the default [`NoopRecorder`]
+/// compiles every call away.
+pub trait Recorder {
+    /// `false` only for [`NoopRecorder`]: lets instrumentation sites skip
+    /// *computing* expensive values (not just recording them) without a
+    /// runtime branch.
+    const ENABLED: bool;
+
+    /// Add `delta` to a [`MetricKind::Counter`].
+    fn counter(&mut self, m: Metric, delta: u64);
+
+    /// Set a [`MetricKind::Gauge`] to `max(current, value)`.
+    fn gauge(&mut self, m: Metric, value: u64);
+
+    /// Record `value` into a [`MetricKind::Histogram`]'s log2 bucket.
+    fn observe(&mut self, m: Metric, value: u64);
+
+    /// Open a [`MetricKind::Span`] (wall-clock; non-deterministic).
+    fn span_enter(&mut self, m: Metric);
+
+    /// Close the span opened by [`Recorder::span_enter`].
+    fn span_exit(&mut self, m: Metric);
+
+    /// Append a trace event (no-op unless the sink buffers traces).
+    fn event(&mut self, name: &'static str, a: u64, b: u64);
+}
+
+/// The zero-cost disabled sink: a zero-sized type with empty inlined
+/// methods. `Solver<NoopRecorder>` monomorphizes to exactly the
+/// uninstrumented solver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn counter(&mut self, _m: Metric, _delta: u64) {}
+    #[inline(always)]
+    fn gauge(&mut self, _m: Metric, _value: u64) {}
+    #[inline(always)]
+    fn observe(&mut self, _m: Metric, _value: u64) {}
+    #[inline(always)]
+    fn span_enter(&mut self, _m: Metric) {}
+    #[inline(always)]
+    fn span_exit(&mut self, _m: Metric) {}
+    #[inline(always)]
+    fn event(&mut self, _name: &'static str, _a: u64, _b: u64) {}
+}
+
+/// Forwarding impl: a caller keeps ownership of a [`MetricsRecorder`]
+/// and lends `&mut` handles to the solver, the guard and the driver —
+/// the borrow ends when the component is dropped, and the caller reads
+/// the recorder back out.
+impl<R: Recorder> Recorder for &mut R {
+    const ENABLED: bool = R::ENABLED;
+
+    #[inline(always)]
+    fn counter(&mut self, m: Metric, delta: u64) {
+        (**self).counter(m, delta);
+    }
+    #[inline(always)]
+    fn gauge(&mut self, m: Metric, value: u64) {
+        (**self).gauge(m, value);
+    }
+    #[inline(always)]
+    fn observe(&mut self, m: Metric, value: u64) {
+        (**self).observe(m, value);
+    }
+    #[inline(always)]
+    fn span_enter(&mut self, m: Metric) {
+        (**self).span_enter(m);
+    }
+    #[inline(always)]
+    fn span_exit(&mut self, m: Metric) {
+        (**self).span_exit(m);
+    }
+    #[inline(always)]
+    fn event(&mut self, name: &'static str, a: u64, b: u64) {
+        (**self).event(name, a, b);
+    }
+}
+
+/// One buffered trace event: a label plus two payload words (positions,
+/// ids, levels — whatever the site records).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event label (static, from the instrumentation site).
+    pub name: &'static str,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+/// Hard cap on buffered trace events per recorder. Overflow is counted
+/// in [`Metric::TraceEventsDropped`] — bounded memory, never a silent
+/// truncation.
+pub const TRACE_EVENT_CAP: usize = 1 << 16;
+
+/// The concrete enabled sink: dense arrays indexed by [`Metric`].
+#[derive(Debug, Clone)]
+pub struct MetricsRecorder {
+    counters: [u64; Metric::COUNT],
+    gauges: [u64; Metric::COUNT],
+    hist: Vec<u64>, // Metric::COUNT × HIST_BUCKETS, row-major
+    span_total_ns: [u64; Metric::COUNT],
+    span_count: [u64; Metric::COUNT],
+    span_open: [Option<Instant>; Metric::COUNT],
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        MetricsRecorder::new()
+    }
+}
+
+impl MetricsRecorder {
+    /// A fresh recorder with trace buffering disabled.
+    pub fn new() -> Self {
+        MetricsRecorder {
+            counters: [0; Metric::COUNT],
+            gauges: [0; Metric::COUNT],
+            hist: vec![0; Metric::COUNT * HIST_BUCKETS],
+            span_total_ns: [0; Metric::COUNT],
+            span_count: [0; Metric::COUNT],
+            span_open: [None; Metric::COUNT],
+            trace: None,
+        }
+    }
+
+    /// A fresh recorder that also buffers up to [`TRACE_EVENT_CAP`]
+    /// trace events.
+    pub fn with_trace() -> Self {
+        let mut r = MetricsRecorder::new();
+        r.trace = Some(Vec::new());
+        r
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, m: Metric) -> u64 {
+        self.counters[m as usize]
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, m: Metric) -> u64 {
+        self.gauges[m as usize]
+    }
+
+    /// Histogram bucket counts for `m` (length [`HIST_BUCKETS`]).
+    pub fn hist_buckets(&self, m: Metric) -> &[u64] {
+        let base = m as usize * HIST_BUCKETS;
+        &self.hist[base..base + HIST_BUCKETS]
+    }
+
+    /// Buffered trace events (empty unless built with
+    /// [`MetricsRecorder::with_trace`]).
+    pub fn events(&self) -> &[TraceEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Export the deterministic view of everything recorded. Span
+    /// wall-clock totals are reported separately (see
+    /// [`MetricsSnapshot::spans`]) and are *not* part of the canonical
+    /// JSON.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        for m in Metric::ALL {
+            let i = m as usize;
+            match m.kind() {
+                MetricKind::Counter => {
+                    if self.counters[i] > 0 {
+                        s.counters.insert(m.name(), self.counters[i]);
+                    }
+                }
+                MetricKind::Gauge => {
+                    if self.gauges[i] > 0 {
+                        s.gauges.insert(m.name(), self.gauges[i]);
+                    }
+                }
+                MetricKind::Histogram => {
+                    let buckets: Vec<(usize, u64)> = self
+                        .hist_buckets(m)
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &c)| c > 0)
+                        .map(|(b, &c)| (b, c))
+                        .collect();
+                    if !buckets.is_empty() {
+                        s.histograms.insert(m.name(), buckets);
+                    }
+                }
+                MetricKind::Span => {
+                    if self.span_count[i] > 0 {
+                        s.spans
+                            .insert(m.name(), (self.span_count[i], self.span_total_ns[i]));
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn counter(&mut self, m: Metric, delta: u64) {
+        self.counters[m as usize] += delta;
+    }
+
+    #[inline]
+    fn gauge(&mut self, m: Metric, value: u64) {
+        let g = &mut self.gauges[m as usize];
+        *g = (*g).max(value);
+    }
+
+    #[inline]
+    fn observe(&mut self, m: Metric, value: u64) {
+        self.hist[m as usize * HIST_BUCKETS + bucket_of(value)] += 1;
+    }
+
+    fn span_enter(&mut self, m: Metric) {
+        self.span_open[m as usize] = Some(Instant::now());
+    }
+
+    fn span_exit(&mut self, m: Metric) {
+        if let Some(start) = self.span_open[m as usize].take() {
+            self.span_total_ns[m as usize] += start.elapsed().as_nanos() as u64;
+            self.span_count[m as usize] += 1;
+        }
+    }
+
+    fn event(&mut self, name: &'static str, a: u64, b: u64) {
+        if let Some(buf) = &mut self.trace {
+            if buf.len() < TRACE_EVENT_CAP {
+                buf.push(TraceEvent { name, a, b });
+            } else {
+                self.counters[Metric::TraceEventsDropped as usize] += 1;
+            }
+        }
+    }
+}
+
+/// A deterministic, mergeable export of a [`MetricsRecorder`].
+///
+/// Only non-zero entries are kept, keyed by stable metric name in a
+/// `BTreeMap`, so [`MetricsSnapshot::to_json`] is canonical: two
+/// snapshots with the same recorded values serialize to the same bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter totals by metric name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge values by metric name.
+    pub gauges: BTreeMap<&'static str, u64>,
+    /// Non-empty histogram buckets by metric name, as
+    /// `(bucket index, count)` in bucket order.
+    pub histograms: BTreeMap<&'static str, Vec<(usize, u64)>>,
+    /// Span `(count, total wall-clock ns)` by metric name. **Excluded**
+    /// from [`MetricsSnapshot::to_json`]: wall clocks are not
+    /// deterministic. Exporters report them out-of-band.
+    pub spans: BTreeMap<&'static str, (u64, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Whether nothing deterministic was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merge `other` into `self` with order-free operations only:
+    /// counters and histogram buckets add, gauges take the max. Merging
+    /// per-trial snapshots in any order yields the same result.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (&k, &v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.gauges {
+            let e = self.gauges.entry(k).or_insert(0);
+            *e = (*e).max(v);
+        }
+        for (&k, buckets) in &other.histograms {
+            let mine = self.histograms.entry(k).or_default();
+            for &(b, c) in buckets {
+                match mine.binary_search_by_key(&b, |&(mb, _)| mb) {
+                    Ok(i) => mine[i].1 += c,
+                    Err(i) => mine.insert(i, (b, c)),
+                }
+            }
+        }
+        for (&k, &(n, ns)) in &other.spans {
+            let e = self.spans.entry(k).or_insert((0, 0));
+            e.0 += n;
+            e.1 += ns;
+        }
+    }
+
+    /// Canonical compact JSON of the deterministic content:
+    /// `{"counters":{...},"gauges":{...},"histograms":{"name":{"b":c}}}`.
+    /// Keys are sorted, no whitespace, spans excluded.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"counters\":{");
+        push_u64_map(&mut out, self.counters.iter().map(|(&k, &v)| (k, v)));
+        out.push_str("},\"gauges\":{");
+        push_u64_map(&mut out, self.gauges.iter().map(|(&k, &v)| (k, v)));
+        out.push_str("},\"histograms\":{");
+        for (i, (k, buckets)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{{");
+            push_u64_map(&mut out, buckets.iter().map(|&(b, c)| (bucket_key(b), c)));
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parse a snapshot back from [`MetricsSnapshot::to_json`] output.
+    ///
+    /// Returns `None` on malformed input or on metric / bucket names
+    /// that do not exist — the round-trip is exact for valid snapshots.
+    pub fn from_json(s: &str) -> Option<MetricsSnapshot> {
+        let v = json::parse(s)?;
+        let obj = v.as_object()?;
+        let mut snap = MetricsSnapshot::default();
+        for (key, val) in obj {
+            match key.as_str() {
+                "counters" => {
+                    for (k, v) in val.as_object()? {
+                        snap.counters.insert(intern_metric(k)?, v.as_u64()?);
+                    }
+                }
+                "gauges" => {
+                    for (k, v) in val.as_object()? {
+                        snap.gauges.insert(intern_metric(k)?, v.as_u64()?);
+                    }
+                }
+                "histograms" => {
+                    for (k, v) in val.as_object()? {
+                        let mut buckets = Vec::new();
+                        for (bk, bv) in v.as_object()? {
+                            buckets.push((bk.parse::<usize>().ok()?, bv.as_u64()?));
+                        }
+                        buckets.sort_unstable_by_key(|&(b, _)| b);
+                        snap.histograms.insert(intern_metric(k)?, buckets);
+                    }
+                }
+                _ => return None,
+            }
+        }
+        Some(snap)
+    }
+}
+
+/// Resolve a parsed metric name back to its static string.
+fn intern_metric(name: &str) -> Option<&'static str> {
+    Metric::ALL.iter().map(|m| m.name()).find(|&n| n == name)
+}
+
+fn bucket_key(b: usize) -> String {
+    b.to_string()
+}
+
+fn push_u64_map<K: AsRef<str>>(out: &mut String, entries: impl Iterator<Item = (K, u64)>) {
+    use std::fmt::Write as _;
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", k.as_ref(), v);
+    }
+}
+
+pub mod json {
+    //! A minimal JSON reader for the observability exports: objects,
+    //! arrays, strings (no escapes beyond `\"` / `\\`), unsigned
+    //! integers, floats, booleans and null. Used to validate manifests
+    //! and round-trip [`super::MetricsSnapshot`]s without external
+    //! dependencies; not a general-purpose parser.
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number (also see [`Value::as_u64`]).
+        Num(f64),
+        /// A string (escapes `\"` and `\\` only).
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The object entries, if this is an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// The array items, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// The string contents, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The number as an exact `u64`, if it is one.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+                    Some(*f as u64)
+                }
+                _ => None,
+            }
+        }
+
+        /// Look up a key in an object.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object()?
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+        }
+    }
+
+    /// Parse `s` as a single JSON value (trailing whitespace allowed).
+    pub fn parse(s: &str) -> Option<Value> {
+        let b = s.as_bytes();
+        let mut pos = 0usize;
+        let v = value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos == b.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn eat(b: &[u8], pos: &mut usize, c: u8) -> Option<()> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Option<Value> {
+        skip_ws(b, pos);
+        match *b.get(*pos)? {
+            b'{' => object(b, pos),
+            b'[' => array(b, pos),
+            b'"' => Some(Value::Str(string(b, pos)?)),
+            b't' => lit(b, pos, "true", Value::Bool(true)),
+            b'f' => lit(b, pos, "false", Value::Bool(false)),
+            b'n' => lit(b, pos, "null", Value::Null),
+            _ => number(b, pos),
+        }
+    }
+
+    fn lit(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Option<Value> {
+        if b[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Option<Value> {
+        eat(b, pos, b'{')?;
+        let mut entries = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Some(Value::Obj(entries));
+        }
+        loop {
+            skip_ws(b, pos);
+            let k = string(b, pos)?;
+            eat(b, pos, b':')?;
+            let v = value(b, pos)?;
+            entries.push((k, v));
+            skip_ws(b, pos);
+            match b.get(*pos)? {
+                b',' => *pos += 1,
+                b'}' => {
+                    *pos += 1;
+                    return Some(Value::Obj(entries));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Option<Value> {
+        eat(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Some(Value::Arr(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos)? {
+                b',' => *pos += 1,
+                b']' => {
+                    *pos += 1;
+                    return Some(Value::Arr(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Option<String> {
+        if *b.get(*pos)? != b'"' {
+            return None;
+        }
+        *pos += 1;
+        let mut out = String::new();
+        while *pos < b.len() {
+            match b[*pos] {
+                b'"' => {
+                    *pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match *b.get(*pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        _ => return None,
+                    }
+                    *pos += 1;
+                }
+                c => {
+                    out.push(c as char);
+                    *pos += 1;
+                }
+            }
+        }
+        None
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Option<Value> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()?
+            .parse::<f64>()
+            .ok()
+            .map(Value::Num)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // ENABLED is the claim under test
+    fn noop_recorder_is_zero_sized_and_free() {
+        // The whole point: the disabled sink allocates no counters at
+        // all — it *is* nothing.
+        assert_eq!(std::mem::size_of::<NoopRecorder>(), 0);
+        assert!(!NoopRecorder::ENABLED);
+        let mut r = NoopRecorder;
+        r.counter(Metric::KkEdges, 1);
+        r.gauge(Metric::AdvLevelsPeak, 9);
+        r.observe(Metric::KkLevelAtInclusion, 3);
+        r.event("x", 1, 2);
+    }
+
+    #[test]
+    fn bucketing_is_log2_with_zero_bucket() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Every power of two starts a new bucket, and floors invert.
+        for b in 1..HIST_BUCKETS {
+            let lo = bucket_floor(b);
+            assert_eq!(bucket_of(lo), b, "floor of bucket {b}");
+            if b > 1 {
+                assert_eq!(bucket_of(lo - 1), b - 1, "below floor of bucket {b}");
+            }
+        }
+        assert_eq!(bucket_floor(0), 0);
+    }
+
+    #[test]
+    fn histogram_records_into_buckets() {
+        let mut r = MetricsRecorder::new();
+        for v in [0, 1, 1, 2, 3, 8, 1 << 20] {
+            r.observe(Metric::KkLevelAtInclusion, v);
+        }
+        let h = r.hist_buckets(Metric::KkLevelAtInclusion);
+        assert_eq!(h[0], 1); // the zero
+        assert_eq!(h[1], 2); // the ones
+        assert_eq!(h[2], 2); // 2 and 3
+        assert_eq!(h[4], 1); // 8
+        assert_eq!(h[21], 1); // 2^20
+        assert_eq!(h.iter().sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn counters_gauges_and_spans_record() {
+        let mut r = MetricsRecorder::new();
+        r.counter(Metric::KkEdges, 5);
+        r.counter(Metric::KkEdges, 2);
+        assert_eq!(r.counter_value(Metric::KkEdges), 7);
+        r.gauge(Metric::AdvLevelsPeak, 4);
+        r.gauge(Metric::AdvLevelsPeak, 2); // max semantics: stays 4
+        assert_eq!(r.gauge_value(Metric::AdvLevelsPeak), 4);
+        r.span_enter(Metric::TrialSpan);
+        r.span_exit(Metric::TrialSpan);
+        let s = r.snapshot();
+        assert_eq!(s.spans.get("trial.span").map(|&(n, _)| n), Some(1));
+        // Unpaired exit is ignored.
+        r.span_exit(Metric::TrialSpan);
+        assert_eq!(r.snapshot().spans["trial.span"].0, 1);
+    }
+
+    #[test]
+    fn trace_buffer_caps_and_counts_drops() {
+        let mut r = MetricsRecorder::with_trace();
+        for i in 0..(TRACE_EVENT_CAP as u64 + 10) {
+            r.event("e", i, 0);
+        }
+        assert_eq!(r.events().len(), TRACE_EVENT_CAP);
+        assert_eq!(r.counter_value(Metric::TraceEventsDropped), 10);
+        // Untraced recorder buffers nothing.
+        let mut q = MetricsRecorder::new();
+        q.event("e", 1, 2);
+        assert!(q.events().is_empty());
+        assert_eq!(q.counter_value(Metric::TraceEventsDropped), 0);
+    }
+
+    #[test]
+    fn snapshot_merge_is_order_free() {
+        let mut a = MetricsRecorder::new();
+        a.counter(Metric::KkEdges, 3);
+        a.gauge(Metric::AdvLevelsPeak, 2);
+        a.observe(Metric::KkLevelAtInclusion, 5);
+        let mut b = MetricsRecorder::new();
+        b.counter(Metric::KkEdges, 4);
+        b.counter(Metric::RoEpochs, 1);
+        b.gauge(Metric::AdvLevelsPeak, 7);
+        b.observe(Metric::KkLevelAtInclusion, 1);
+        b.observe(Metric::KkLevelAtInclusion, 5);
+
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.to_json(), ba.to_json());
+        assert_eq!(ab.counters["kk.edges"], 7);
+        assert_eq!(ab.gauges["adv.levels_peak"], 7);
+        assert_eq!(ab.histograms["kk.level_at_inclusion"], vec![(1, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let mut r = MetricsRecorder::new();
+        r.counter(Metric::GuardDuplicates, 11);
+        r.counter(Metric::RoSolAdded, 2);
+        r.gauge(Metric::SaBufferPeak, 40);
+        r.observe(Metric::AdvLevelAtInclusion, 0);
+        r.observe(Metric::AdvLevelAtInclusion, 9);
+        r.span_enter(Metric::TrialSpan);
+        r.span_exit(Metric::TrialSpan);
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        let back = MetricsSnapshot::from_json(&json).expect("parse back");
+        // Spans are intentionally absent from the deterministic JSON.
+        let mut expect = snap.clone();
+        expect.spans.clear();
+        assert_eq!(back, expect);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn empty_snapshot_is_canonical() {
+        let snap = MetricsRecorder::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(
+            snap.to_json(),
+            r#"{"counters":{},"gauges":{},"histograms":{}}"#
+        );
+        assert_eq!(
+            MetricsSnapshot::from_json(&snap.to_json()).unwrap(),
+            MetricsSnapshot::default()
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_names_and_garbage() {
+        assert!(MetricsSnapshot::from_json("").is_none());
+        assert!(MetricsSnapshot::from_json("{").is_none());
+        assert!(MetricsSnapshot::from_json(
+            r#"{"counters":{"no.such.metric":1},"gauges":{},"histograms":{}}"#
+        )
+        .is_none());
+        assert!(MetricsSnapshot::from_json(
+            r#"{"counters":{},"gauges":{},"histograms":{},"extra":{}}"#
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn json_reader_handles_the_manifest_shapes() {
+        let v = json::parse(
+            r#"{"a":[1,2.5,-3],"b":{"c":"hi \" there","d":null},"e":true,"f":18446744073709551615}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("b").unwrap().get("c").unwrap().as_str(),
+            Some("hi \" there")
+        );
+        assert_eq!(v.get("e"), Some(&json::Value::Bool(true)));
+        assert!(json::parse("{} trailing").is_none());
+    }
+
+    #[test]
+    fn metric_names_are_unique_and_dotted() {
+        let mut names: Vec<&str> = Metric::ALL.iter().map(|m| m.name()).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate metric name");
+        for n in names {
+            assert!(n.contains('.'), "metric name {n:?} must be dotted");
+        }
+    }
+}

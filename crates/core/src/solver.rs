@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 use crate::cover::Cover;
 use crate::error::StreamError;
 use crate::instance::{Edge, SetCoverInstance};
+use crate::obs::{Metric, NoopRecorder, Recorder};
 use crate::space::SpaceReport;
 use crate::stream::guard::{GuardConfig, GuardReport, GuardedStream};
 use crate::stream::EdgeStream;
@@ -249,8 +250,24 @@ impl<A: StreamingSetCover> StreamingSetCover for ContractChecked<A> {
 }
 
 /// Drive `solver` over `stream` to completion.
-pub fn run_streaming<A: StreamingSetCover, S: EdgeStream>(solver: A, mut stream: S) -> RunOutcome {
+pub fn run_streaming<A: StreamingSetCover, S: EdgeStream>(solver: A, stream: S) -> RunOutcome {
+    run_streaming_with(solver, stream, NoopRecorder)
+}
+
+/// [`run_streaming`] with an instrumentation sink: the driver brackets
+/// the run in a [`Metric::TrialSpan`] and records the edges it fed the
+/// solver. The solver's own instrumentation is attached separately (via
+/// its `with_recorder` constructor) — the two can share one
+/// [`crate::obs::MetricsRecorder`] only sequentially, so callers
+/// typically lend the driver a second recorder and merge snapshots.
+pub fn run_streaming_with<A, S, R>(solver: A, mut stream: S, mut rec: R) -> RunOutcome
+where
+    A: StreamingSetCover,
+    S: EdgeStream,
+    R: Recorder,
+{
     let mut solver = ContractChecked::new(solver);
+    rec.span_enter(Metric::TrialSpan);
     let start = Instant::now();
     let mut edges = 0usize;
     while let Some(e) = stream.next_edge() {
@@ -258,6 +275,8 @@ pub fn run_streaming<A: StreamingSetCover, S: EdgeStream>(solver: A, mut stream:
         edges += 1;
     }
     let cover = solver.finalize();
+    rec.counter(Metric::DriverEdges, edges as u64);
+    rec.span_exit(Metric::TrialSpan);
     RunOutcome {
         algorithm: solver.name(),
         cover,
@@ -312,31 +331,63 @@ pub fn run_guarded<A: StreamingSetCover, S: EdgeStream>(
     n: usize,
     cfg: GuardConfig,
 ) -> Result<GuardedOutcome, StreamError> {
+    run_guarded_with(solver, stream, m, n, cfg, NoopRecorder)
+}
+
+/// [`run_guarded`] with an instrumentation sink attached to the
+/// **guard**: violations are counted by kind
+/// ([`Metric::GuardDuplicates`], [`Metric::GuardSetOutOfRange`], ...)
+/// and by policy outcome ([`Metric::GuardRepaired`] /
+/// [`Metric::GuardRejected`] / [`Metric::GuardFailed`]), with a
+/// positioned trace event per violation. The driver additionally records
+/// [`Metric::DriverEdges`] and the [`Metric::TrialSpan`] wall clock.
+pub fn run_guarded_with<A, S, R>(
+    solver: A,
+    stream: S,
+    m: usize,
+    n: usize,
+    cfg: GuardConfig,
+    mut rec: R,
+) -> Result<GuardedOutcome, StreamError>
+where
+    A: StreamingSetCover,
+    S: EdgeStream,
+    R: Recorder,
+{
     let mut solver = ContractChecked::new(solver);
-    let mut guard = GuardedStream::new(stream, m, n, cfg);
+    rec.span_enter(Metric::TrialSpan);
+    let mut guard = GuardedStream::new(stream, m, n, cfg).with_recorder(&mut rec);
     let start = Instant::now();
     let mut edges = 0usize;
-    loop {
+    let failure = loop {
         match guard.try_next_edge() {
             Ok(Some(e)) => {
                 solver.process_edge(e);
                 edges += 1;
             }
-            Ok(None) => break,
-            Err(e) => return Err(e),
+            Ok(None) => break None,
+            Err(e) => break Some(e),
         }
+    };
+    let elapsed = start.elapsed();
+    let (space_guard, report) = (guard.space(), guard.report());
+    drop(guard); // returns the borrow of `rec`
+    rec.counter(Metric::DriverEdges, edges as u64);
+    rec.span_exit(Metric::TrialSpan);
+    if let Some(e) = failure {
+        return Err(e);
     }
     let cover = solver.finalize();
-    let space = solver.space().merged(&guard.space());
+    let space = solver.space().merged(&space_guard);
     Ok(GuardedOutcome {
         run: RunOutcome {
             algorithm: solver.name(),
             cover,
             space,
             edges_processed: edges,
-            elapsed: start.elapsed(),
+            elapsed,
         },
-        guard: guard.report(),
+        guard: report,
     })
 }
 

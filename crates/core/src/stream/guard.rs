@@ -33,6 +33,7 @@
 
 use crate::error::StreamError;
 use crate::instance::Edge;
+use crate::obs::{Metric, NoopRecorder, Recorder};
 use crate::space::{SpaceComponent, SpaceMeter, SpaceReport};
 use crate::stream::EdgeStream;
 
@@ -262,9 +263,15 @@ impl DedupWindow {
 /// [`StreamError`]s, or through the plain [`EdgeStream`] interface —
 /// there a Strict failure ends the stream early and the stored error is
 /// available from [`GuardedStream::error`].
+///
+/// The guard is generic over a [`Recorder`]; the default
+/// [`NoopRecorder`] keeps the clean-stream hot path exactly as fast as
+/// an unobserved guard, while [`GuardedStream::with_recorder`] attaches
+/// a sink that counts violations by kind and policy outcome.
 #[derive(Debug)]
-pub struct GuardedStream<S> {
+pub struct GuardedStream<S, R = NoopRecorder> {
     inner: S,
+    rec: R,
     cfg: GuardConfig,
     m: usize,
     n: usize,
@@ -307,6 +314,7 @@ impl<S: EdgeStream> GuardedStream<S> {
         };
         GuardedStream {
             inner,
+            rec: NoopRecorder,
             cfg,
             m,
             n,
@@ -318,6 +326,29 @@ impl<S: EdgeStream> GuardedStream<S> {
             error: None,
             ended: false,
             meter,
+        }
+    }
+}
+
+impl<S: EdgeStream, R: Recorder> GuardedStream<S, R> {
+    /// Attach an instrumentation sink, replacing the current one. Call
+    /// before draining: violation counters recorded so far stay in the
+    /// old recorder.
+    pub fn with_recorder<R2: Recorder>(self, rec: R2) -> GuardedStream<S, R2> {
+        GuardedStream {
+            inner: self.inner,
+            rec,
+            cfg: self.cfg,
+            m: self.m,
+            n: self.n,
+            declared: self.declared,
+            clamp_at: self.clamp_at,
+            dedup: self.dedup,
+            report: self.report,
+            pos: self.pos,
+            error: self.error,
+            ended: self.ended,
+            meter: self.meter,
         }
     }
 
@@ -367,9 +398,16 @@ impl<S: EdgeStream> GuardedStream<S> {
     /// drained as repaired to keep the length ledger honest.
     #[cold]
     fn clamp_excess(&mut self) -> Result<Option<Edge>, StreamError> {
+        let mut drained = 0u64;
         while self.inner.next_edge().is_some() {
             self.report.edges_repaired += 1;
             self.pos += 1;
+            drained += 1;
+        }
+        if drained > 0 {
+            self.rec.counter(Metric::GuardRepaired, drained);
+            self.rec
+                .event("guard.clamp_excess", self.pos as u64, drained);
         }
         self.end()
     }
@@ -379,6 +417,9 @@ impl<S: EdgeStream> GuardedStream<S> {
     fn on_out_of_range(&mut self, e: Edge, pos: usize) -> Result<Option<Edge>, StreamError> {
         let err = if e.set.index() >= self.m {
             self.report.set_out_of_range += 1;
+            self.rec.counter(Metric::GuardSetOutOfRange, 1);
+            self.rec
+                .event("guard.set_out_of_range", pos as u64, e.set.0 as u64);
             StreamError::SetOutOfRange {
                 pos,
                 set: e.set,
@@ -386,6 +427,9 @@ impl<S: EdgeStream> GuardedStream<S> {
             }
         } else {
             self.report.elem_out_of_range += 1;
+            self.rec.counter(Metric::GuardElemOutOfRange, 1);
+            self.rec
+                .event("guard.elem_out_of_range", pos as u64, e.elem.0 as u64);
             StreamError::ElemOutOfRange {
                 pos,
                 elem: e.elem,
@@ -399,6 +443,12 @@ impl<S: EdgeStream> GuardedStream<S> {
     #[cold]
     fn on_duplicate(&mut self, e: Edge, pos: usize) -> Result<Option<Edge>, StreamError> {
         self.report.duplicates += 1;
+        self.rec.counter(Metric::GuardDuplicates, 1);
+        self.rec.event(
+            "guard.duplicate",
+            pos as u64,
+            ((e.set.0 as u64) << 32) | e.elem.0 as u64,
+        );
         self.react(
             e,
             StreamError::DuplicateEdge {
@@ -417,10 +467,12 @@ impl<S: EdgeStream> GuardedStream<S> {
             GuardPolicy::Strict => self.fail(err),
             GuardPolicy::Repair => {
                 self.report.edges_repaired += 1;
+                self.rec.counter(Metric::GuardRepaired, 1);
                 Ok(None)
             }
             GuardPolicy::Observe => {
                 self.report.edges_rejected += 1;
+                self.rec.counter(Metric::GuardRejected, 1);
                 Ok(Some(e))
             }
         }
@@ -448,6 +500,9 @@ impl<S: EdgeStream> GuardedStream<S> {
                 let delivered = self.delivered();
                 if delivered != d {
                     self.report.length_mismatch = Some((d, delivered));
+                    self.rec.counter(Metric::GuardLengthMismatch, 1);
+                    self.rec
+                        .event("guard.length_mismatch", d as u64, delivered as u64);
                     if self.cfg.policy == GuardPolicy::Strict {
                         let e = StreamError::LengthMismatch {
                             declared: d,
@@ -464,6 +519,8 @@ impl<S: EdgeStream> GuardedStream<S> {
 
     fn fail(&mut self, e: StreamError) -> Result<Option<Edge>, StreamError> {
         self.report.edges_rejected += 1;
+        self.rec.counter(Metric::GuardRejected, 1);
+        self.rec.counter(Metric::GuardFailed, 1);
         self.error = Some(e);
         self.ended = true;
         Err(e)
@@ -499,7 +556,7 @@ impl<S: EdgeStream> GuardedStream<S> {
     }
 }
 
-impl<S: EdgeStream> EdgeStream for GuardedStream<S> {
+impl<S: EdgeStream, R: Recorder> EdgeStream for GuardedStream<S, R> {
     /// [`EdgeStream`] view: a Strict violation ends the stream early;
     /// callers using this interface must check [`GuardedStream::error`]
     /// after draining (the `run_guarded` driver does this for you).
@@ -727,6 +784,54 @@ mod tests {
         assert_eq!(sp.peak_of(SpaceComponent::Guard), g.report().guard_words);
         // Guard state counts toward the algorithmic footprint.
         assert!(sp.algorithmic_peak_words() >= sp.peak_of(SpaceComponent::Guard));
+    }
+
+    #[test]
+    fn recorder_counts_violations_by_kind_and_outcome() {
+        use crate::obs::{Metric, MetricsRecorder};
+        let edges = vec![
+            edge(0, 1),
+            edge(9, 2),  // set oob
+            edge(1, 42), // elem oob
+            edge(0, 1),  // duplicate
+            edge(2, 3),
+        ];
+        let mut rec = MetricsRecorder::with_trace();
+        {
+            let mut g =
+                GuardedStream::new(VecStream::new(edges.clone()), 5, 10, GuardConfig::repair())
+                    .with_recorder(&mut rec);
+            while g.try_next_edge().expect("repair never errors").is_some() {}
+        }
+        assert_eq!(rec.counter_value(Metric::GuardDuplicates), 1);
+        assert_eq!(rec.counter_value(Metric::GuardSetOutOfRange), 1);
+        assert_eq!(rec.counter_value(Metric::GuardElemOutOfRange), 1);
+        assert_eq!(rec.counter_value(Metric::GuardRepaired), 3);
+        assert_eq!(rec.counter_value(Metric::GuardRejected), 0);
+        // Mismatch: 5 arrived, 2 delivered (VecStream declares 5).
+        assert_eq!(rec.counter_value(Metric::GuardLengthMismatch), 1);
+        // Each violation left a positioned trace event.
+        let names: Vec<&str> = rec.events().iter().map(|e| e.name).collect();
+        assert!(names.contains(&"guard.duplicate"));
+        assert!(names.contains(&"guard.set_out_of_range"));
+        assert!(names.contains(&"guard.elem_out_of_range"));
+        assert!(names.contains(&"guard.length_mismatch"));
+
+        // Strict: the fatal edge is both rejected and failed.
+        let mut rec = MetricsRecorder::new();
+        {
+            let mut g = GuardedStream::new(
+                VecStream::new(vec![edge(0, 1), edge(0, 1)]),
+                5,
+                10,
+                GuardConfig::strict(),
+            )
+            .with_recorder(&mut rec);
+            assert!(g.try_next_edge().unwrap().is_some());
+            assert!(g.try_next_edge().is_err());
+        }
+        assert_eq!(rec.counter_value(Metric::GuardRejected), 1);
+        assert_eq!(rec.counter_value(Metric::GuardFailed), 1);
     }
 
     #[test]

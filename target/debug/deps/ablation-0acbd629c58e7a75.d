@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-0acbd629c58e7a75.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-0acbd629c58e7a75.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

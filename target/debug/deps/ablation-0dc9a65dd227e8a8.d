@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-0dc9a65dd227e8a8.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-0dc9a65dd227e8a8.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithms-60850d978ab26fa9.d: crates/bench/benches/algorithms.rs
+
+/root/repo/target/debug/deps/libalgorithms-60850d978ab26fa9.rmeta: crates/bench/benches/algorithms.rs
+
+crates/bench/benches/algorithms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alpha_sweep-643be3bf7f731e4e.d: crates/bench/src/bin/alpha_sweep.rs
+
+/root/repo/target/debug/deps/libalpha_sweep-643be3bf7f731e4e.rmeta: crates/bench/src/bin/alpha_sweep.rs
+
+crates/bench/src/bin/alpha_sweep.rs:

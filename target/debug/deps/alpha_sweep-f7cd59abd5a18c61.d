@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alpha_sweep-f7cd59abd5a18c61.d: crates/bench/src/bin/alpha_sweep.rs
+
+/root/repo/target/debug/deps/libalpha_sweep-f7cd59abd5a18c61.rmeta: crates/bench/src/bin/alpha_sweep.rs
+
+crates/bench/src/bin/alpha_sweep.rs:

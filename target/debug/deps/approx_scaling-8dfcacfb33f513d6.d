@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/approx_scaling-8dfcacfb33f513d6.d: crates/bench/src/bin/approx_scaling.rs
+
+/root/repo/target/debug/deps/libapprox_scaling-8dfcacfb33f513d6.rmeta: crates/bench/src/bin/approx_scaling.rs
+
+crates/bench/src/bin/approx_scaling.rs:

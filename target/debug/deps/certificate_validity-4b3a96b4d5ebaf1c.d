@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/certificate_validity-4b3a96b4d5ebaf1c.d: crates/bench/../../tests/certificate_validity.rs
+
+/root/repo/target/debug/deps/libcertificate_validity-4b3a96b4d5ebaf1c.rmeta: crates/bench/../../tests/certificate_validity.rs
+
+crates/bench/../../tests/certificate_validity.rs:

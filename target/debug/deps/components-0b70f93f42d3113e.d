@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/components-0b70f93f42d3113e.d: crates/bench/benches/components.rs
+
+/root/repo/target/debug/deps/libcomponents-0b70f93f42d3113e.rmeta: crates/bench/benches/components.rs
+
+crates/bench/benches/components.rs:

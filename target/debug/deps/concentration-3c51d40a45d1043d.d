@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concentration-3c51d40a45d1043d.d: crates/bench/src/bin/concentration.rs
+
+/root/repo/target/debug/deps/libconcentration-3c51d40a45d1043d.rmeta: crates/bench/src/bin/concentration.rs
+
+crates/bench/src/bin/concentration.rs:

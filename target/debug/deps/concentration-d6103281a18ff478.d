@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concentration-d6103281a18ff478.d: crates/bench/src/bin/concentration.rs
+
+/root/repo/target/debug/deps/libconcentration-d6103281a18ff478.rmeta: crates/bench/src/bin/concentration.rs
+
+crates/bench/src/bin/concentration.rs:

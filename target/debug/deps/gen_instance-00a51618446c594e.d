@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_instance-00a51618446c594e.d: crates/bench/src/bin/gen_instance.rs
+
+/root/repo/target/debug/deps/libgen_instance-00a51618446c594e.rmeta: crates/bench/src/bin/gen_instance.rs
+
+crates/bench/src/bin/gen_instance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_instance-e0cffe4de7bd9afc.d: crates/bench/src/bin/gen_instance.rs
+
+/root/repo/target/debug/deps/libgen_instance-e0cffe4de7bd9afc.rmeta: crates/bench/src/bin/gen_instance.rs
+
+crates/bench/src/bin/gen_instance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generators-4214d698d3e892eb.d: crates/bench/benches/generators.rs
+
+/root/repo/target/debug/deps/libgenerators-4214d698d3e892eb.rmeta: crates/bench/benches/generators.rs
+
+crates/bench/benches/generators.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-0092f16b29f23256.d: crates/bench/src/bin/invariants.rs
+
+/root/repo/target/debug/deps/libinvariants-0092f16b29f23256.rmeta: crates/bench/src/bin/invariants.rs
+
+crates/bench/src/bin/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-2f1c1a4243c1cc0b.d: crates/bench/src/bin/invariants.rs
+
+/root/repo/target/debug/deps/libinvariants-2f1c1a4243c1cc0b.rmeta: crates/bench/src/bin/invariants.rs
+
+crates/bench/src/bin/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_roundtrip-1406bdd6fe8188a2.d: crates/bench/../../tests/io_roundtrip.rs
+
+/root/repo/target/debug/deps/libio_roundtrip-1406bdd6fe8188a2.rmeta: crates/bench/../../tests/io_roundtrip.rs
+
+crates/bench/../../tests/io_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lowerbound-32a232bc4bd8f479.d: crates/bench/src/bin/lowerbound.rs
+
+/root/repo/target/debug/deps/liblowerbound-32a232bc4bd8f479.rmeta: crates/bench/src/bin/lowerbound.rs
+
+crates/bench/src/bin/lowerbound.rs:

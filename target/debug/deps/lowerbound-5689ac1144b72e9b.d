@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lowerbound-5689ac1144b72e9b.d: crates/bench/src/bin/lowerbound.rs
+
+/root/repo/target/debug/deps/liblowerbound-5689ac1144b72e9b.rmeta: crates/bench/src/bin/lowerbound.rs
+
+crates/bench/src/bin/lowerbound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lowerbound_integration-f8902e2766a600a6.d: crates/bench/../../tests/lowerbound_integration.rs
+
+/root/repo/target/debug/deps/liblowerbound_integration-f8902e2766a600a6.rmeta: crates/bench/../../tests/lowerbound_integration.rs
+
+crates/bench/../../tests/lowerbound_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs-b558f56f9f81dc90.d: crates/bench/../../tests/obs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs-b558f56f9f81dc90.rmeta: crates/bench/../../tests/obs.rs Cargo.toml
+
+crates/bench/../../tests/obs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs-c4e4fc86971c51f1.d: crates/bench/../../tests/obs.rs
+
+/root/repo/target/debug/deps/libobs-c4e4fc86971c51f1.rmeta: crates/bench/../../tests/obs.rs
+
+crates/bench/../../tests/obs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs-dcc1a0be4080696a.d: crates/bench/../../tests/obs.rs
+
+/root/repo/target/debug/deps/obs-dcc1a0be4080696a: crates/bench/../../tests/obs.rs
+
+crates/bench/../../tests/obs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/par_determinism-478a2b2502b16a8d.d: crates/bench/../../tests/par_determinism.rs
+
+/root/repo/target/debug/deps/libpar_determinism-478a2b2502b16a8d.rmeta: crates/bench/../../tests/par_determinism.rs
+
+crates/bench/../../tests/par_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-84a2e5439d98ce29.d: crates/bench/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/libpipeline-84a2e5439d98ce29.rmeta: crates/bench/../../tests/pipeline.rs
+
+crates/bench/../../tests/pipeline.rs:

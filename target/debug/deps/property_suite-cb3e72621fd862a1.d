@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_suite-cb3e72621fd862a1.d: crates/bench/../../tests/property_suite.rs
+
+/root/repo/target/debug/deps/libproperty_suite-cb3e72621fd862a1.rmeta: crates/bench/../../tests/property_suite.rs
+
+crates/bench/../../tests/property_suite.rs:

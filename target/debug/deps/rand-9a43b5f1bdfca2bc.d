@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-9a43b5f1bdfca2bc.d: crates/rand/src/lib.rs crates/rand/src/rngs.rs crates/rand/src/seq.rs
+
+/root/repo/target/debug/deps/librand-9a43b5f1bdfca2bc.rmeta: crates/rand/src/lib.rs crates/rand/src/rngs.rs crates/rand/src/seq.rs
+
+crates/rand/src/lib.rs:
+crates/rand/src/rngs.rs:
+crates/rand/src/seq.rs:

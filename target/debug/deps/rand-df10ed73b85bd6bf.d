@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-df10ed73b85bd6bf.d: crates/rand/src/lib.rs crates/rand/src/rngs.rs crates/rand/src/seq.rs
+
+/root/repo/target/debug/deps/librand-df10ed73b85bd6bf.rmeta: crates/rand/src/lib.rs crates/rand/src/rngs.rs crates/rand/src/seq.rs
+
+crates/rand/src/lib.rs:
+crates/rand/src/rngs.rs:
+crates/rand/src/seq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_order_integration-1ff21ff594467e9d.d: crates/bench/../../tests/random_order_integration.rs
+
+/root/repo/target/debug/deps/librandom_order_integration-1ff21ff594467e9d.rmeta: crates/bench/../../tests/random_order_integration.rs
+
+crates/bench/../../tests/random_order_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-3cf23927502539b3.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/libreport-3cf23927502539b3.rmeta: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-d68de47d08986261.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/libreport-d68de47d08986261.rmeta: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

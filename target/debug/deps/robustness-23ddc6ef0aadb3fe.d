@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-23ddc6ef0aadb3fe.d: crates/bench/../../tests/robustness.rs
+
+/root/repo/target/debug/deps/librobustness-23ddc6ef0aadb3fe.rmeta: crates/bench/../../tests/robustness.rs
+
+crates/bench/../../tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-31cfdd770108de65.d: crates/bench/src/bin/robustness.rs
+
+/root/repo/target/debug/deps/librobustness-31cfdd770108de65.rmeta: crates/bench/src/bin/robustness.rs
+
+crates/bench/src/bin/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-d71b5913f591a9b6.d: crates/bench/src/bin/robustness.rs
+
+/root/repo/target/debug/deps/librobustness-d71b5913f591a9b6.rmeta: crates/bench/src/bin/robustness.rs
+
+crates/bench/src/bin/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/separation-02c2461dc8000c79.d: crates/bench/src/bin/separation.rs
+
+/root/repo/target/debug/deps/libseparation-02c2461dc8000c79.rmeta: crates/bench/src/bin/separation.rs
+
+crates/bench/src/bin/separation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/separation-b04898f1f33a07c6.d: crates/bench/src/bin/separation.rs
+
+/root/repo/target/debug/deps/libseparation-b04898f1f33a07c6.rmeta: crates/bench/src/bin/separation.rs
+
+crates/bench/src/bin/separation.rs:

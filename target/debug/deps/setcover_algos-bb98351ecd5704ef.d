@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/setcover_algos-bb98351ecd5704ef.d: crates/algos/src/lib.rs crates/algos/src/adversarial.rs crates/algos/src/amplify.rs crates/algos/src/common.rs crates/algos/src/dominating.rs crates/algos/src/element_sampling.rs crates/algos/src/greedy.rs crates/algos/src/kk.rs crates/algos/src/multipass.rs crates/algos/src/packing.rs crates/algos/src/random_order.rs crates/algos/src/set_arrival.rs crates/algos/src/trivial.rs
+
+/root/repo/target/debug/deps/libsetcover_algos-bb98351ecd5704ef.rmeta: crates/algos/src/lib.rs crates/algos/src/adversarial.rs crates/algos/src/amplify.rs crates/algos/src/common.rs crates/algos/src/dominating.rs crates/algos/src/element_sampling.rs crates/algos/src/greedy.rs crates/algos/src/kk.rs crates/algos/src/multipass.rs crates/algos/src/packing.rs crates/algos/src/random_order.rs crates/algos/src/set_arrival.rs crates/algos/src/trivial.rs
+
+crates/algos/src/lib.rs:
+crates/algos/src/adversarial.rs:
+crates/algos/src/amplify.rs:
+crates/algos/src/common.rs:
+crates/algos/src/dominating.rs:
+crates/algos/src/element_sampling.rs:
+crates/algos/src/greedy.rs:
+crates/algos/src/kk.rs:
+crates/algos/src/multipass.rs:
+crates/algos/src/packing.rs:
+crates/algos/src/random_order.rs:
+crates/algos/src/set_arrival.rs:
+crates/algos/src/trivial.rs:

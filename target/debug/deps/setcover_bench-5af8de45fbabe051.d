@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/setcover_bench-5af8de45fbabe051.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/alpha_sweep.rs crates/bench/src/experiments/approx_scaling.rs crates/bench/src/experiments/concentration.rs crates/bench/src/experiments/invariants.rs crates/bench/src/experiments/lowerbound.rs crates/bench/src/experiments/robustness.rs crates/bench/src/experiments/separation.rs crates/bench/src/experiments/table1.rs crates/bench/src/harness.rs crates/bench/src/obs.rs crates/bench/src/par.rs crates/bench/src/stats.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libsetcover_bench-5af8de45fbabe051.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/alpha_sweep.rs crates/bench/src/experiments/approx_scaling.rs crates/bench/src/experiments/concentration.rs crates/bench/src/experiments/invariants.rs crates/bench/src/experiments/lowerbound.rs crates/bench/src/experiments/robustness.rs crates/bench/src/experiments/separation.rs crates/bench/src/experiments/table1.rs crates/bench/src/harness.rs crates/bench/src/obs.rs crates/bench/src/par.rs crates/bench/src/stats.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablation.rs:
+crates/bench/src/experiments/alpha_sweep.rs:
+crates/bench/src/experiments/approx_scaling.rs:
+crates/bench/src/experiments/concentration.rs:
+crates/bench/src/experiments/invariants.rs:
+crates/bench/src/experiments/lowerbound.rs:
+crates/bench/src/experiments/robustness.rs:
+crates/bench/src/experiments/separation.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/obs.rs:
+crates/bench/src/par.rs:
+crates/bench/src/stats.rs:
+crates/bench/src/table.rs:

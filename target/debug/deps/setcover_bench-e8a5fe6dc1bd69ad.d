@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/setcover_bench-e8a5fe6dc1bd69ad.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/alpha_sweep.rs crates/bench/src/experiments/approx_scaling.rs crates/bench/src/experiments/concentration.rs crates/bench/src/experiments/invariants.rs crates/bench/src/experiments/lowerbound.rs crates/bench/src/experiments/robustness.rs crates/bench/src/experiments/separation.rs crates/bench/src/experiments/table1.rs crates/bench/src/harness.rs crates/bench/src/par.rs crates/bench/src/stats.rs crates/bench/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/setcover_bench-e8a5fe6dc1bd69ad.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/alpha_sweep.rs crates/bench/src/experiments/approx_scaling.rs crates/bench/src/experiments/concentration.rs crates/bench/src/experiments/invariants.rs crates/bench/src/experiments/lowerbound.rs crates/bench/src/experiments/robustness.rs crates/bench/src/experiments/separation.rs crates/bench/src/experiments/table1.rs crates/bench/src/harness.rs crates/bench/src/obs.rs crates/bench/src/par.rs crates/bench/src/stats.rs crates/bench/src/table.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsetcover_bench-e8a5fe6dc1bd69ad.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/alpha_sweep.rs crates/bench/src/experiments/approx_scaling.rs crates/bench/src/experiments/concentration.rs crates/bench/src/experiments/invariants.rs crates/bench/src/experiments/lowerbound.rs crates/bench/src/experiments/robustness.rs crates/bench/src/experiments/separation.rs crates/bench/src/experiments/table1.rs crates/bench/src/harness.rs crates/bench/src/par.rs crates/bench/src/stats.rs crates/bench/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/libsetcover_bench-e8a5fe6dc1bd69ad.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/alpha_sweep.rs crates/bench/src/experiments/approx_scaling.rs crates/bench/src/experiments/concentration.rs crates/bench/src/experiments/invariants.rs crates/bench/src/experiments/lowerbound.rs crates/bench/src/experiments/robustness.rs crates/bench/src/experiments/separation.rs crates/bench/src/experiments/table1.rs crates/bench/src/harness.rs crates/bench/src/obs.rs crates/bench/src/par.rs crates/bench/src/stats.rs crates/bench/src/table.rs Cargo.toml
 
 crates/bench/src/lib.rs:
 crates/bench/src/experiments/mod.rs:
@@ -14,6 +14,7 @@ crates/bench/src/experiments/robustness.rs:
 crates/bench/src/experiments/separation.rs:
 crates/bench/src/experiments/table1.rs:
 crates/bench/src/harness.rs:
+crates/bench/src/obs.rs:
 crates/bench/src/par.rs:
 crates/bench/src/stats.rs:
 crates/bench/src/table.rs:

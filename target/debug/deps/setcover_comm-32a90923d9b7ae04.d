@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/setcover_comm-32a90923d9b7ae04.d: crates/comm/src/lib.rs crates/comm/src/budgeted.rs crates/comm/src/disjointness.rs crates/comm/src/party.rs crates/comm/src/reduction.rs crates/comm/src/simple_protocol.rs crates/comm/src/sweep.rs
+
+/root/repo/target/debug/deps/libsetcover_comm-32a90923d9b7ae04.rmeta: crates/comm/src/lib.rs crates/comm/src/budgeted.rs crates/comm/src/disjointness.rs crates/comm/src/party.rs crates/comm/src/reduction.rs crates/comm/src/simple_protocol.rs crates/comm/src/sweep.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/budgeted.rs:
+crates/comm/src/disjointness.rs:
+crates/comm/src/party.rs:
+crates/comm/src/reduction.rs:
+crates/comm/src/simple_protocol.rs:
+crates/comm/src/sweep.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/setcover_comm-96df43d1a9fb5261.d: crates/comm/src/lib.rs crates/comm/src/budgeted.rs crates/comm/src/disjointness.rs crates/comm/src/party.rs crates/comm/src/reduction.rs crates/comm/src/simple_protocol.rs crates/comm/src/sweep.rs
+
+/root/repo/target/debug/deps/libsetcover_comm-96df43d1a9fb5261.rmeta: crates/comm/src/lib.rs crates/comm/src/budgeted.rs crates/comm/src/disjointness.rs crates/comm/src/party.rs crates/comm/src/reduction.rs crates/comm/src/simple_protocol.rs crates/comm/src/sweep.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/budgeted.rs:
+crates/comm/src/disjointness.rs:
+crates/comm/src/party.rs:
+crates/comm/src/reduction.rs:
+crates/comm/src/simple_protocol.rs:
+crates/comm/src/sweep.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/setcover_core-c77ace9b069700f4.d: crates/core/src/lib.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/io.rs crates/core/src/math.rs crates/core/src/rng.rs crates/core/src/solver.rs crates/core/src/space.rs crates/core/src/stream.rs crates/core/src/stream/chaos.rs crates/core/src/stream/guard.rs
+/root/repo/target/debug/deps/setcover_core-c77ace9b069700f4.d: crates/core/src/lib.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/io.rs crates/core/src/math.rs crates/core/src/obs.rs crates/core/src/rng.rs crates/core/src/solver.rs crates/core/src/space.rs crates/core/src/stream.rs crates/core/src/stream/chaos.rs crates/core/src/stream/guard.rs
 
-/root/repo/target/debug/deps/libsetcover_core-c77ace9b069700f4.rlib: crates/core/src/lib.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/io.rs crates/core/src/math.rs crates/core/src/rng.rs crates/core/src/solver.rs crates/core/src/space.rs crates/core/src/stream.rs crates/core/src/stream/chaos.rs crates/core/src/stream/guard.rs
+/root/repo/target/debug/deps/libsetcover_core-c77ace9b069700f4.rlib: crates/core/src/lib.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/io.rs crates/core/src/math.rs crates/core/src/obs.rs crates/core/src/rng.rs crates/core/src/solver.rs crates/core/src/space.rs crates/core/src/stream.rs crates/core/src/stream/chaos.rs crates/core/src/stream/guard.rs
 
-/root/repo/target/debug/deps/libsetcover_core-c77ace9b069700f4.rmeta: crates/core/src/lib.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/io.rs crates/core/src/math.rs crates/core/src/rng.rs crates/core/src/solver.rs crates/core/src/space.rs crates/core/src/stream.rs crates/core/src/stream/chaos.rs crates/core/src/stream/guard.rs
+/root/repo/target/debug/deps/libsetcover_core-c77ace9b069700f4.rmeta: crates/core/src/lib.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/io.rs crates/core/src/math.rs crates/core/src/obs.rs crates/core/src/rng.rs crates/core/src/solver.rs crates/core/src/space.rs crates/core/src/stream.rs crates/core/src/stream/chaos.rs crates/core/src/stream/guard.rs
 
 crates/core/src/lib.rs:
 crates/core/src/cover.rs:
@@ -11,6 +11,7 @@ crates/core/src/ids.rs:
 crates/core/src/instance.rs:
 crates/core/src/io.rs:
 crates/core/src/math.rs:
+crates/core/src/obs.rs:
 crates/core/src/rng.rs:
 crates/core/src/solver.rs:
 crates/core/src/space.rs:

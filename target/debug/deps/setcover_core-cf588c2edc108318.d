@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/setcover_core-cf588c2edc108318.d: crates/core/src/lib.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/io.rs crates/core/src/math.rs crates/core/src/rng.rs crates/core/src/solver.rs crates/core/src/space.rs crates/core/src/stream.rs crates/core/src/stream/chaos.rs crates/core/src/stream/guard.rs
+/root/repo/target/debug/deps/setcover_core-cf588c2edc108318.d: crates/core/src/lib.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/io.rs crates/core/src/math.rs crates/core/src/obs.rs crates/core/src/rng.rs crates/core/src/solver.rs crates/core/src/space.rs crates/core/src/stream.rs crates/core/src/stream/chaos.rs crates/core/src/stream/guard.rs
 
-/root/repo/target/debug/deps/setcover_core-cf588c2edc108318: crates/core/src/lib.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/io.rs crates/core/src/math.rs crates/core/src/rng.rs crates/core/src/solver.rs crates/core/src/space.rs crates/core/src/stream.rs crates/core/src/stream/chaos.rs crates/core/src/stream/guard.rs
+/root/repo/target/debug/deps/setcover_core-cf588c2edc108318: crates/core/src/lib.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/io.rs crates/core/src/math.rs crates/core/src/obs.rs crates/core/src/rng.rs crates/core/src/solver.rs crates/core/src/space.rs crates/core/src/stream.rs crates/core/src/stream/chaos.rs crates/core/src/stream/guard.rs
 
 crates/core/src/lib.rs:
 crates/core/src/cover.rs:
@@ -9,6 +9,7 @@ crates/core/src/ids.rs:
 crates/core/src/instance.rs:
 crates/core/src/io.rs:
 crates/core/src/math.rs:
+crates/core/src/obs.rs:
 crates/core/src/rng.rs:
 crates/core/src/solver.rs:
 crates/core/src/space.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/setcover_gen-1dc623bcd6767f1c.d: crates/gen/src/lib.rs crates/gen/src/coverage.rs crates/gen/src/dominating.rs crates/gen/src/hard.rs crates/gen/src/lowerbound.rs crates/gen/src/planted.rs crates/gen/src/uniform.rs crates/gen/src/web.rs crates/gen/src/zipf.rs
+
+/root/repo/target/debug/deps/libsetcover_gen-1dc623bcd6767f1c.rmeta: crates/gen/src/lib.rs crates/gen/src/coverage.rs crates/gen/src/dominating.rs crates/gen/src/hard.rs crates/gen/src/lowerbound.rs crates/gen/src/planted.rs crates/gen/src/uniform.rs crates/gen/src/web.rs crates/gen/src/zipf.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/coverage.rs:
+crates/gen/src/dominating.rs:
+crates/gen/src/hard.rs:
+crates/gen/src/lowerbound.rs:
+crates/gen/src/planted.rs:
+crates/gen/src/uniform.rs:
+crates/gen/src/web.rs:
+crates/gen/src/zipf.rs:

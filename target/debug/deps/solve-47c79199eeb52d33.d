@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solve-47c79199eeb52d33.d: crates/bench/src/bin/solve.rs
+
+/root/repo/target/debug/deps/libsolve-47c79199eeb52d33.rmeta: crates/bench/src/bin/solve.rs
+
+crates/bench/src/bin/solve.rs:

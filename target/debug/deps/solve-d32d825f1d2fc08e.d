@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solve-d32d825f1d2fc08e.d: crates/bench/src/bin/solve.rs
+
+/root/repo/target/debug/deps/libsolve-d32d825f1d2fc08e.rmeta: crates/bench/src/bin/solve.rs
+
+crates/bench/src/bin/solve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/space_accounting-89538bb3a064d362.d: crates/bench/../../tests/space_accounting.rs
+
+/root/repo/target/debug/deps/libspace_accounting-89538bb3a064d362.rmeta: crates/bench/../../tests/space_accounting.rs
+
+crates/bench/../../tests/space_accounting.rs:

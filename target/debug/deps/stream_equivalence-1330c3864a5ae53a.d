@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream_equivalence-1330c3864a5ae53a.d: crates/bench/../../tests/stream_equivalence.rs
+
+/root/repo/target/debug/deps/libstream_equivalence-1330c3864a5ae53a.rmeta: crates/bench/../../tests/stream_equivalence.rs
+
+crates/bench/../../tests/stream_equivalence.rs:

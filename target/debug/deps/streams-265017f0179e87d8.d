@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/streams-265017f0179e87d8.d: crates/bench/benches/streams.rs
+
+/root/repo/target/debug/deps/libstreams-265017f0179e87d8.rmeta: crates/bench/benches/streams.rs
+
+crates/bench/benches/streams.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-7748448b4b46e4b6.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-7748448b4b46e4b6.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a37bc4018166f55a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-a37bc4018166f55a.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adversarial_vs_random-f77caf19375aae7e.d: crates/bench/../../examples/adversarial_vs_random.rs
+
+/root/repo/target/debug/examples/libadversarial_vs_random-f77caf19375aae7e.rmeta: crates/bench/../../examples/adversarial_vs_random.rs
+
+crates/bench/../../examples/adversarial_vs_random.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blog_watch-02097075804467a3.d: crates/bench/../../examples/blog_watch.rs
+
+/root/repo/target/debug/examples/libblog_watch-02097075804467a3.rmeta: crates/bench/../../examples/blog_watch.rs
+
+crates/bench/../../examples/blog_watch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dominating_set-5a4fca99a4130f15.d: crates/bench/../../examples/dominating_set.rs
+
+/root/repo/target/debug/examples/libdominating_set-5a4fca99a4130f15.rmeta: crates/bench/../../examples/dominating_set.rs
+
+crates/bench/../../examples/dominating_set.rs:

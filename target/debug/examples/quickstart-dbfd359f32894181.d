@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-dbfd359f32894181.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-dbfd359f32894181.rmeta: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

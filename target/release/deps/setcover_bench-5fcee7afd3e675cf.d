@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/setcover_bench-5fcee7afd3e675cf.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/alpha_sweep.rs crates/bench/src/experiments/approx_scaling.rs crates/bench/src/experiments/concentration.rs crates/bench/src/experiments/invariants.rs crates/bench/src/experiments/lowerbound.rs crates/bench/src/experiments/robustness.rs crates/bench/src/experiments/separation.rs crates/bench/src/experiments/table1.rs crates/bench/src/harness.rs crates/bench/src/par.rs crates/bench/src/stats.rs crates/bench/src/table.rs
+/root/repo/target/release/deps/setcover_bench-5fcee7afd3e675cf.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/alpha_sweep.rs crates/bench/src/experiments/approx_scaling.rs crates/bench/src/experiments/concentration.rs crates/bench/src/experiments/invariants.rs crates/bench/src/experiments/lowerbound.rs crates/bench/src/experiments/robustness.rs crates/bench/src/experiments/separation.rs crates/bench/src/experiments/table1.rs crates/bench/src/harness.rs crates/bench/src/obs.rs crates/bench/src/par.rs crates/bench/src/stats.rs crates/bench/src/table.rs
 
-/root/repo/target/release/deps/libsetcover_bench-5fcee7afd3e675cf.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/alpha_sweep.rs crates/bench/src/experiments/approx_scaling.rs crates/bench/src/experiments/concentration.rs crates/bench/src/experiments/invariants.rs crates/bench/src/experiments/lowerbound.rs crates/bench/src/experiments/robustness.rs crates/bench/src/experiments/separation.rs crates/bench/src/experiments/table1.rs crates/bench/src/harness.rs crates/bench/src/par.rs crates/bench/src/stats.rs crates/bench/src/table.rs
+/root/repo/target/release/deps/libsetcover_bench-5fcee7afd3e675cf.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/alpha_sweep.rs crates/bench/src/experiments/approx_scaling.rs crates/bench/src/experiments/concentration.rs crates/bench/src/experiments/invariants.rs crates/bench/src/experiments/lowerbound.rs crates/bench/src/experiments/robustness.rs crates/bench/src/experiments/separation.rs crates/bench/src/experiments/table1.rs crates/bench/src/harness.rs crates/bench/src/obs.rs crates/bench/src/par.rs crates/bench/src/stats.rs crates/bench/src/table.rs
 
-/root/repo/target/release/deps/libsetcover_bench-5fcee7afd3e675cf.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/alpha_sweep.rs crates/bench/src/experiments/approx_scaling.rs crates/bench/src/experiments/concentration.rs crates/bench/src/experiments/invariants.rs crates/bench/src/experiments/lowerbound.rs crates/bench/src/experiments/robustness.rs crates/bench/src/experiments/separation.rs crates/bench/src/experiments/table1.rs crates/bench/src/harness.rs crates/bench/src/par.rs crates/bench/src/stats.rs crates/bench/src/table.rs
+/root/repo/target/release/deps/libsetcover_bench-5fcee7afd3e675cf.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/alpha_sweep.rs crates/bench/src/experiments/approx_scaling.rs crates/bench/src/experiments/concentration.rs crates/bench/src/experiments/invariants.rs crates/bench/src/experiments/lowerbound.rs crates/bench/src/experiments/robustness.rs crates/bench/src/experiments/separation.rs crates/bench/src/experiments/table1.rs crates/bench/src/harness.rs crates/bench/src/obs.rs crates/bench/src/par.rs crates/bench/src/stats.rs crates/bench/src/table.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/experiments/mod.rs:
@@ -16,6 +16,7 @@ crates/bench/src/experiments/robustness.rs:
 crates/bench/src/experiments/separation.rs:
 crates/bench/src/experiments/table1.rs:
 crates/bench/src/harness.rs:
+crates/bench/src/obs.rs:
 crates/bench/src/par.rs:
 crates/bench/src/stats.rs:
 crates/bench/src/table.rs:

@@ -1,0 +1,161 @@
+//! Observability integration: recorder determinism across thread counts,
+//! histogram bucketing, no-op cost model, and manifest round-trips.
+
+use setcover_algos::{KkConfig, KkSolver};
+use setcover_bench::experiments::{robustness, table1};
+use setcover_bench::{manifest_json, trace_jsonl, TrialRunner};
+use setcover_core::obs::json;
+use setcover_core::solver::run_streaming;
+use setcover_core::stream::{stream_of, StreamOrder};
+use setcover_core::{Metric, MetricsRecorder, MetricsSnapshot, NoopRecorder, Recorder};
+use setcover_gen::planted::{planted, PlantedConfig};
+
+/// The tentpole determinism guarantee: running the same instrumented
+/// experiment on 1 worker and on 8 workers must produce byte-identical
+/// merged metric snapshots — trials are keyed by grid index and merged
+/// in key order, not completion order.
+#[test]
+fn table1_metrics_identical_threads_1_vs_8() {
+    let p = table1::Params {
+        n: 144,
+        m: Some(1296),
+        trials: 2,
+    };
+    let run = |threads: usize| {
+        let runner = TrialRunner::new(threads).with_obs(false);
+        let text = table1::run_with(&p, &runner);
+        (text, runner.obs_merged().to_json())
+    };
+    let (text1, snap1) = run(1);
+    let (text8, snap8) = run(8);
+    assert_eq!(text1, text8, "report text must not depend on threads");
+    assert_eq!(snap1, snap8, "metric snapshot must not depend on threads");
+    // The snapshot is non-trivial: all four solvers ran instrumented.
+    for key in [
+        "kk.edges",
+        "adv.inclusions",
+        "ro.epochs",
+        "es.sampled_elems",
+    ] {
+        assert!(snap1.contains(key), "snapshot missing `{key}`: {snap1}");
+    }
+}
+
+/// Same guarantee for the guard-instrumented robustness sweep, including
+/// the trace stream (`obs=trace`), whose event order is also keyed.
+#[test]
+fn robustness_metrics_and_trace_identical_across_threads() {
+    let p = robustness::Params {
+        n: 64,
+        m: 256,
+        opt: 8,
+        trials: 1,
+        rates: vec![0.0, 0.25],
+    };
+    let run = |threads: usize| {
+        let runner = TrialRunner::new(threads).with_obs(true);
+        robustness::run_with(&p, &runner);
+        (runner.obs_merged().to_json(), trace_jsonl(&runner))
+    };
+    let (snap1, trace1) = run(1);
+    let (snap8, trace8) = run(8);
+    assert_eq!(snap1, snap8);
+    assert_eq!(trace1, trace8);
+    assert!(snap1.contains("guard."), "guard metrics missing: {snap1}");
+}
+
+/// Histogram bucketing: log2 buckets over a real solver run agree with
+/// recomputing the bucket of every observation by hand.
+#[test]
+fn histogram_bucketing_matches_hand_computation() {
+    let mut rec = MetricsRecorder::new();
+    let values: Vec<u64> = (0..200).map(|i| (i * i * 7 + i) % 1000).collect();
+    for &v in &values {
+        rec.observe(Metric::KkLevelAtInclusion, v);
+    }
+    let snap = rec.snapshot();
+    let got = &snap.histograms["kk.level_at_inclusion"];
+    // Recompute: bucket b holds values with bit-length b (0 → bucket 0).
+    let mut want = std::collections::BTreeMap::new();
+    for &v in &values {
+        let b = (64 - v.leading_zeros()) as usize;
+        *want.entry(b).or_insert(0u64) += 1;
+    }
+    let want: Vec<(usize, u64)> = want.into_iter().collect();
+    assert_eq!(got, &want);
+}
+
+/// The no-op recorder really is free on the solver type level: a
+/// `KkSolver` (defaulted `NoopRecorder`) is exactly the size of its
+/// payload state plus a zero-sized recorder, and a run through it
+/// produces the same cover as an instrumented run with the same seed
+/// (instrumentation must not perturb the RNG trajectory).
+#[test]
+fn noop_recorder_is_zero_sized_and_trajectory_neutral() {
+    assert_eq!(std::mem::size_of::<NoopRecorder>(), 0);
+    assert_eq!(
+        std::mem::size_of::<KkSolver>(),
+        std::mem::size_of::<KkSolver<NoopRecorder>>()
+    );
+
+    let pl = planted(&PlantedConfig::exact(144, 576, 6), 9);
+    let inst = &pl.workload.instance;
+    let (m, n) = (inst.m(), inst.n());
+    let plain = run_streaming(
+        KkSolver::new(m, n, 3),
+        stream_of(inst, StreamOrder::Uniform(11)),
+    );
+    let mut rec = MetricsRecorder::with_trace();
+    let instrumented = run_streaming(
+        KkSolver::with_recorder(m, n, KkConfig::paper(n), 3, &mut rec),
+        stream_of(inst, StreamOrder::Uniform(11)),
+    );
+    assert_eq!(plain.cover.sets(), instrumented.cover.sets());
+    let snap = rec.snapshot();
+    assert_eq!(
+        snap.counters["kk.edges"] as usize,
+        instrumented.edges_processed
+    );
+    assert_eq!(
+        snap.counters["kk.inclusions"],
+        rec.events()
+            .iter()
+            .filter(|e| e.name == "kk.include")
+            .count() as u64
+    );
+}
+
+/// The run manifest is valid JSON and its embedded `metrics` object
+/// round-trips exactly through `MetricsSnapshot::from_json`.
+#[test]
+fn manifest_round_trips_through_parser() {
+    let p = table1::Params {
+        n: 144,
+        m: Some(1296),
+        trials: 1,
+    };
+    let runner = TrialRunner::new(2).with_obs(true);
+    table1::run_with(&p, &runner);
+    let manifest = manifest_json("table1", &runner);
+
+    let v = json::parse(&manifest).expect("manifest is valid JSON");
+    let obj = v.as_object().expect("manifest is an object");
+    let get = |k: &str| obj.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+    assert_eq!(
+        get("schema").and_then(|v| v.as_str()),
+        Some("setcover.obs.manifest/1")
+    );
+    assert_eq!(get("bin").and_then(|v| v.as_str()), Some("table1"));
+    assert_eq!(get("threads").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(
+        get("trials_recorded").and_then(|v| v.as_u64()),
+        Some(runner.obs_trials_sorted().len() as u64)
+    );
+
+    // Extract the metrics object by re-serializing the canonical form.
+    let start = manifest.find("\"metrics\":").unwrap() + "\"metrics\":".len();
+    let metrics_str = &manifest[start..manifest.len() - 1];
+    let parsed = MetricsSnapshot::from_json(metrics_str).expect("metrics round-trip");
+    assert_eq!(parsed, runner.obs_merged());
+    assert_eq!(parsed.to_json(), metrics_str);
+}
